@@ -1,0 +1,37 @@
+"""Benchmarks regenerating the motivation figures (Figs. 1-3).
+
+These are analytical (carbon-model) figures: fast, exact, and asserted
+against the paper's qualitative claims.
+"""
+
+from _harness import record, run_once
+
+from repro.experiments import run_fig01, run_fig02, run_fig03
+
+
+def bench_fig01(benchmark):
+    result = run_once(benchmark, run_fig01)
+    record("fig01", result.render())
+    # Paper: Graph-BFS keep-alive share grows from ~18% @2min to ~52% @10min.
+    assert result.fraction("graph-bfs", 2.0) < result.fraction("graph-bfs", 10.0)
+    assert result.fraction("graph-bfs", 10.0) > 0.4
+
+
+def bench_fig02(benchmark):
+    result = run_once(benchmark, run_fig02)
+    record("fig02", result.render())
+    # Paper: A_OLD saves carbon on video-processing but is ~16% slower.
+    assert result.saving_pct("video-processing", "a_old", "a_new") > 10.0
+    assert result.slowdown_pct("video-processing", "a_old", "a_new") > 10.0
+
+
+def bench_fig03(benchmark):
+    result = run_once(benchmark, run_fig03)
+    record("fig03", result.render())
+    # Paper: Case A wins both axes at CI=300 for all three functions...
+    for func in ("video-processing", "graph-bfs", "dna-visualization"):
+        p = result.get(func, 300.0)
+        assert p.service_saving_pct > 0.0
+        assert p.co2_saving_pct > 0.0
+    # ... and the DNA-visualization carbon saving inverts at CI=50.
+    assert result.get("dna-visualization", 50.0).inverted

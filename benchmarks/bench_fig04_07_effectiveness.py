@@ -1,0 +1,40 @@
+"""Benchmarks regenerating the effectiveness scatters (Figs. 4 and 7)."""
+
+from _harness import record, run_once, scenario_for_bench
+
+from repro.experiments import run_fig04, run_fig07
+
+
+def bench_fig04(benchmark):
+    result = run_once(benchmark, run_fig04, scenario_for_bench())
+    record("fig04", result.render())
+    pts = result.points
+    # The single-metric optima define the axes.
+    assert pts["co2-opt"].carbon_pct == 0.0
+    assert pts["service-time-opt"].service_pct == 0.0
+    # Each is far from the other's objective; the oracle sits in between.
+    assert pts["co2-opt"].service_pct > 5.0
+    assert pts["service-time-opt"].carbon_pct > 5.0
+    assert 0.0 < pts["oracle"].carbon_pct < pts["service-time-opt"].carbon_pct
+    # Energy-Opt is never better than CO2-Opt and trails the oracle on service.
+    assert pts["energy-opt"].carbon_pct >= 0.0
+    assert pts["energy-opt"].service_pct > pts["oracle"].service_pct
+
+
+def bench_fig07(benchmark):
+    result = run_once(benchmark, run_fig07, scenario_for_bench())
+    record("fig07", result.render())
+    svc_gap, co2_gap = result.ecolife_gap_to_oracle_pp
+    # Paper: EcoLife within 7.7 (service) / 5.5 (carbon) points of ORACLE.
+    assert svc_gap < 12.0
+    assert co2_gap < 9.0
+    # And EcoLife is the closest practical scheme to the oracle.
+    pts = result.points
+    for other in ("co2-opt", "service-time-opt", "energy-opt"):
+        d_eco = abs(pts["ecolife"].service_pct - pts["oracle"].service_pct) + abs(
+            pts["ecolife"].carbon_pct - pts["oracle"].carbon_pct
+        )
+        d_other = abs(pts[other].service_pct - pts["oracle"].service_pct) + abs(
+            pts[other].carbon_pct - pts["oracle"].carbon_pct
+        )
+        assert d_eco <= d_other

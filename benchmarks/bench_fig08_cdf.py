@@ -1,0 +1,16 @@
+"""Benchmark regenerating the per-invocation CDFs (Fig. 8)."""
+
+from _harness import record, run_once, scenario_for_bench
+
+from repro.experiments import run_fig08
+
+
+def bench_fig08(benchmark):
+    result = run_once(benchmark, run_fig08, scenario_for_bench())
+    record("fig08", result.render())
+    # Paper: EcoLife's P95 service latency within 15% of ORACLE's.
+    assert result.p95_service_vs_oracle_pct < 25.0
+    # The CDFs of EcoLife hug the oracle's at the median.
+    eco_p50 = result.service_cdf["ecolife"].percentile(50)
+    orc_p50 = result.service_cdf["oracle"].percentile(50)
+    assert eco_p50 - orc_p50 < 10.0

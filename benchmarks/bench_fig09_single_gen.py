@@ -1,0 +1,14 @@
+"""Benchmark regenerating the single-generation comparison (Fig. 9)."""
+
+from _harness import record, run_once, scenario_for_bench
+
+from repro.experiments import run_fig09
+
+
+def bench_fig09(benchmark):
+    result = run_once(benchmark, run_fig09, scenario_for_bench())
+    record("fig09", result.render())
+    # Paper: EcoLife saves ~12.7% service vs OLD-ONLY, ~8.6% carbon vs
+    # NEW-ONLY; directions and rough factors must hold.
+    assert result.service_saving_vs_old_only_pct > 5.0
+    assert result.carbon_saving_vs_new_only_pct > 3.0

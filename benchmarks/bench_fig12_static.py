@@ -1,0 +1,15 @@
+"""Benchmark regenerating the Eco-Old / Eco-New comparison (Fig. 12)."""
+
+from _harness import record, run_once, scenario_for_bench
+
+from repro.experiments import run_fig12
+
+
+def bench_fig12(benchmark):
+    result = run_once(benchmark, run_fig12, scenario_for_bench())
+    record("fig12", result.render())
+    pts = result.points
+    # Paper: Eco-Old's service time and Eco-New's carbon are notably higher
+    # than the multi-generation schemes'.
+    assert pts["eco-old"].service_pct > pts["ecolife"].service_pct
+    assert pts["eco-new"].carbon_pct > pts["ecolife"].carbon_pct

@@ -1,0 +1,12 @@
+"""Benchmark regenerating the hardware-pair robustness study (Fig. 13)."""
+
+from _harness import record, run_once, scenario_for_bench
+
+from repro.experiments import run_fig13
+
+
+def bench_fig13(benchmark):
+    result = run_once(benchmark, run_fig13, scenario_for_bench())
+    record("fig13", result.render())
+    # Paper: within ~7.5% of ORACLE on both metrics for every pair.
+    assert result.max_margin_pct < 15.0

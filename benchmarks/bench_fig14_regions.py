@@ -1,0 +1,13 @@
+"""Benchmark regenerating the region robustness study (Fig. 14)."""
+
+from _harness import record, run_once, scenario_for_bench
+
+from repro.experiments import run_fig14
+
+
+def bench_fig14(benchmark):
+    result = run_once(benchmark, run_fig14, scenario_for_bench())
+    record("fig14", result.render())
+    # Paper: within ~7% (service) / ~6% (carbon) of ORACLE in every region.
+    assert result.max_service_margin_pct < 15.0
+    assert result.max_carbon_margin_pct < 12.0

@@ -1,0 +1,33 @@
+"""Result analysis: CDFs, relative-increase comparisons, text reporting."""
+
+from repro.analysis.decisions import (
+    KeepAliveBehaviour,
+    keepalive_behaviour,
+    location_split_by_ci,
+    per_function_table,
+)
+from repro.analysis.comparison import (
+    SchemePoint,
+    gap_pp,
+    relative_to_opts,
+    relative_to_oracle,
+)
+from repro.analysis.reporting import ascii_table, fmt, scatter_table
+from repro.analysis.stats import CDF, pct_increase, per_invocation_pct_increase
+
+__all__ = [
+    "CDF",
+    "pct_increase",
+    "per_invocation_pct_increase",
+    "SchemePoint",
+    "relative_to_opts",
+    "relative_to_oracle",
+    "gap_pp",
+    "ascii_table",
+    "scatter_table",
+    "fmt",
+    "KeepAliveBehaviour",
+    "keepalive_behaviour",
+    "location_split_by_ci",
+    "per_function_table",
+]

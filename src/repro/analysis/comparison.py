@@ -1,0 +1,81 @@
+"""Scheme comparisons in the paper's "% increase w.r.t. X-Opt" framing.
+
+Most evaluation figures plot every scheme at the coordinates::
+
+    x = % increase of total carbon over CO2-OPT
+    y = % increase of service time over SERVICE-TIME-OPT
+
+(Figs. 4, 7, 9) or relative to ORACLE (Figs. 13, 14). These helpers turn a
+``{name: SimulationResult}`` dict into those coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import pct_increase
+from repro.simulator.records import SimulationResult
+
+
+@dataclass(frozen=True)
+class SchemePoint:
+    """One scheme's coordinates in a relative-increase scatter."""
+
+    name: str
+    carbon_pct: float
+    service_pct: float
+    carbon_g: float
+    service_s: float
+    warm_ratio: float
+
+
+def relative_to_opts(
+    results: dict[str, SimulationResult],
+    carbon_ref: str = "co2-opt",
+    service_ref: str = "service-time-opt",
+) -> dict[str, SchemePoint]:
+    """Coordinates relative to the single-metric optima (Figs. 4/7/9)."""
+    for ref in (carbon_ref, service_ref):
+        if ref not in results:
+            raise KeyError(f"reference scheme {ref!r} missing from results")
+    carbon0 = results[carbon_ref].total_carbon_g
+    service0 = results[service_ref].mean_service_s
+    return {
+        name: SchemePoint(
+            name=name,
+            carbon_pct=pct_increase(r.total_carbon_g, carbon0),
+            service_pct=pct_increase(r.mean_service_s, service0),
+            carbon_g=r.total_carbon_g,
+            service_s=r.mean_service_s,
+            warm_ratio=r.warm_ratio,
+        )
+        for name, r in results.items()
+    }
+
+
+def relative_to_oracle(
+    results: dict[str, SimulationResult], oracle_name: str = "oracle"
+) -> dict[str, SchemePoint]:
+    """Coordinates relative to ORACLE (robustness figures 13/14)."""
+    if oracle_name not in results:
+        raise KeyError(f"reference scheme {oracle_name!r} missing from results")
+    ref = results[oracle_name]
+    return {
+        name: SchemePoint(
+            name=name,
+            carbon_pct=pct_increase(r.total_carbon_g, ref.total_carbon_g),
+            service_pct=pct_increase(r.mean_service_s, ref.mean_service_s),
+            carbon_g=r.total_carbon_g,
+            service_s=r.mean_service_s,
+            warm_ratio=r.warm_ratio,
+        )
+        for name, r in results.items()
+    }
+
+
+def gap_pp(points: dict[str, SchemePoint], a: str, b: str) -> tuple[float, float]:
+    """(service, carbon) gap in percentage points between two schemes."""
+    return (
+        points[a].service_pct - points[b].service_pct,
+        points[a].carbon_pct - points[b].carbon_pct,
+    )

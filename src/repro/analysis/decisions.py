@@ -1,0 +1,120 @@
+"""Decision-behaviour analysis: *why* a scheduler's numbers look the way
+they do.
+
+The aggregate metrics (service time, carbon) say who wins; these helpers
+say how: the distribution of chosen keep-alive periods, the keep-alive
+location split as a function of carbon intensity, and per-function
+summaries. Used by the examples and handy when tuning EcoLife configs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.hardware.specs import Generation
+from repro.simulator.records import SimulationResult
+
+
+@dataclass(frozen=True)
+class KeepAliveBehaviour:
+    """Summary of a run's keep-alive decisions."""
+
+    k_minutes: np.ndarray  # decided periods (minutes), one per invocation
+    locations: list[Generation]
+    no_keepalive_fraction: float
+
+    @property
+    def median_k_min(self) -> float:
+        positive = self.k_minutes[self.k_minutes > 0]
+        return float(np.median(positive)) if positive.size else 0.0
+
+    @property
+    def old_fraction(self) -> float:
+        """Share of positive keep-alive decisions placed on old hardware."""
+        kept = [
+            loc
+            for loc, k in zip(self.locations, self.k_minutes)
+            if k > 0
+        ]
+        if not kept:
+            return 0.0
+        return sum(1 for g in kept if g is Generation.OLD) / len(kept)
+
+
+def keepalive_behaviour(result: SimulationResult) -> KeepAliveBehaviour:
+    """Extract the keep-alive decision profile from a run."""
+    ks, locs = [], []
+    for r in result.records:
+        d = r.keepalive_decision
+        if d is None:
+            ks.append(0.0)
+            locs.append(r.location)
+        else:
+            ks.append(d.duration_s / 60.0)
+            locs.append(d.location)
+    k = np.asarray(ks, dtype=float)
+    return KeepAliveBehaviour(
+        k_minutes=k,
+        locations=locs,
+        no_keepalive_fraction=float(np.mean(k == 0.0)) if k.size else 0.0,
+    )
+
+
+def location_split_by_ci(
+    result: SimulationResult,
+    ci_trace: CarbonIntensityTrace,
+    n_bins: int = 4,
+) -> list[tuple[str, int, int, float]]:
+    """Keep-alive location split per carbon-intensity quantile bin.
+
+    Returns rows of (bin label, old count, new count, old fraction) for
+    positive keep-alive decisions -- the signature of carbon-aware
+    behaviour is the old fraction rising with CI.
+    """
+    entries = []
+    for r in result.records:
+        d = r.keepalive_decision
+        if d is None or d.duration_s <= 0:
+            continue
+        entries.append((ci_trace.at(r.t), d.location))
+    if not entries:
+        return []
+    cis = np.array([e[0] for e in entries])
+    edges = np.quantile(cis, np.linspace(0.0, 1.0, n_bins + 1))
+    rows = []
+    for i in range(n_bins):
+        lo, hi = edges[i], edges[i + 1]
+        mask = (
+            (cis >= lo) & (cis <= hi if i == n_bins - 1 else cis < hi)
+        )
+        locs = [entries[j][1] for j in np.flatnonzero(mask)]
+        old = sum(1 for g in locs if g is Generation.OLD)
+        new = len(locs) - old
+        frac = old / len(locs) if locs else 0.0
+        rows.append((f"{lo:.0f}-{hi:.0f}", old, new, frac))
+    return rows
+
+
+def per_function_table(result: SimulationResult, top: int = 10) -> str:
+    """Per-function breakdown of the most-invoked functions."""
+    by_func: dict[str, list] = defaultdict(list)
+    for r in result.records:
+        by_func[r.func_name].append(r)
+    ranked = sorted(by_func.items(), key=lambda kv: -len(kv[1]))[:top]
+    rows = []
+    for name, records in ranked:
+        warm = sum(0 if r.cold else 1 for r in records) / len(records)
+        carbon = sum(r.carbon_g for r in records)
+        svc = float(np.mean([r.service_s for r in records]))
+        ka = float(np.mean([r.keepalive_s for r in records]))
+        rows.append([name, len(records), warm * 100.0, svc, carbon, ka / 60.0])
+    return ascii_table(
+        ["function", "invocations", "warm %", "svc (s)", "co2 (g)", "KA (min)"],
+        rows,
+        title=f"per-function behaviour ({result.scheduler_name})",
+    )

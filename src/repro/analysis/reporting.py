@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment outputs (tables and series).
+
+Every experiment driver prints the same rows/series its paper figure shows,
+through these helpers, so benchmark logs double as the reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.comparison import SchemePoint
+
+
+def fmt(value, width: int = 10, prec: int = 2) -> str:
+    """Format one cell: floats to ``prec`` decimals, rest via str()."""
+    if isinstance(value, float):
+        return f"{value:>{width}.{prec}f}"
+    return f"{str(value):>{width}}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    prec: int = 2,
+) -> str:
+    """Render a fixed-width table."""
+    rows = [list(r) for r in rows]
+    widths = [
+        max(len(str(h)), *(len(fmt(r[i], 0, prec).strip()) for r in rows))
+        if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(w, 6) for w in widths]
+
+    def render_row(cells) -> str:
+        return " | ".join(
+            fmt(c, widths[i], prec) if isinstance(c, float) else f"{str(c):>{widths[i]}}"
+            for i, c in enumerate(cells)
+        )
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(render_row(headers))
+    out.append(sep)
+    out.extend(render_row(r) for r in rows)
+    return "\n".join(out)
+
+
+def scatter_table(
+    points: dict[str, SchemePoint], title: str, order: Sequence[str] | None = None
+) -> str:
+    """The paper's scatter coordinates as a table."""
+    names = list(order) if order else list(points)
+    rows = [
+        [
+            n,
+            points[n].carbon_pct,
+            points[n].service_pct,
+            points[n].carbon_g,
+            points[n].service_s,
+            points[n].warm_ratio * 100.0,
+        ]
+        for n in names
+        if n in points
+    ]
+    return ascii_table(
+        [
+            "scheme",
+            "co2 +% ",
+            "svc +% ",
+            "co2 (g)",
+            "svc (s)",
+            "warm %",
+        ],
+        rows,
+        title=title,
+    )

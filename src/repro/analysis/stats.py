@@ -1,0 +1,57 @@
+"""Statistical helpers: CDFs and percentile summaries for Fig. 8-style plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CDF:
+    """An empirical cumulative distribution function."""
+
+    values: np.ndarray  # sorted
+    probs: np.ndarray  # in (0, 1]
+
+    @classmethod
+    def of(cls, samples) -> "CDF":
+        x = np.sort(np.asarray(samples, dtype=float))
+        if x.size == 0:
+            raise ValueError("cannot build a CDF from zero samples")
+        p = np.arange(1, x.size + 1) / x.size
+        return cls(values=x, probs=p)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` (0-100)."""
+        return float(np.percentile(self.values, q))
+
+    def prob_at(self, value: float) -> float:
+        """P(X <= value)."""
+        idx = int(np.searchsorted(self.values, value, side="right"))
+        return idx / self.values.size
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """Down-sampled (value, prob) pairs for printing/plotting."""
+        if self.values.size <= points:
+            return list(zip(self.values.tolist(), self.probs.tolist()))
+        idx = np.linspace(0, self.values.size - 1, points).astype(int)
+        return list(zip(self.values[idx].tolist(), self.probs[idx].tolist()))
+
+
+def pct_increase(value: float, reference: float) -> float:
+    """Percent increase of ``value`` over ``reference`` (0 if ref is 0)."""
+    if reference == 0.0:
+        return 0.0
+    return (value / reference - 1.0) * 100.0
+
+
+def per_invocation_pct_increase(values, references) -> np.ndarray:
+    """Element-wise percent increase, guarding zero references."""
+    v = np.asarray(values, dtype=float)
+    r = np.asarray(references, dtype=float)
+    if v.shape != r.shape:
+        raise ValueError(f"shape mismatch: {v.shape} vs {r.shape}")
+    safe = np.where(r == 0.0, 1.0, r)
+    out = (v / safe - 1.0) * 100.0
+    return np.where(r == 0.0, 0.0, out)

@@ -1,0 +1,33 @@
+"""Baselines and oracle solutions from the paper's evaluation (Sec. V)."""
+
+from repro.baselines.fixed import (
+    SingleGenerationFixedScheduler,
+    new_only,
+    old_only,
+)
+from repro.baselines.heuristic import ga_scheduler, sa_scheduler
+from repro.baselines.oracle import (
+    OracleObjective,
+    OracleScheduler,
+    co2_opt,
+    energy_opt,
+    oracle,
+    service_time_opt,
+)
+from repro.baselines.static_eco import eco_new, eco_old
+
+__all__ = [
+    "SingleGenerationFixedScheduler",
+    "new_only",
+    "old_only",
+    "OracleScheduler",
+    "OracleObjective",
+    "oracle",
+    "co2_opt",
+    "service_time_opt",
+    "energy_opt",
+    "eco_old",
+    "eco_new",
+    "ga_scheduler",
+    "sa_scheduler",
+]

@@ -1,0 +1,60 @@
+"""Fixed-policy single-generation baselines: NEW-ONLY and OLD-ONLY.
+
+Paper Sec. V: "NEW-ONLY, OLD-ONLY follow a ten (10) minutes keep-alive
+policy of OpenWhisk. The NEW-ONLY scheme prioritizes the utilization of
+faster, newer hardware ... The OLD-ONLY scheme operates in the opposite
+manner." Neither uses multi-generation keep-alive, so spill-over to the
+other pool is disabled and pool overflow falls back to OpenWhisk-style
+evict-the-soonest-to-expire (the default ranking in
+:class:`~repro.simulator.scheduler.BaseScheduler`).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import Generation
+from repro.simulator.records import KeepAliveDecision
+from repro.simulator.scheduler import (
+    DEFAULT_KEEPALIVE_S,
+    BaseScheduler,
+    KeepAliveRequest,
+    PlacementRequest,
+)
+
+
+class SingleGenerationFixedScheduler(BaseScheduler):
+    """Always one generation, fixed keep-alive period."""
+
+    allow_spill = False
+
+    def __init__(
+        self,
+        generation: Generation,
+        keepalive_s: float = DEFAULT_KEEPALIVE_S,
+    ) -> None:
+        super().__init__()
+        if keepalive_s < 0.0:
+            raise ValueError("keepalive_s must be >= 0")
+        self.generation = generation
+        self.keepalive_s = keepalive_s
+        self.name = f"{generation.value}-only"
+
+    def place(self, req: PlacementRequest) -> Generation:
+        # Warm containers only ever exist on our generation; prefer them.
+        if self.generation in req.warm_locations:
+            return self.generation
+        return self.generation
+
+    def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
+        return KeepAliveDecision(
+            location=self.generation, duration_s=self.keepalive_s
+        )
+
+
+def new_only(keepalive_s: float = DEFAULT_KEEPALIVE_S) -> SingleGenerationFixedScheduler:
+    """The paper's NEW-ONLY scheme."""
+    return SingleGenerationFixedScheduler(Generation.NEW, keepalive_s)
+
+
+def old_only(keepalive_s: float = DEFAULT_KEEPALIVE_S) -> SingleGenerationFixedScheduler:
+    """The paper's OLD-ONLY scheme."""
+    return SingleGenerationFixedScheduler(Generation.OLD, keepalive_s)

@@ -1,0 +1,23 @@
+"""GA- and SA-driven keep-alive schedulers.
+
+Paper Sec. IV-C compares PSO against a Genetic Algorithm (crossover 0.6,
+mutation 0.01, population 15) and Simulated Annealing (T0=100, T_stop=1,
+cooling 0.9). These schedulers reuse EcoLife's full machinery -- objective,
+EPDM, warm-pool adjustment -- and swap only the KDM's optimizer, so the
+comparison isolates the meta-heuristic exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EcoLifeConfig, OptimizerKind
+from repro.core.scheduler import EcoLifeScheduler
+
+
+def ga_scheduler(config: EcoLifeConfig | None = None) -> EcoLifeScheduler:
+    """EcoLife with a Genetic Algorithm KDM."""
+    return EcoLifeScheduler.with_optimizer(OptimizerKind.GENETIC, config)
+
+
+def sa_scheduler(config: EcoLifeConfig | None = None) -> EcoLifeScheduler:
+    """EcoLife with a Simulated Annealing KDM."""
+    return EcoLifeScheduler.with_optimizer(OptimizerKind.ANNEALING, config)

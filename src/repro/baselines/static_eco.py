@@ -1,0 +1,27 @@
+"""Eco-Old / Eco-New: EcoLife restricted to a single hardware generation.
+
+Paper Sec. V: "These schemes are static versions of EcoLife, and we use
+single-generation hardware to schedule functions. Eco-New and Eco-Old
+primarily emphasize the determination of keep-alive periods while
+overlooking the trade-off between older and newer hardware."
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EcoLifeConfig
+from repro.core.scheduler import EcoLifeScheduler
+from repro.hardware.specs import Generation
+
+
+def eco_old(config: EcoLifeConfig | None = None) -> EcoLifeScheduler:
+    """EcoLife's KDM on old-generation hardware only."""
+    sched = EcoLifeScheduler.single_generation(Generation.OLD, config)
+    sched.name = "eco-old"
+    return sched
+
+
+def eco_new(config: EcoLifeConfig | None = None) -> EcoLifeScheduler:
+    """EcoLife's KDM on new-generation hardware only."""
+    sched = EcoLifeScheduler.single_generation(Generation.NEW, config)
+    sched.name = "eco-new"
+    return sched

@@ -1,0 +1,28 @@
+"""Carbon substrate: intensity traces, region generators, and accounting."""
+
+from repro.carbon.footprint import ZERO_CARBON, CarbonBreakdown, CarbonModel
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.carbon.io import load_ci_csv, save_ci_csv
+from repro.carbon.regions import (
+    DEFAULT_REGION,
+    REGION_NAMES,
+    REGIONS,
+    RegionProfile,
+    generate_region_trace,
+    region_trace_for,
+)
+
+__all__ = [
+    "CarbonIntensityTrace",
+    "CarbonBreakdown",
+    "CarbonModel",
+    "ZERO_CARBON",
+    "RegionProfile",
+    "REGIONS",
+    "REGION_NAMES",
+    "DEFAULT_REGION",
+    "generate_region_trace",
+    "region_trace_for",
+    "load_ci_csv",
+    "save_ci_csv",
+]

@@ -1,0 +1,56 @@
+"""Embodied-carbon attribution (paper Sec. II, first pair of equations).
+
+The paper attributes embodied carbon to a serverless function per phase:
+
+- **service** (cold start + execution, duration ``S_f``): the *entire* CPU is
+  assigned to the function, DRAM by the memory share ``M_f / M_DRAM``::
+
+      CPU:  S_f / LT_CPU  * EC_CPU
+      DRAM: S_f / LT_DRAM * (M_f / M_DRAM) * EC_DRAM
+
+- **keep-alive** (duration ``k``): one CPU core keeps the function alive::
+
+      CPU:  k / LT_CPU  * EC_CPU / Core_num
+      DRAM: k / LT_DRAM * (M_f / M_DRAM) * EC_DRAM
+
+The optional platform component (storage/motherboard/PSU, used by the
+"other components" sensitivity study) is attributed like DRAM: by memory
+share during both phases, which is the paper's "proportional carbon
+footprint of storage" extension hook.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.hardware.specs import ServerSpec
+
+
+def cpu_service_g(server: ServerSpec, duration_s: float) -> float:
+    """Embodied CPU carbon attributed over a service window (whole package)."""
+    units.require_non_negative(duration_s, "duration_s")
+    return duration_s / server.lifetime_s * server.cpu.embodied_g
+
+
+def cpu_keepalive_g(server: ServerSpec, duration_s: float) -> float:
+    """Embodied CPU carbon attributed over a keep-alive window (one core)."""
+    units.require_non_negative(duration_s, "duration_s")
+    return duration_s / server.lifetime_s * server.cpu.embodied_per_core_g
+
+
+def dram_g(server: ServerSpec, mem_gb: float, duration_s: float) -> float:
+    """Embodied DRAM carbon attributed by memory share over any window."""
+    units.require_non_negative(duration_s, "duration_s")
+    units.require_non_negative(mem_gb, "mem_gb")
+    share = mem_gb / server.dram.capacity_gb
+    return duration_s / server.lifetime_s * share * server.dram.embodied_g
+
+
+def platform_g(server: ServerSpec, mem_gb: float, duration_s: float) -> float:
+    """Embodied carbon of non-CPU/DRAM platform components (memory share)."""
+    if server.platform_embodied_kg == 0.0:
+        return 0.0
+    units.require_non_negative(duration_s, "duration_s")
+    share = mem_gb / server.dram.capacity_gb
+    return (
+        duration_s / server.lifetime_s * share * server.platform_embodied_kg * 1000.0
+    )

@@ -1,0 +1,192 @@
+"""Combined carbon accounting facade (embodied + operational, per phase).
+
+:class:`CarbonModel` is the single accounting implementation shared by the
+simulator (exact, CI-trace-integrated) and by decision-time estimators
+(scalar-CI closed forms). Keeping both in one class guarantees that EcoLife,
+the baselines, and the oracles are scored by identical formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+from repro.carbon import embodied, operational
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.hardware.power import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.hardware.specs import ServerSpec
+
+
+@dataclass(frozen=True)
+class CarbonBreakdown:
+    """Carbon (grams) split by component and origin."""
+
+    op_cpu: float = 0.0
+    op_dram: float = 0.0
+    emb_cpu: float = 0.0
+    emb_dram: float = 0.0
+    emb_platform: float = 0.0
+
+    @property
+    def operational(self) -> float:
+        """Total operational carbon (g)."""
+        return self.op_cpu + self.op_dram
+
+    @property
+    def embodied(self) -> float:
+        """Total embodied carbon (g)."""
+        return self.emb_cpu + self.emb_dram + self.emb_platform
+
+    @property
+    def total(self) -> float:
+        """Total carbon (g)."""
+        return self.operational + self.embodied
+
+    def __add__(self, other: "CarbonBreakdown") -> "CarbonBreakdown":
+        return CarbonBreakdown(
+            op_cpu=self.op_cpu + other.op_cpu,
+            op_dram=self.op_dram + other.op_dram,
+            emb_cpu=self.emb_cpu + other.emb_cpu,
+            emb_dram=self.emb_dram + other.emb_dram,
+            emb_platform=self.emb_platform + other.emb_platform,
+        )
+
+    def __radd__(self, other) -> "CarbonBreakdown":
+        """Support ``sum(...)`` over breakdowns (0 start value)."""
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+
+#: Convenient zero element.
+ZERO_CARBON = CarbonBreakdown()
+
+
+@dataclass(frozen=True)
+class CarbonModel:
+    """Per-phase carbon accounting bound to a CI trace and an energy model."""
+
+    trace: CarbonIntensityTrace
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL
+
+    # ------------------------------------------------------------------
+    # Exact accounting (CI integrated over the real interval) -- used by
+    # the simulator.
+    # ------------------------------------------------------------------
+
+    def service(
+        self,
+        server: ServerSpec,
+        mem_gb: float,
+        t0: float,
+        busy_s: float,
+        cold_overhead_s: float = 0.0,
+    ) -> CarbonBreakdown:
+        """Carbon of a service window starting at ``t0``.
+
+        ``busy_s`` covers setup + execution; ``cold_overhead_s`` is the
+        cold-start window (0 for warm starts).
+        """
+        duration = busy_s + cold_overhead_s
+        t1 = t0 + duration
+        return CarbonBreakdown(
+            op_cpu=operational.cpu_service_g(
+                server, self.energy_model, self.trace, t0, busy_s, cold_overhead_s
+            ),
+            op_dram=operational.dram_g(server, mem_gb, self.trace, t0, t1),
+            emb_cpu=embodied.cpu_service_g(server, duration),
+            emb_dram=embodied.dram_g(server, mem_gb, duration),
+            emb_platform=embodied.platform_g(server, mem_gb, duration),
+        )
+
+    def keepalive(
+        self, server: ServerSpec, mem_gb: float, t0: float, t1: float
+    ) -> CarbonBreakdown:
+        """Carbon of a keep-alive window ``[t0, t1]`` (one core + DRAM share)."""
+        duration = t1 - t0
+        if duration < 0.0:
+            raise ValueError(f"keep-alive interval is reversed: [{t0}, {t1}]")
+        return CarbonBreakdown(
+            op_cpu=operational.cpu_keepalive_g(
+                server, self.energy_model, self.trace, t0, t1
+            ),
+            op_dram=operational.dram_g(server, mem_gb, self.trace, t0, t1),
+            emb_cpu=embodied.cpu_keepalive_g(server, duration),
+            emb_dram=embodied.dram_g(server, mem_gb, duration),
+            emb_platform=embodied.platform_g(server, mem_gb, duration),
+        )
+
+    # ------------------------------------------------------------------
+    # Attributed energy (Wh) -- used by Energy-Opt and the reports.
+    # ------------------------------------------------------------------
+
+    def service_energy_wh(
+        self,
+        server: ServerSpec,
+        mem_gb: float,
+        busy_s: float,
+        cold_overhead_s: float = 0.0,
+    ) -> float:
+        """Energy attributed to one service window (whole CPU + DRAM share)."""
+        share = mem_gb / server.dram.capacity_gb
+        cpu = self.energy_model.cpu_service_wh(server, busy_s, cold_overhead_s)
+        dram = share * self.energy_model.dram_service_wh(
+            server, busy_s + cold_overhead_s
+        )
+        return cpu + dram
+
+    def keepalive_energy_wh(
+        self, server: ServerSpec, mem_gb: float, duration_s: float
+    ) -> float:
+        """Energy attributed to one keep-alive window (one core + DRAM share)."""
+        share = mem_gb / server.dram.capacity_gb
+        cpu = self.energy_model.cpu_keepalive_wh(server, duration_s) / server.cpu.cores
+        dram = share * self.energy_model.dram_keepalive_wh(server, duration_s)
+        return cpu + dram
+
+    # ------------------------------------------------------------------
+    # Closed-form estimates at a scalar CI -- used by decision makers
+    # (KDM fitness, EPDM scores, warm-pool priority ranking, oracles).
+    # ------------------------------------------------------------------
+
+    def est_service_g(
+        self,
+        server: ServerSpec,
+        mem_gb: float,
+        busy_s: float,
+        cold_overhead_s: float,
+        ci: float,
+    ) -> float:
+        """Estimated service carbon at constant intensity ``ci``."""
+        duration = busy_s + cold_overhead_s
+        energy = self.service_energy_wh(server, mem_gb, busy_s, cold_overhead_s)
+        op = units.operational_carbon_g(energy, ci)
+        emb = (
+            embodied.cpu_service_g(server, duration)
+            + embodied.dram_g(server, mem_gb, duration)
+            + embodied.platform_g(server, mem_gb, duration)
+        )
+        return op + emb
+
+    def est_keepalive_rate_g_per_s(
+        self, server: ServerSpec, mem_gb: float, ci: float
+    ) -> float:
+        """Estimated keep-alive carbon accrual rate (g/s) at intensity ``ci``."""
+        power = self.energy_model.keepalive_power_attributed_w(server, mem_gb)
+        op_rate = units.operational_carbon_g(
+            units.energy_wh(power, 1.0), ci
+        )
+        emb_rate = (
+            embodied.cpu_keepalive_g(server, 1.0)
+            + embodied.dram_g(server, mem_gb, 1.0)
+            + embodied.platform_g(server, mem_gb, 1.0)
+        )
+        return op_rate + emb_rate
+
+    # ------------------------------------------------------------------
+    # Variants for sensitivity studies.
+    # ------------------------------------------------------------------
+
+    def with_trace(self, trace: CarbonIntensityTrace) -> "CarbonModel":
+        """Return a copy bound to a different CI trace."""
+        return replace(self, trace=trace)

@@ -1,0 +1,77 @@
+"""Carbon-intensity trace I/O.
+
+The synthetic region generators cover offline use; deployments with access
+to real grid data (e.g. an Electricity Maps CSV export) can load it here
+and drive every experiment with it unchanged::
+
+    trace = load_ci_csv("ciso_2024.csv")
+    scenario = default_scenario().with_ci(trace)
+
+Format: two columns -- timestamp (seconds, or ISO-8601 with ``iso=True``)
+and intensity (gCO2/kWh) -- with an optional header row. Values are
+validated by :class:`~repro.carbon.intensity.CarbonIntensityTrace`.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import pathlib
+
+import numpy as np
+
+from repro.carbon.intensity import CarbonIntensityTrace
+
+
+def _parse_time(cell: str, iso: bool, t0: _dt.datetime | None):
+    if not iso:
+        return float(cell), t0
+    stamp = _dt.datetime.fromisoformat(cell)
+    if t0 is None:
+        t0 = stamp
+    return (stamp - t0).total_seconds(), t0
+
+
+def load_ci_csv(
+    path: str | pathlib.Path,
+    iso: bool = False,
+    name: str | None = None,
+) -> CarbonIntensityTrace:
+    """Load a (time, intensity) CSV into a trace.
+
+    ``iso=True`` parses the first column as ISO-8601 timestamps and rebases
+    them so the first sample is t=0 (simulation time).
+    """
+    path = pathlib.Path(path)
+    times: list[float] = []
+    values: list[float] = []
+    t0: _dt.datetime | None = None
+    with path.open(newline="") as fh:
+        for row in csv.reader(fh):
+            if not row or len(row) < 2:
+                continue
+            try:
+                t, t0 = _parse_time(row[0].strip(), iso, t0)
+                v = float(row[1])
+            except ValueError:
+                continue  # header or malformed row
+            times.append(t)
+            values.append(v)
+    if not times:
+        raise ValueError(f"{path}: no (time, intensity) rows found")
+    order = np.argsort(times)
+    return CarbonIntensityTrace(
+        times_s=np.asarray(times, dtype=float)[order],
+        values=np.asarray(values, dtype=float)[order],
+        name=name or path.stem,
+    )
+
+
+def save_ci_csv(trace: CarbonIntensityTrace, path: str | pathlib.Path) -> None:
+    """Write a trace as a two-column CSV (seconds, gCO2/kWh) with header."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "g_per_kwh"])
+        for t, v in zip(trace.times_s, trace.values):
+            writer.writerow([f"{t:.1f}", f"{v:.3f}"])

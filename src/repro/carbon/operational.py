@@ -1,0 +1,71 @@
+"""Operational-carbon attribution (paper Sec. II, second pair of equations).
+
+Operational carbon is ``energy x carbon intensity``, with the paper's
+attribution rules:
+
+- DRAM: the function is billed its memory share of the whole-DRAM energy
+  during both service and keep-alive::
+
+      (M_f / M_DRAM) * (E_service_DRAM + E_keepalive_DRAM) * CI
+
+- CPU: the whole CPU during service, one core (``1/Core_num`` of the package
+  idle energy) during keep-alive::
+
+      (E_service_CPU + E_keepalive_CPU / Core_num) * CI
+
+Because the carbon intensity varies minute-to-minute, every function here
+integrates the CI trace over the actual interval rather than sampling a
+single value -- this is exact for the step-function traces used throughout.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.hardware.power import EnergyModel
+from repro.hardware.specs import ServerSpec
+
+
+def cpu_service_g(
+    server: ServerSpec,
+    energy_model: EnergyModel,
+    trace: CarbonIntensityTrace,
+    t0: float,
+    busy_s: float,
+    cold_overhead_s: float = 0.0,
+) -> float:
+    """Operational CPU carbon during service starting at ``t0``.
+
+    The cold-start window (if any) comes first, then the busy window; each is
+    integrated against the CI trace at its actual power level.
+    """
+    cold_p = server.cpu.full_power_w * energy_model.coldstart_power_fraction
+    t_cold_end = t0 + cold_overhead_s
+    g = trace.energy_to_carbon_g(cold_p, t0, t_cold_end)
+    g += trace.energy_to_carbon_g(server.cpu.full_power_w, t_cold_end, t_cold_end + busy_s)
+    return g
+
+
+def cpu_keepalive_g(
+    server: ServerSpec,
+    energy_model: EnergyModel,
+    trace: CarbonIntensityTrace,
+    t0: float,
+    t1: float,
+) -> float:
+    """Operational CPU carbon for one keep-alive core over ``[t0, t1]``."""
+    del energy_model  # power comes straight from the spec; kept for symmetry
+    return trace.energy_to_carbon_g(server.cpu.keepalive_core_power_w, t0, t1)
+
+
+def dram_g(
+    server: ServerSpec,
+    mem_gb: float,
+    trace: CarbonIntensityTrace,
+    t0: float,
+    t1: float,
+) -> float:
+    """Operational DRAM carbon (memory share of the whole complement)."""
+    units.require_non_negative(mem_gb, "mem_gb")
+    share = mem_gb / server.dram.capacity_gb
+    return trace.energy_to_carbon_g(share * server.dram.total_power_w, t0, t1)

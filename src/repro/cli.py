@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+Examples::
+
+    ecolife list-experiments
+    ecolife run-experiment fig7 --quick
+    ecolife simulate --scheduler ecolife --functions 40 --hours 4
+    ecolife catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+
+def _cmd_list_experiments(_args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    print("available experiments:")
+    for name, fn in EXPERIMENTS.items():
+        doc_lines = (fn.__doc__ or "").strip().splitlines()
+        doc = doc_lines[0] if doc_lines else ""
+        print(f"  {name:<12} {doc}")
+    return 0
+
+
+def _cmd_run_experiment(args) -> int:
+    from repro.experiments import EXPERIMENTS, default_scenario, quick_scenario
+
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; try `ecolife list-experiments`")
+        return 2
+    fn = EXPERIMENTS[args.name]
+    if args.name in ("fig1", "fig2", "fig3"):
+        result = fn()  # analytical figures need no scenario
+    else:
+        scenario = (
+            quick_scenario(seed=args.seed)
+            if args.quick
+            else default_scenario(seed=args.seed)
+        )
+        result = fn(scenario)
+    print(result.render())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.baselines import (
+        co2_opt,
+        energy_opt,
+        new_only,
+        old_only,
+        oracle,
+        service_time_opt,
+    )
+    from repro.core import EcoLifeConfig, EcoLifeScheduler
+    from repro.experiments import default_scenario, run_scheduler
+
+    factories = {
+        "ecolife": lambda: EcoLifeScheduler(EcoLifeConfig(seed=args.seed)),
+        "ecolife-no-dpso": lambda: EcoLifeScheduler.without_dpso(
+            EcoLifeConfig(seed=args.seed)
+        ),
+        "new-only": new_only,
+        "old-only": old_only,
+        "oracle": oracle,
+        "co2-opt": co2_opt,
+        "service-time-opt": service_time_opt,
+        "energy-opt": energy_opt,
+    }
+    if args.scheduler not in factories:
+        print(f"unknown scheduler {args.scheduler!r}; options: {sorted(factories)}")
+        return 2
+    scenario = default_scenario(
+        n_functions=args.functions,
+        hours=args.hours,
+        seed=args.seed,
+        region=args.region,
+        pair=args.pair,
+        pool_gb=args.pool_gb,
+    )
+    result = run_scheduler(factories[args.scheduler], scenario)
+    print(result.summary())
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro import validation
+
+    checks = validation.run_all_checks()
+    print(validation.render_report(checks))
+    return 0 if all(c.ok for c in checks) else 1
+
+
+def _cmd_catalog(_args) -> int:
+    from repro.analysis import ascii_table
+    from repro.hardware import PAIRS
+
+    rows = []
+    for name, pair in PAIRS.items():
+        for server in (pair.old, pair.new):
+            rows.append(
+                [
+                    name,
+                    server.key,
+                    f"{server.cpu.name} ({server.cpu.year})",
+                    server.cpu.cores,
+                    f"{server.dram.name} ({server.dram.year})",
+                    float(server.dram.capacity_gb),
+                    float(server.perf_index),
+                ]
+            )
+    print(
+        ascii_table(
+            ["pair", "server", "CPU", "cores", "DRAM", "GB", "perf"],
+            rows,
+            title="Table I -- multi-generation hardware pairs",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ecolife",
+        description="EcoLife (SC'24) reproduction: carbon-aware serverless "
+        "keep-alive scheduling.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-experiments", help="list reproducible figures/tables")
+
+    run_p = sub.add_parser("run-experiment", help="run one paper experiment")
+    run_p.add_argument("name", help="experiment id (e.g. fig7)")
+    run_p.add_argument("--quick", action="store_true", help="small scenario")
+    run_p.add_argument("--seed", type=int, default=7)
+
+    sim_p = sub.add_parser("simulate", help="run one scheduler on a scenario")
+    sim_p.add_argument("--scheduler", default="ecolife")
+    sim_p.add_argument("--functions", type=int, default=60)
+    sim_p.add_argument("--hours", type=float, default=6.0)
+    sim_p.add_argument("--seed", type=int, default=7)
+    sim_p.add_argument("--region", default="CAL")
+    sim_p.add_argument("--pair", default="A")
+    sim_p.add_argument("--pool-gb", type=float, default=32.0)
+
+    sub.add_parser("catalog", help="print the Table I hardware catalog")
+    sub.add_parser(
+        "validate", help="re-check the DESIGN.md calibration targets"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (``ecolife`` console script)."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-experiments": _cmd_list_experiments,
+        "run-experiment": _cmd_run_experiment,
+        "simulate": _cmd_simulate,
+        "catalog": _cmd_catalog,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Warm-pool adjustment (paper Sec. IV-C "Warm Pool Adjustment", Fig. 6).
+
+When a pool runs out of memory, EcoLife ranks every function already kept
+alive *plus* the one about to be kept alive by a priority score: "the
+difference in service time and carbon footprint between cold start and warm
+start", i.e. the benefit the warm container provides if the function is
+invoked again::
+
+    score = lambda_s * (S_cold - S_warm) / S_f_max
+          + lambda_c * (SC_cold - SC_warm) / SC_f_max
+
+The engine then packs the pool greedily in score order; losers are spilled
+to the other generation's pool when space allows ("evicted function is kept
+warm in the other generation's memory if there is enough space").
+
+On top of the paper's score we weight each candidate by the probability
+that its function actually arrives before the container expires (estimated
+from the function's inter-arrival history). A warm container that will
+never be hit has no realisable benefit; this keeps the pool packed with
+containers that convert memory into avoided cold starts. The weighting can
+be disabled via ``EcoLifeConfig.adjustment_arrival_weighting`` to recover
+the paper-literal ranking.
+"""
+
+from __future__ import annotations
+
+from repro.core.arrival import ArrivalRegistry
+from repro.core.config import EcoLifeConfig
+from repro.core.objective import CostModel
+from repro.simulator.scheduler import AdjustmentRequest, PoolCandidate, SchedulerEnv
+from repro.workloads.functions import FunctionProfile
+
+
+class WarmPoolAdjuster:
+    """Score-based priority ranking for pool packing."""
+
+    def __init__(
+        self,
+        env: SchedulerEnv,
+        config: EcoLifeConfig,
+        costs: CostModel,
+        arrivals: ArrivalRegistry | None = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.costs = costs
+        self.arrivals = arrivals
+
+    def benefit_score(self, func: FunctionProfile, gen, ci: float) -> float:
+        """Warm-vs-cold benefit of keeping ``func`` alive on ``gen``."""
+        s_max = max(self.costs.s_max(func), 1e-9)
+        sc_max = max(self.costs.sc_max(func, max(ci, 1e-12)), 1e-12)
+        ds = self.costs.service_time(func, gen, cold=True) - self.costs.service_time(
+            func, gen, cold=False
+        )
+        dsc = self.costs.service_carbon(
+            func, gen, cold=True, ci=ci
+        ) - self.costs.service_carbon(func, gen, cold=False, ci=ci)
+        return (
+            self.config.lambda_s * ds / s_max + self.config.lambda_c * dsc / sc_max
+        )
+
+    def arrival_mass(self, candidate: PoolCandidate, t: float) -> float:
+        """P(the function arrives while this container is still warm)."""
+        if self.arrivals is None or not self.config.adjustment_arrival_weighting:
+            return 1.0
+        remaining = max(candidate.expire_s - t, 0.0)
+        est = self.arrivals.get(candidate.name)
+        return float(est.p_warm([remaining])[0])
+
+    def priority(self, candidate: PoolCandidate, req: AdjustmentRequest) -> float:
+        """Expected realisable benefit of keeping this candidate warm."""
+        ci = self.env.ci_at(req.t)
+        return self.benefit_score(
+            candidate.func, req.generation, ci
+        ) * self.arrival_mass(candidate, req.t)
+
+    def rank(self, req: AdjustmentRequest) -> list[PoolCandidate]:
+        """Candidates ordered by descending expected keep-alive benefit.
+
+        Deterministic tie-breaks: smaller memory footprint first (fits more
+        functions), then name.
+        """
+        return sorted(
+            req.candidates,
+            key=lambda c: (-self.priority(c, req), c.mem_gb, c.name),
+        )

@@ -1,0 +1,45 @@
+"""Execution Placement Decision Maker (EPDM, paper Sec. IV-D).
+
+If the function is warm on some hardware, execute it there (no cold start);
+if it is warm on both, pick the better warm ``fscore``. Otherwise choose
+the cold execution location minimising::
+
+    fscore = lambda_s * S_r / S_f_max + lambda_c * SC_r / SC_max
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EcoLifeConfig
+from repro.core.objective import CostModel
+from repro.hardware.specs import Generation
+from repro.simulator.scheduler import SchedulerEnv
+from repro.workloads.functions import FunctionProfile
+
+
+class ExecutionPlacementDecisionMaker:
+    """Chooses where each invocation executes."""
+
+    def __init__(self, env: SchedulerEnv, config: EcoLifeConfig, costs: CostModel) -> None:
+        self.env = env
+        self.config = config
+        self.costs = costs
+
+    def choose(
+        self,
+        func: FunctionProfile,
+        t: float,
+        warm_locations: tuple[Generation, ...],
+    ) -> Generation:
+        """Pick the execution location for one invocation."""
+        ci = self.env.ci_at(t)
+        if warm_locations:
+            if len(warm_locations) == 1:
+                return warm_locations[0]
+            return min(
+                warm_locations,
+                key=lambda g: self.costs.fscore(func, g, cold=False, ci=ci),
+            )
+        return min(
+            self.config.locations,
+            key=lambda g: self.costs.fscore(func, g, cold=True, ci=ci),
+        )

@@ -1,0 +1,145 @@
+"""Keeping-alive Decision Maker (KDM, paper Sec. IV-C).
+
+One persistent optimizer per serverless function ("for each new invocation
+of a serverless function, EcoLife assigns a PSO optimizer and preserves it
+... for the next function invocation"). Before every decision the KDM:
+
+1. measures the environment deltas -- change in system-wide invocation rate
+   (dF) and carbon intensity (dCI) since this function's last decision;
+2. feeds them to the DPSO perception-response mechanism (weight adaptation
+   plus half-swarm redistribution);
+3. advances the optimizer a few iterations against the current objective;
+4. decodes the swarm's best position into (location, keep-alive period).
+
+The GA/SA backends exist for the paper's in-text optimizer comparison and
+share the exact same objective.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.arrival import ArrivalRegistry
+from repro.core.config import EcoLifeConfig, OptimizerKind
+from repro.core.objective import ObjectiveBuilder
+from repro.optimizers.annealing import SimulatedAnnealing
+from repro.optimizers.dynamic_pso import DynamicPSO
+from repro.optimizers.genetic import GeneticOptimizer
+from repro.optimizers.pso import ParticleSwarm
+from repro.simulator.records import KeepAliveDecision
+from repro.simulator.scheduler import SchedulerEnv
+from repro.workloads.functions import FunctionProfile
+
+
+def _stable_seed(root_seed: int, name: str) -> np.random.Generator:
+    """Per-function RNG that is stable across processes and runs."""
+    return np.random.default_rng(
+        np.random.SeedSequence([root_seed, zlib.crc32(name.encode("utf-8"))])
+    )
+
+
+class KeepAliveDecisionMaker:
+    """Per-function optimizer registry + decision logic."""
+
+    def __init__(
+        self,
+        env: SchedulerEnv,
+        config: EcoLifeConfig,
+        arrivals: ArrivalRegistry,
+        builder: ObjectiveBuilder | None = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.arrivals = arrivals
+        self.builder = builder or ObjectiveBuilder(env, config)
+        self._optimizers: dict[str, object] = {}
+        self._last_ci: dict[str, float] = {}
+        self._last_rate: dict[str, float] = {}
+        self.decisions = 0
+        self.redistributions = 0
+
+    # -- optimizer lifecycle -----------------------------------------------------
+
+    def _new_optimizer(self, name: str):
+        rng = _stable_seed(self.config.seed, name)
+        kind = self.config.optimizer
+        if kind is OptimizerKind.GENETIC:
+            return GeneticOptimizer(
+                dim=2,
+                rng=rng,
+                population=self.config.n_particles,
+                crossover_prob=0.6,
+                mutation_prob=0.01,
+            )
+        if kind is OptimizerKind.ANNEALING:
+            return SimulatedAnnealing(dim=2, rng=rng)
+        if self.config.use_dynamic_pso:
+            return DynamicPSO(
+                dim=2,
+                rng=rng,
+                n_particles=self.config.n_particles,
+                params=self.config.dpso,
+            )
+        swarm = ParticleSwarm(
+            dim=2,
+            rng=rng,
+            n_particles=self.config.n_particles,
+            omega=self.config.vanilla_omega,
+            c1=self.config.vanilla_c,
+            c2=self.config.vanilla_c,
+        )
+        return swarm
+
+    def optimizer_for(self, name: str):
+        opt = self._optimizers.get(name)
+        if opt is None:
+            opt = self._new_optimizer(name)
+            self._optimizers[name] = opt
+        return opt
+
+    @property
+    def optimizer_count(self) -> int:
+        return len(self._optimizers)
+
+    # -- decision ------------------------------------------------------------------
+
+    def decide(self, func: FunctionProfile, t: float) -> KeepAliveDecision:
+        """Choose (keep-alive location, keep-alive period) for ``func`` at ``t``."""
+        opt = self.optimizer_for(func.name)
+
+        ci = self.env.ci_at(t)
+        rate = self.env.rate_per_minute(t)
+        if isinstance(opt, DynamicPSO):
+            delta_ci = abs(ci - self._last_ci.get(func.name, ci))
+            delta_f = abs(rate - self._last_rate.get(func.name, rate))
+            if opt.perceive(delta_f, delta_ci):
+                self.redistributions += 1
+        self._last_ci[func.name] = ci
+        self._last_rate[func.name] = rate
+
+        arrival = self.arrivals.get(func.name)
+        fitness = self.builder.fitness(func, t, arrival)
+        iterations = self._iterations_for(opt)
+        opt.step(fitness, iterations=iterations)
+
+        position = (
+            opt.gbest_position
+            if isinstance(opt, ParticleSwarm)
+            else opt.best_position
+        )
+        location, k_s = self.builder.decode_single(position)
+        self.decisions += 1
+        return KeepAliveDecision(location=location, duration_s=k_s)
+
+    def _iterations_for(self, opt) -> int:
+        """Roughly matched evaluation budgets across backends.
+
+        SA evaluates a whole 100->1 cooling schedule (~44 candidates) per
+        iteration, so it gets a single schedule per decision; PSO/GA run
+        the configured number of swarm/generation steps.
+        """
+        if isinstance(opt, SimulatedAnnealing):
+            return 1
+        return self.config.iterations_per_invocation

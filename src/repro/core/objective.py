@@ -1,0 +1,200 @@
+"""EcoLife's objective function (paper Sec. IV-A) and shared cost estimates.
+
+The KDM minimises, over keep-alive location ``l`` and period ``k``::
+
+    lambda_s * E[S_{f,l,k}] / S_f_max
+  + lambda_c * E[SC_{f,l,k}] / SC_f_max
+  + lambda_c * KC_{f,l,k} / KC_fk_max
+
+where the expectations come from the function's arrival statistics: with
+probability ``P(IAT <= k)`` the next invocation is warm on ``l`` (execution
+only), otherwise it pays a cold start at the EPDM's best cold location.
+``KC`` is the keep-alive carbon; see
+:class:`repro.core.config.KeepAliveExpectation` for the two charging modes.
+
+:class:`CostModel` centralises every decision-time estimate (service time,
+service carbon, keep-alive rate, normalisers, EPDM scores) so the KDM, the
+EPDM and the warm-pool adjuster stay numerically consistent with each other
+-- and, through :class:`~repro.carbon.footprint.CarbonModel`, with the
+simulator's exact accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.arrival import ArrivalEstimator
+from repro.core.config import EcoLifeConfig, KeepAliveExpectation
+from repro.hardware.specs import Generation
+from repro.optimizers.base import FitnessFn
+from repro.simulator.scheduler import SchedulerEnv
+from repro.workloads.functions import FunctionProfile
+
+
+class CostModel:
+    """Decision-time estimates shared by KDM, EPDM and the adjuster."""
+
+    def __init__(self, env: SchedulerEnv, config: EcoLifeConfig) -> None:
+        self.env = env
+        self.config = config
+
+    # -- primitives ------------------------------------------------------------
+
+    def service_time(
+        self, func: FunctionProfile, gen: Generation, cold: bool
+    ) -> float:
+        return func.service_time_s(
+            self.env.server(gen), cold=cold, setup_s=self.env.setup_delay_s
+        )
+
+    def service_carbon(
+        self, func: FunctionProfile, gen: Generation, cold: bool, ci: float
+    ) -> float:
+        server = self.env.server(gen)
+        busy = self.env.setup_delay_s + func.exec_time_s(server)
+        overhead = func.cold_overhead_s(server) if cold else 0.0
+        return self.env.carbon_model.est_service_g(
+            server, func.mem_gb, busy, overhead, ci
+        )
+
+    def keepalive_rate(
+        self, func: FunctionProfile, gen: Generation, ci: float
+    ) -> float:
+        return self.env.carbon_model.est_keepalive_rate_g_per_s(
+            self.env.server(gen), func.mem_gb, ci
+        )
+
+    # -- normalisers -------------------------------------------------------------
+
+    def s_max(self, func: FunctionProfile) -> float:
+        """Max service time: cold start on the slowest allowed location."""
+        return max(
+            self.service_time(func, g, cold=True) for g in self.config.locations
+        )
+
+    def sc_max(self, func: FunctionProfile, ci_ref: float) -> float:
+        """Max service carbon across allowed locations at the reference CI."""
+        return max(
+            self.service_carbon(func, g, cold=True, ci=ci_ref)
+            for g in self.config.locations
+        )
+
+    def kc_max(self, func: FunctionProfile, ci_ref: float) -> float:
+        """Max keep-alive carbon: highest-rate location for the full k_max."""
+        rate = max(
+            self.keepalive_rate(func, g, ci_ref) for g in self.config.locations
+        )
+        return rate * self.env.kmax_s
+
+    # -- EPDM -----------------------------------------------------------------------
+
+    def fscore(
+        self, func: FunctionProfile, gen: Generation, cold: bool, ci: float
+    ) -> float:
+        """The EPDM placement score (Sec. IV-D): weighted time + carbon."""
+        s_max = self.s_max(func)
+        sc_max = self.sc_max(func, max(ci, 1e-12)) or 1.0
+        s = self.service_time(func, gen, cold)
+        sc = self.service_carbon(func, gen, cold, ci)
+        return (
+            self.config.lambda_s * s / s_max
+            + self.config.lambda_c * sc / sc_max
+        )
+
+    def best_cold(
+        self, func: FunctionProfile, ci: float
+    ) -> tuple[Generation, float, float]:
+        """The EPDM's cold-placement choice: (location, S, SC)."""
+        best = min(
+            self.config.locations,
+            key=lambda g: self.fscore(func, g, cold=True, ci=ci),
+        )
+        return (
+            best,
+            self.service_time(func, best, cold=True),
+            self.service_carbon(func, best, cold=True, ci=ci),
+        )
+
+
+class ObjectiveBuilder:
+    """Builds the KDM's vectorised fitness over the unit box.
+
+    Position encoding: ``x0`` selects the keep-alive location among the
+    allowed generations, ``x1`` the keep-alive period on the discrete grid
+    ``K_AT = {0, step, 2*step, ..., k_max}``.
+    """
+
+    def __init__(self, env: SchedulerEnv, config: EcoLifeConfig) -> None:
+        self.env = env
+        self.config = config
+        self.costs = CostModel(env, config)
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode_locations(self, x0: np.ndarray) -> np.ndarray:
+        """Map x0 in [0,1] to indices into ``config.locations``."""
+        n_loc = len(self.config.locations)
+        idx = np.minimum((np.asarray(x0) * n_loc).astype(int), n_loc - 1)
+        return idx
+
+    def decode_k(self, x1: np.ndarray) -> np.ndarray:
+        """Map x1 in [0,1] to the keep-alive grid (seconds)."""
+        step = self.env.k_step_s
+        kmax = self.env.kmax_s
+        return np.clip(np.round(np.asarray(x1) * kmax / step) * step, 0.0, kmax)
+
+    def decode_single(self, position: np.ndarray) -> tuple[Generation, float]:
+        """Decode one position into a (location, keep-alive seconds) pair."""
+        idx = int(self.decode_locations(np.array([position[0]]))[0])
+        k = float(self.decode_k(np.array([position[1]]))[0])
+        return self.config.locations[idx], k
+
+    # -- fitness ------------------------------------------------------------------
+
+    def fitness(
+        self, func: FunctionProfile, t: float, arrival: ArrivalEstimator
+    ) -> FitnessFn:
+        """Build the objective for one decision instant.
+
+        All scalars (CI, normalisers, per-location services) are captured
+        once, so evaluating a swarm costs a handful of numpy ops.
+        """
+        cfg = self.config
+        ci = self.env.ci_at(t)
+        ci_ref = max(self.env.ci_max_observed(t), 1e-9)
+
+        s_max = max(self.costs.s_max(func), 1e-9)
+        sc_max = max(self.costs.sc_max(func, ci_ref), 1e-12)
+        kc_max = max(self.costs.kc_max(func, ci_ref), 1e-12)
+
+        _, s_cold, sc_cold = self.costs.best_cold(func, ci)
+        locations = cfg.locations
+        s_warm = np.array(
+            [self.costs.service_time(func, g, cold=False) for g in locations]
+        )
+        sc_warm = np.array(
+            [self.costs.service_carbon(func, g, cold=False, ci=ci) for g in locations]
+        )
+        ka_rate = np.array(
+            [self.costs.keepalive_rate(func, g, ci) for g in locations]
+        )
+        expected_mode = cfg.keepalive_expectation is KeepAliveExpectation.EXPECTED_MIN
+
+        def fitness_fn(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=float)
+            loc = self.decode_locations(x[:, 0])
+            k = self.decode_k(x[:, 1])
+            p = arrival.p_warm(k)
+            ka_duration = arrival.expected_keepalive_s(k) if expected_mode else k
+
+            e_s = p * s_warm[loc] + (1.0 - p) * s_cold
+            e_sc = p * sc_warm[loc] + (1.0 - p) * sc_cold
+            kc = ka_rate[loc] * ka_duration
+
+            return (
+                cfg.lambda_s * e_s / s_max
+                + cfg.lambda_c * e_sc / sc_max
+                + cfg.lambda_c * kc / kc_max
+            )
+
+        return fitness_fn

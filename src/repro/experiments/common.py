@@ -1,0 +1,161 @@
+"""Shared experiment plumbing: scenarios, runners, and the scheme registry.
+
+A :class:`Scenario` bundles everything one simulation needs -- hardware
+pair, invocation trace, carbon-intensity trace, engine config. Experiment
+drivers build scenarios (usually the paper's default: Pair A, Azure-shaped
+trace, CISO carbon intensity) and run schedulers over them with
+:func:`run_scheduler` / :func:`run_suite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro import units
+from repro.baselines import (
+    co2_opt,
+    energy_opt,
+    new_only,
+    old_only,
+    oracle,
+    service_time_opt,
+)
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.carbon.regions import region_trace_for
+from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.hardware.catalog import get_pair
+from repro.hardware.specs import HardwarePair
+from repro.simulator import (
+    BaseScheduler,
+    SimulationConfig,
+    SimulationEngine,
+    SimulationResult,
+)
+from repro.workloads.azure import AzureTraceConfig, generate_azure_trace
+from repro.workloads.trace import InvocationTrace
+
+#: Anything that produces a fresh scheduler for one run.
+SchedulerFactory = Callable[[], BaseScheduler]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified simulation setting."""
+
+    pair: HardwarePair
+    trace: InvocationTrace
+    ci_trace: CarbonIntensityTrace
+    sim_config: SimulationConfig
+    label: str = "scenario"
+
+    def with_pair(self, pair: HardwarePair, label: str | None = None) -> "Scenario":
+        return replace(self, pair=pair, label=label or f"{self.label}|{pair.name}")
+
+    def with_ci(self, ci_trace: CarbonIntensityTrace, label: str | None = None) -> "Scenario":
+        return replace(
+            self, ci_trace=ci_trace, label=label or f"{self.label}|{ci_trace.name}"
+        )
+
+    def with_capacity(self, old_gb: float, new_gb: float) -> "Scenario":
+        cfg = replace(
+            self.sim_config,
+            pool_capacity_old_gb=old_gb,
+            pool_capacity_new_gb=new_gb,
+        )
+        return replace(self, sim_config=cfg)
+
+
+def default_scenario(
+    n_functions: int = 60,
+    hours: float = 6.0,
+    seed: int = 7,
+    region: str = "CAL",
+    pair: str = "A",
+    pool_gb: float = 32.0,
+    kmax_minutes: float = 30.0,
+    start_hour: float = 8.0,
+) -> Scenario:
+    """The paper's default evaluation setting (Sec. V).
+
+    Pair A hardware, Azure-shaped trace, CISO (CAL) carbon intensity.
+    """
+    duration_s = hours * units.SECONDS_PER_HOUR
+    trace, _ = generate_azure_trace(
+        AzureTraceConfig(n_functions=n_functions, duration_s=duration_s, seed=seed)
+    )
+    ci = region_trace_for(
+        region, duration_s + units.SECONDS_PER_HOUR, seed=seed, start_hour=start_hour
+    )
+    cfg = SimulationConfig(
+        pool_capacity_old_gb=pool_gb,
+        pool_capacity_new_gb=pool_gb,
+        kmax_minutes=kmax_minutes,
+    )
+    return Scenario(
+        pair=get_pair(pair),
+        trace=trace,
+        ci_trace=ci,
+        sim_config=cfg,
+        label=f"azure-n{n_functions}-h{hours:g}-s{seed}-{region}-pair{pair}",
+    )
+
+
+def quick_scenario(seed: int = 7) -> Scenario:
+    """A small scenario for quickstarts and fast tests (~1-2k invocations)."""
+    return default_scenario(n_functions=25, hours=2.0, seed=seed)
+
+
+def run_scheduler(
+    scheduler: BaseScheduler | SchedulerFactory,
+    scenario: Scenario,
+) -> SimulationResult:
+    """Run one scheduler over a scenario (fresh engine each call).
+
+    Oracle schedulers that declare ``wants_uncapped_memory`` run with
+    unlimited keep-alive memory, as in the paper.
+    """
+    sched = scheduler() if callable(scheduler) else scheduler
+    cfg = scenario.sim_config
+    if getattr(sched, "wants_uncapped_memory", False):
+        cfg = cfg.uncapped()
+    engine = SimulationEngine(
+        pair=scenario.pair,
+        trace=scenario.trace,
+        ci_trace=scenario.ci_trace,
+        config=cfg,
+    )
+    result = engine.run(sched)
+    result.meta["scenario"] = scenario.label
+    return result
+
+
+def run_suite(
+    schedulers: dict[str, SchedulerFactory],
+    scenario: Scenario,
+) -> dict[str, SimulationResult]:
+    """Run several schedulers over the same scenario."""
+    return {name: run_scheduler(f, scenario) for name, f in schedulers.items()}
+
+
+# ---------------------------------------------------------------------------
+# The paper's scheme registry (fresh factories; engines are single-use).
+# ---------------------------------------------------------------------------
+
+
+def ecolife_factory(config: EcoLifeConfig | None = None) -> SchedulerFactory:
+    """Factory for the default EcoLife scheduler."""
+    return lambda: EcoLifeScheduler(config or EcoLifeConfig())
+
+
+def paper_schemes(config: EcoLifeConfig | None = None) -> dict[str, SchedulerFactory]:
+    """The scheme set of Figs. 4/7/9: oracles, fixed baselines, EcoLife."""
+    return {
+        "co2-opt": co2_opt,
+        "service-time-opt": service_time_opt,
+        "energy-opt": energy_opt,
+        "oracle": oracle,
+        "new-only": new_only,
+        "old-only": old_only,
+        "ecolife": ecolife_factory(config),
+    }

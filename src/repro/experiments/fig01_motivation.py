@@ -1,0 +1,91 @@
+"""Fig. 1: keep-alive vs service carbon for three functions, k = 2..10 min.
+
+"The carbon footprint (carbon footprint during keeping-alive and service)
+for three serverless functions for different keep-alive periods" on the new
+node (A_NEW). The key observation: the keep-alive share grows with k and
+can exceed the service share (Graph-BFS moves from ~18% at 2 min to ~52%
+at 10 min in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.reporting import ascii_table
+from repro.carbon import CarbonIntensityTrace, CarbonModel
+from repro.hardware.catalog import PAIR_A
+from repro.workloads.sebs import MOTIVATION_FUNCTIONS
+
+#: The x-axis of the paper's figure.
+KEEPALIVE_MINUTES: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0)
+#: Reference carbon intensity (CISO mean level).
+CI_REF = 250.0
+
+
+@dataclass(frozen=True)
+class Fig01Point:
+    function: str
+    keepalive_min: float
+    keepalive_co2_g: float
+    service_co2_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.keepalive_co2_g + self.service_co2_g
+
+    @property
+    def keepalive_fraction(self) -> float:
+        return self.keepalive_co2_g / self.total_g
+
+
+@dataclass(frozen=True)
+class Fig01Result:
+    points: list[Fig01Point]
+
+    def series(self, function: str) -> list[Fig01Point]:
+        return [p for p in self.points if p.function == function]
+
+    def fraction(self, function: str, keepalive_min: float) -> float:
+        for p in self.points:
+            if p.function == function and p.keepalive_min == keepalive_min:
+                return p.keepalive_fraction
+        raise KeyError((function, keepalive_min))
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.function,
+                p.keepalive_min,
+                p.keepalive_co2_g,
+                p.service_co2_g,
+                p.keepalive_fraction * 100.0,
+            ]
+            for p in self.points
+        ]
+        return ascii_table(
+            ["function", "k (min)", "keep-alive g", "service g", "KA share %"],
+            rows,
+            title="Fig. 1 -- keep-alive vs service carbon on A_NEW (CI=250)",
+            prec=4,
+        )
+
+
+def run_fig01(ci: float = CI_REF) -> Fig01Result:
+    """Compute the figure analytically from the carbon model."""
+    model = CarbonModel(trace=CarbonIntensityTrace.constant(ci))
+    server = PAIR_A.new
+    points = []
+    for func in MOTIVATION_FUNCTIONS:
+        service = model.service(server, func.mem_gb, 0.0, func.exec_time_s(server))
+        for k_min in KEEPALIVE_MINUTES:
+            ka = model.keepalive(server, func.mem_gb, 0.0, units.minutes(k_min))
+            points.append(
+                Fig01Point(
+                    function=func.name,
+                    keepalive_min=k_min,
+                    keepalive_co2_g=ka.total,
+                    service_co2_g=service.total,
+                )
+            )
+    return Fig01Result(points=points)

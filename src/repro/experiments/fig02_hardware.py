@@ -1,0 +1,98 @@
+"""Fig. 2: service time and carbon split across A_OLD/A_NEW/C_OLD/C_NEW.
+
+Fixed 10-minute keep-alive; warm execution. Old hardware can lower the
+overall carbon footprint (cheaper keep-alive) at the cost of slower
+execution; the C pair shows a small performance impact with visible carbon
+savings for Graph-BFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.reporting import ascii_table
+from repro.carbon import CarbonIntensityTrace, CarbonModel
+from repro.hardware.catalog import A_NEW, A_OLD, C_NEW, C_OLD
+from repro.hardware.specs import ServerSpec
+from repro.workloads.sebs import MOTIVATION_FUNCTIONS
+
+CI_REF = 250.0
+KEEPALIVE_S = 10.0 * units.SECONDS_PER_MINUTE
+
+#: The x-axis groups of the paper's figure.
+SERVERS: tuple[ServerSpec, ...] = (A_OLD, A_NEW, C_OLD, C_NEW)
+
+
+@dataclass(frozen=True)
+class Fig02Point:
+    function: str
+    server: str
+    service_time_s: float
+    keepalive_co2_g: float
+    service_co2_g: float
+
+    @property
+    def total_co2_g(self) -> float:
+        return self.keepalive_co2_g + self.service_co2_g
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    points: list[Fig02Point]
+
+    def get(self, function: str, server: str) -> Fig02Point:
+        for p in self.points:
+            if p.function == function and p.server == server:
+                return p
+        raise KeyError((function, server))
+
+    def saving_pct(self, function: str, old: str, new: str) -> float:
+        """Carbon saving of ``old`` relative to ``new`` (positive = saves)."""
+        a, b = self.get(function, old), self.get(function, new)
+        return (1.0 - a.total_co2_g / b.total_co2_g) * 100.0
+
+    def slowdown_pct(self, function: str, old: str, new: str) -> float:
+        a, b = self.get(function, old), self.get(function, new)
+        return (a.service_time_s / b.service_time_s - 1.0) * 100.0
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.function,
+                p.server,
+                p.service_time_s,
+                p.keepalive_co2_g,
+                p.service_co2_g,
+                p.total_co2_g,
+            ]
+            for p in self.points
+        ]
+        return ascii_table(
+            ["function", "server", "svc time s", "KA g", "svc g", "total g"],
+            rows,
+            title="Fig. 2 -- hardware generations at fixed 10-min keep-alive",
+            prec=4,
+        )
+
+
+def run_fig02(ci: float = CI_REF) -> Fig02Result:
+    """Compute service time and carbon split per hardware generation."""
+    model = CarbonModel(trace=CarbonIntensityTrace.constant(ci))
+    points = []
+    for func in MOTIVATION_FUNCTIONS:
+        for server in SERVERS:
+            service = model.service(
+                server, func.mem_gb, 0.0, func.exec_time_s(server)
+            )
+            ka = model.keepalive(server, func.mem_gb, 0.0, KEEPALIVE_S)
+            points.append(
+                Fig02Point(
+                    function=func.name,
+                    server=server.key,
+                    service_time_s=func.service_time_s(server, cold=False),
+                    keepalive_co2_g=ka.total,
+                    service_co2_g=service.total,
+                )
+            )
+    return Fig02Result(points=points)

@@ -1,0 +1,116 @@
+"""Fig. 3: Case A vs Case B trade-off under two carbon intensities.
+
+- **Case A**: keep alive for 15 min on C_OLD -> warm start, slower exec.
+- **Case B**: keep alive for 10 min on C_NEW -> cold start, faster exec.
+
+At CI=300 Case A wins both axes for all three functions; at CI=50 the
+carbon saving *inverts* for DNA-visualization (the paper's "inverted
+case"): the longer keep-alive's embodied carbon is no longer compensated by
+the avoided cold-start operational carbon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.reporting import ascii_table
+from repro.carbon import CarbonIntensityTrace, CarbonModel
+from repro.hardware.catalog import PAIR_C
+from repro.workloads.sebs import MOTIVATION_FUNCTIONS
+
+CASE_A_KEEPALIVE_S = 15.0 * units.SECONDS_PER_MINUTE
+CASE_B_KEEPALIVE_S = 10.0 * units.SECONDS_PER_MINUTE
+CARBON_INTENSITIES: tuple[float, ...] = (300.0, 50.0)
+
+
+@dataclass(frozen=True)
+class Fig03Point:
+    function: str
+    ci: float
+    service_a_s: float
+    service_b_s: float
+    co2_a_g: float
+    co2_b_g: float
+
+    @property
+    def service_saving_pct(self) -> float:
+        return (1.0 - self.service_a_s / self.service_b_s) * 100.0
+
+    @property
+    def co2_saving_pct(self) -> float:
+        return (1.0 - self.co2_a_g / self.co2_b_g) * 100.0
+
+    @property
+    def inverted(self) -> bool:
+        """True when Case A does *not* save carbon."""
+        return self.co2_a_g >= self.co2_b_g
+
+
+@dataclass(frozen=True)
+class Fig03Result:
+    points: list[Fig03Point]
+
+    def get(self, function: str, ci: float) -> Fig03Point:
+        for p in self.points:
+            if p.function == function and p.ci == ci:
+                return p
+        raise KeyError((function, ci))
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.function,
+                p.ci,
+                p.service_saving_pct,
+                p.co2_saving_pct,
+                "yes" if p.inverted else "no",
+            ]
+            for p in self.points
+        ]
+        return ascii_table(
+            ["function", "CI", "svc saving %", "co2 saving %", "inverted"],
+            rows,
+            title=(
+                "Fig. 3 -- Case A (15 min warm on C_OLD) vs "
+                "Case B (10 min + cold on C_NEW)"
+            ),
+        )
+
+
+def run_fig03() -> Fig03Result:
+    """Compute the Case A vs Case B trade-off at CI = 300 and 50."""
+    old, new = PAIR_C.old, PAIR_C.new
+    points = []
+    for ci in CARBON_INTENSITIES:
+        model = CarbonModel(trace=CarbonIntensityTrace.constant(ci))
+        for func in MOTIVATION_FUNCTIONS:
+            # Case A: warm on old, 15-minute keep-alive fully accrued.
+            service_a = func.service_time_s(old, cold=False)
+            co2_a = (
+                model.service(old, func.mem_gb, 0.0, func.exec_time_s(old)).total
+                + model.keepalive(old, func.mem_gb, 0.0, CASE_A_KEEPALIVE_S).total
+            )
+            # Case B: cold on new, 10-minute keep-alive fully accrued.
+            service_b = func.service_time_s(new, cold=True)
+            co2_b = (
+                model.service(
+                    new,
+                    func.mem_gb,
+                    0.0,
+                    func.exec_time_s(new),
+                    func.cold_overhead_s(new),
+                ).total
+                + model.keepalive(new, func.mem_gb, 0.0, CASE_B_KEEPALIVE_S).total
+            )
+            points.append(
+                Fig03Point(
+                    function=func.name,
+                    ci=ci,
+                    service_a_s=service_a,
+                    service_b_s=service_b,
+                    co2_a_g=co2_a,
+                    co2_b_g=co2_b,
+                )
+            )
+    return Fig03Result(points=points)

@@ -1,0 +1,85 @@
+"""Fig. 13: robustness across hardware pairs A / B / C.
+
+EcoLife vs ORACLE per Table I pair; the paper reports EcoLife staying
+within a ~7.5% margin of ORACLE on both metrics for every pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ascii_table
+from repro.analysis.stats import pct_increase
+from repro.baselines import oracle
+from repro.experiments.common import (
+    Scenario,
+    default_scenario,
+    ecolife_factory,
+    run_scheduler,
+)
+from repro.hardware.catalog import get_pair
+
+PAIR_NAMES: tuple[str, ...] = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class Fig13Point:
+    pair: str
+    service_pct_vs_oracle: float
+    carbon_pct_vs_oracle: float
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    points: list[Fig13Point]
+    scenario_label: str
+
+    def get(self, pair: str) -> Fig13Point:
+        for p in self.points:
+            if p.pair == pair:
+                return p
+        raise KeyError(pair)
+
+    @property
+    def max_margin_pct(self) -> float:
+        return max(
+            max(p.service_pct_vs_oracle, p.carbon_pct_vs_oracle)
+            for p in self.points
+        )
+
+    def render(self) -> str:
+        rows = [
+            [p.pair, p.service_pct_vs_oracle, p.carbon_pct_vs_oracle]
+            for p in self.points
+        ]
+        table = ascii_table(
+            ["pair", "svc +% vs oracle", "co2 +% vs oracle"],
+            rows,
+            title=f"Fig. 13 -- hardware pairs ({self.scenario_label})",
+        )
+        return (
+            f"{table}\nmax margin: {self.max_margin_pct:.1f}% "
+            f"(paper: within ~7.5%)"
+        )
+
+
+def run_fig13(scenario: Scenario | None = None) -> Fig13Result:
+    """Measure EcoLife-vs-ORACLE margins on every Table I pair."""
+    scenario = scenario or default_scenario()
+    points = []
+    for name in PAIR_NAMES:
+        pair_scenario = scenario.with_pair(get_pair(name))
+        orc = run_scheduler(oracle, pair_scenario)
+        eco = run_scheduler(ecolife_factory(), pair_scenario)
+        points.append(
+            Fig13Point(
+                pair=name,
+                service_pct_vs_oracle=pct_increase(
+                    eco.mean_service_s, orc.mean_service_s
+                ),
+                carbon_pct_vs_oracle=pct_increase(
+                    eco.total_carbon_g, orc.total_carbon_g
+                ),
+            )
+        )
+    return Fig13Result(points=points, scenario_label=scenario.label)

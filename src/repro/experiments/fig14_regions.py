@@ -1,0 +1,89 @@
+"""Fig. 14: robustness across carbon-intensity regions.
+
+EcoLife vs ORACLE with carbon-intensity traces synthesized for Tennessee,
+Texas, Florida, New York, and California; the paper reports EcoLife within
+~7% (service) / ~6% (carbon) of ORACLE everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ascii_table
+from repro.analysis.stats import pct_increase
+from repro.baselines import oracle
+from repro.carbon.regions import REGION_NAMES, region_trace_for
+from repro.experiments.common import (
+    Scenario,
+    default_scenario,
+    ecolife_factory,
+    run_scheduler,
+)
+
+
+@dataclass(frozen=True)
+class Fig14Point:
+    region: str
+    service_pct_vs_oracle: float
+    carbon_pct_vs_oracle: float
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    points: list[Fig14Point]
+    scenario_label: str
+
+    def get(self, region: str) -> Fig14Point:
+        for p in self.points:
+            if p.region == region:
+                return p
+        raise KeyError(region)
+
+    @property
+    def max_service_margin_pct(self) -> float:
+        return max(p.service_pct_vs_oracle for p in self.points)
+
+    @property
+    def max_carbon_margin_pct(self) -> float:
+        return max(p.carbon_pct_vs_oracle for p in self.points)
+
+    def render(self) -> str:
+        rows = [
+            [p.region, p.service_pct_vs_oracle, p.carbon_pct_vs_oracle]
+            for p in self.points
+        ]
+        table = ascii_table(
+            ["region", "svc +% vs oracle", "co2 +% vs oracle"],
+            rows,
+            title=f"Fig. 14 -- regions ({self.scenario_label})",
+        )
+        return (
+            f"{table}\nmax margins: {self.max_service_margin_pct:.1f}% service, "
+            f"{self.max_carbon_margin_pct:.1f}% carbon (paper: ~7% / ~6%)"
+        )
+
+
+def run_fig14(
+    scenario: Scenario | None = None, ci_seed: int = 0
+) -> Fig14Result:
+    """Measure EcoLife-vs-ORACLE margins on every region's CI trace."""
+    scenario = scenario or default_scenario()
+    horizon = scenario.trace.duration_s + 3600.0
+    points = []
+    for region in REGION_NAMES:
+        ci = region_trace_for(region, horizon, seed=ci_seed, start_hour=8.0)
+        region_scenario = scenario.with_ci(ci, label=f"{scenario.label}|{region}")
+        orc = run_scheduler(oracle, region_scenario)
+        eco = run_scheduler(ecolife_factory(), region_scenario)
+        points.append(
+            Fig14Point(
+                region=region,
+                service_pct_vs_oracle=pct_increase(
+                    eco.mean_service_s, orc.mean_service_s
+                ),
+                carbon_pct_vs_oracle=pct_increase(
+                    eco.total_carbon_g, orc.total_carbon_g
+                ),
+            )
+        )
+    return Fig14Result(points=points, scenario_label=scenario.label)

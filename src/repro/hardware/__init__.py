@@ -1,0 +1,38 @@
+"""Hardware substrate: server specs, the Table I catalog, and the energy model."""
+
+from repro.hardware.catalog import (
+    DEFAULT_PAIR,
+    PAIR_A,
+    PAIR_B,
+    PAIR_C,
+    PAIRS,
+    get_pair,
+    single_generation_pair,
+)
+from repro.hardware.power import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.hardware.specs import (
+    GENERATIONS,
+    CPUSpec,
+    DRAMSpec,
+    Generation,
+    HardwarePair,
+    ServerSpec,
+)
+
+__all__ = [
+    "CPUSpec",
+    "DRAMSpec",
+    "ServerSpec",
+    "HardwarePair",
+    "Generation",
+    "GENERATIONS",
+    "PAIRS",
+    "PAIR_A",
+    "PAIR_B",
+    "PAIR_C",
+    "DEFAULT_PAIR",
+    "get_pair",
+    "single_generation_pair",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODEL",
+]

@@ -1,0 +1,105 @@
+"""Parametric energy model (substitute for the paper's Likwid/RAPL readings).
+
+The carbon model of Sec. II consumes four scalar energies per function and
+phase:
+
+- ``E_service_CPU``  -- whole-package CPU energy while the function runs
+  (cold-start overhead + execution; the paper assigns the entire CPU to the
+  running function during service);
+- ``E_service_DRAM`` -- whole-DRAM energy during service (the carbon layer
+  applies the ``Mf / M_DRAM`` share);
+- ``E_keepalive_CPU`` -- whole-package idle energy during keep-alive (the
+  carbon layer divides by ``Core_num``: one core keeps the function alive);
+- ``E_keepalive_DRAM`` -- whole-DRAM energy during keep-alive.
+
+All methods return watt-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.hardware.specs import ServerSpec
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Computes per-phase energies for a server.
+
+    ``coldstart_power_fraction`` allows modelling the (I/O heavy) cold-start
+    window at less than full CPU power; the default of 1.0 matches the
+    paper's framing of a "high operational carbon footprint during the
+    cold-start period".
+    """
+
+    coldstart_power_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coldstart_power_fraction <= 1.0:
+            raise ValueError(
+                "coldstart_power_fraction must be in (0, 1], got "
+                f"{self.coldstart_power_fraction}"
+            )
+
+    # -- service phase ----------------------------------------------------
+
+    def cpu_service_wh(
+        self, server: ServerSpec, busy_s: float, cold_overhead_s: float = 0.0
+    ) -> float:
+        """Whole-package CPU energy during service.
+
+        ``busy_s`` is the execution (+ setup) time at full power;
+        ``cold_overhead_s`` is the additional cold-start window, billed at
+        ``coldstart_power_fraction`` of full power.
+        """
+        units.require_non_negative(busy_s, "busy_s")
+        units.require_non_negative(cold_overhead_s, "cold_overhead_s")
+        full = units.energy_wh(server.cpu.full_power_w, busy_s)
+        cold = units.energy_wh(
+            server.cpu.full_power_w * self.coldstart_power_fraction, cold_overhead_s
+        )
+        return full + cold
+
+    def dram_service_wh(self, server: ServerSpec, service_s: float) -> float:
+        """Whole-DRAM energy during the full service window."""
+        units.require_non_negative(service_s, "service_s")
+        return units.energy_wh(server.dram.total_power_w, service_s)
+
+    # -- keep-alive phase --------------------------------------------------
+
+    def cpu_keepalive_wh(self, server: ServerSpec, duration_s: float) -> float:
+        """Whole-package idle CPU energy over a keep-alive window.
+
+        The carbon layer divides this by ``Core_num`` per the paper's
+        ``E_keepalive_CPU / Core_num`` attribution.
+        """
+        units.require_non_negative(duration_s, "duration_s")
+        return units.energy_wh(server.cpu.idle_power_w, duration_s)
+
+    def dram_keepalive_wh(self, server: ServerSpec, duration_s: float) -> float:
+        """Whole-DRAM energy over a keep-alive window."""
+        units.require_non_negative(duration_s, "duration_s")
+        return units.energy_wh(server.dram.total_power_w, duration_s)
+
+    # -- per-function attributed powers (for rate-style estimates) ---------
+
+    def keepalive_power_attributed_w(self, server: ServerSpec, mem_gb: float) -> float:
+        """Power attributed to one kept-alive function of size ``mem_gb``.
+
+        One CPU core plus the function's DRAM share; multiplying by a
+        duration and CI reproduces the operational keep-alive carbon.
+        """
+        units.require_non_negative(mem_gb, "mem_gb")
+        share = mem_gb / server.dram.capacity_gb
+        return server.cpu.keepalive_core_power_w + share * server.dram.total_power_w
+
+    def service_power_attributed_w(self, server: ServerSpec, mem_gb: float) -> float:
+        """Power attributed to an executing function (whole CPU + DRAM share)."""
+        units.require_non_negative(mem_gb, "mem_gb")
+        share = mem_gb / server.dram.capacity_gb
+        return server.cpu.full_power_w + share * server.dram.total_power_w
+
+
+#: Default model used across the package.
+DEFAULT_ENERGY_MODEL = EnergyModel()

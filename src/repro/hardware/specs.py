@@ -1,0 +1,224 @@
+"""Hardware specification dataclasses.
+
+The paper (Table I, Sec. V) characterises each testing node by its CPU model,
+DRAM model, core count, memory capacity, embodied carbon and lifetime. This
+module defines the immutable spec types; concrete values for the paper's
+multi-generation pairs live in :mod:`repro.hardware.catalog`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro import units
+
+
+class Generation(enum.Enum):
+    """Which side of a multi-generation hardware pair a server belongs to."""
+
+    OLD = "old"
+    NEW = "new"
+
+    @property
+    def other(self) -> "Generation":
+        """The opposite generation (used by warm-pool spill-over)."""
+        return Generation.NEW if self is Generation.OLD else Generation.OLD
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Iteration order used whenever code enumerates "all locations".
+GENERATIONS: tuple[Generation, Generation] = (Generation.OLD, Generation.NEW)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU package (possibly multi-socket, treated as one unit).
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Intel Xeon E5-2686 v4"``.
+    year:
+        Release year (drives the old/new pairing narrative).
+    cores:
+        Total physical cores across sockets. The paper attributes
+        ``EC_CPU / Core_num`` embodied carbon and one core's power during
+        keep-alive.
+    full_power_w:
+        Package power while executing a serverless function (the paper
+        assigns the *entire* CPU to the running function during service).
+    idle_power_w:
+        Package power attributable to keeping containers resident; divided
+        by ``cores`` to obtain the per-core keep-alive power. Older parts
+        have more cores sharing the uncore power, which is one of the two
+        reasons their keep-alive carbon is lower.
+    embodied_kg:
+        Total manufacturing (embodied) carbon of the package in kgCO2e,
+        following the Boavizta/ACT methodology referenced by the paper.
+    """
+
+    name: str
+    year: int
+    cores: int
+    full_power_w: float
+    idle_power_w: float
+    embodied_kg: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be > 0, got {self.cores}")
+        units.require_positive(self.full_power_w, "full_power_w")
+        units.require_non_negative(self.idle_power_w, "idle_power_w")
+        units.require_positive(self.embodied_kg, "embodied_kg")
+
+    @property
+    def embodied_g(self) -> float:
+        """Total embodied carbon in grams."""
+        return self.embodied_kg * 1000.0
+
+    @property
+    def embodied_per_core_g(self) -> float:
+        """Embodied carbon attributed to a single core (``EC_CPU/Core_num``)."""
+        return self.embodied_g / self.cores
+
+    @property
+    def keepalive_core_power_w(self) -> float:
+        """Power of the one core that keeps a function alive."""
+        return self.idle_power_w / self.cores
+
+
+@dataclass(frozen=True)
+class DRAMSpec:
+    """A DRAM configuration (all DIMMs of a server, treated as one unit).
+
+    The paper attributes DRAM carbon by the memory-usage ratio
+    ``Mf / M_DRAM`` in every phase, so what matters per function is the
+    per-GB embodied carbon and per-GB power.
+    """
+
+    name: str
+    year: int
+    capacity_gb: float
+    embodied_kg_per_gb: float
+    power_w_per_gb: float
+
+    def __post_init__(self) -> None:
+        units.require_positive(self.capacity_gb, "capacity_gb")
+        units.require_positive(self.embodied_kg_per_gb, "embodied_kg_per_gb")
+        units.require_positive(self.power_w_per_gb, "power_w_per_gb")
+
+    @property
+    def embodied_g(self) -> float:
+        """Total embodied carbon of the whole DRAM complement, in grams."""
+        return self.embodied_kg_per_gb * self.capacity_gb * 1000.0
+
+    @property
+    def total_power_w(self) -> float:
+        """Power of the whole DRAM complement (refresh-dominated, ~constant)."""
+        return self.power_w_per_gb * self.capacity_gb
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A complete testing node: CPU + DRAM + performance index + lifetime.
+
+    Attributes
+    ----------
+    key:
+        Short identifier, e.g. ``"a_old"`` -- used in reports and configs.
+    perf_index:
+        Relative single-function execution speed, with the newest
+        generation normalised to 1.0. Function profiles translate this
+        into per-function slowdowns (see
+        :meth:`repro.workloads.functions.FunctionProfile.exec_time_s`).
+    lifetime_years:
+        Amortisation horizon for embodied carbon; the paper uses a typical
+        four-year lifetime for both CPU and DRAM.
+    platform_embodied_kg:
+        Optional extra embodied carbon for the rest of the platform
+        (storage, motherboard, power unit, chassis). Zero by default; the
+        "other components" sensitivity study (Sec. VI-C) turns it on.
+    """
+
+    key: str
+    generation: Generation
+    cpu: CPUSpec
+    dram: DRAMSpec
+    perf_index: float
+    lifetime_years: float = 4.0
+    platform_embodied_kg: float = 0.0
+
+    def __post_init__(self) -> None:
+        units.require_positive(self.perf_index, "perf_index")
+        units.require_positive(self.lifetime_years, "lifetime_years")
+        units.require_non_negative(self.platform_embodied_kg, "platform_embodied_kg")
+
+    @property
+    def lifetime_s(self) -> float:
+        """Amortisation lifetime in seconds (shared by CPU and DRAM)."""
+        return units.years(self.lifetime_years)
+
+    @property
+    def slowdown(self) -> float:
+        """Base execution-time multiplier relative to the newest generation."""
+        return 1.0 / self.perf_index
+
+    def scaled_embodied(self, scale: float) -> "ServerSpec":
+        """Return a copy with all embodied-carbon constants scaled by ``scale``.
+
+        Used by the +/-10% embodied-carbon sensitivity experiment.
+        """
+        units.require_positive(scale, "scale")
+        return replace(
+            self,
+            cpu=replace(self.cpu, embodied_kg=self.cpu.embodied_kg * scale),
+            dram=replace(
+                self.dram, embodied_kg_per_gb=self.dram.embodied_kg_per_gb * scale
+            ),
+            platform_embodied_kg=self.platform_embodied_kg * scale,
+        )
+
+    def with_platform_overhead(self, extra_kg: float) -> "ServerSpec":
+        """Return a copy with platform (storage/motherboard/PSU) embodied carbon."""
+        units.require_non_negative(extra_kg, "extra_kg")
+        return replace(self, platform_embodied_kg=extra_kg)
+
+
+@dataclass(frozen=True)
+class HardwarePair:
+    """An old-generation/new-generation server pair (Table I row)."""
+
+    name: str
+    old: ServerSpec
+    new: ServerSpec
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.old.generation is not Generation.OLD:
+            raise ValueError(f"pair {self.name}: 'old' server must be Generation.OLD")
+        if self.new.generation is not Generation.NEW:
+            raise ValueError(f"pair {self.name}: 'new' server must be Generation.NEW")
+
+    def server(self, generation: Generation) -> ServerSpec:
+        """Return the server on one side of the pair."""
+        return self.old if generation is Generation.OLD else self.new
+
+    def __getitem__(self, generation: Generation) -> ServerSpec:
+        return self.server(generation)
+
+    @property
+    def servers(self) -> dict[Generation, ServerSpec]:
+        """Mapping of both servers, keyed by generation."""
+        return {Generation.OLD: self.old, Generation.NEW: self.new}
+
+    def map_servers(self, fn) -> "HardwarePair":
+        """Return a new pair with ``fn`` applied to both servers."""
+        return HardwarePair(
+            name=self.name,
+            old=fn(self.old),
+            new=fn(self.new),
+            description=self.description,
+        )

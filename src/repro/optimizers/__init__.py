@@ -1,0 +1,21 @@
+"""Optimization substrate: PSO + EcoLife's DPSO, GA/SA baselines, grid search."""
+
+from repro.optimizers.annealing import SimulatedAnnealing
+from repro.optimizers.base import ContinuousOptimizer, FitnessFn, clip_box
+from repro.optimizers.dynamic_pso import DPSOParams, DynamicPSO
+from repro.optimizers.genetic import GeneticOptimizer
+from repro.optimizers.gridsearch import cartesian_grid, grid_best
+from repro.optimizers.pso import ParticleSwarm
+
+__all__ = [
+    "ContinuousOptimizer",
+    "FitnessFn",
+    "clip_box",
+    "ParticleSwarm",
+    "DynamicPSO",
+    "DPSOParams",
+    "GeneticOptimizer",
+    "SimulatedAnnealing",
+    "grid_best",
+    "cartesian_grid",
+]

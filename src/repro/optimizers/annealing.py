@@ -1,0 +1,76 @@
+"""Simulated Annealing baseline.
+
+The paper compares PSO against SA "set with an initial temperature of 100,
+a stop temperature of 1, and a temperature reduction factor of 0.9"
+(Sec. IV-C). Each :meth:`step` call runs annealing sweeps of that schedule
+starting from the incumbent, with Gaussian neighbour proposals whose scale
+shrinks with the temperature.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.optimizers.base import ContinuousOptimizer, FitnessFn, clip_box
+
+
+class SimulatedAnnealing(ContinuousOptimizer):
+    """A persistent SA minimiser over the unit box."""
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        t_initial: float = 100.0,
+        t_stop: float = 1.0,
+        cooling: float = 0.9,
+        step_scale: float = 0.25,
+    ) -> None:
+        super().__init__(dim, rng)
+        if not 0.0 < t_stop < t_initial:
+            raise ValueError("need 0 < t_stop < t_initial")
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        self.t_initial = t_initial
+        self.t_stop = t_stop
+        self.cooling = cooling
+        self.step_scale = step_scale
+        self.current = self._uniform(1)[0]
+        self._schedule_len = (
+            int(math.ceil(math.log(t_stop / t_initial) / math.log(cooling))) + 1
+        )
+
+    @property
+    def schedule_length(self) -> int:
+        """Number of temperature levels between t_initial and t_stop."""
+        return self._schedule_len
+
+    def step(self, fitness: FitnessFn, iterations: int = 1) -> None:
+        """Run ``iterations`` full annealing schedules from the incumbent."""
+        self._refresh_best(fitness)
+        for _ in range(iterations):
+            self._anneal(fitness)
+
+    def _anneal(self, fitness: FitnessFn) -> None:
+        x = self.current
+        fx = float(fitness(x[None, :])[0])
+        self._record_best(x[None, :], np.array([fx]))
+
+        temperature = self.t_initial
+        while temperature > self.t_stop:
+            # Proposal scale shrinks as the system cools.
+            scale = self.step_scale * max(temperature / self.t_initial, 0.05)
+            candidate = clip_box(
+                x + self.rng.normal(0.0, scale, size=self.dim)
+            )
+            fc = float(fitness(candidate[None, :])[0])
+            accept = fc <= fx or self.rng.uniform() < math.exp(
+                -(fc - fx) / temperature
+            )
+            if accept:
+                x, fx = candidate, fc
+                self._record_best(x[None, :], np.array([fx]))
+            temperature *= self.cooling
+        self.current = x

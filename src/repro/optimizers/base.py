@@ -1,0 +1,81 @@
+"""Optimizer interface shared by PSO, GA, SA and grid search.
+
+All optimizers minimise a **vectorised** fitness function over the unit box
+``[0, 1]^dim``: ``fitness(X)`` receives an ``(n, dim)`` array of positions
+and returns ``(n,)`` scores (lower is better). The KDM decodes positions
+into (keep-alive location, keep-alive period) pairs, so the optimizers stay
+generic and individually testable on analytic functions.
+
+Optimizers are *persistent*: EcoLife assigns one optimizer per serverless
+function and keeps refining it across invocations (paper Sec. IV-C), so the
+interface is ``step()`` (advance a few iterations against the current
+fitness) rather than ``solve()``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+#: Vectorised objective: (n, dim) positions -> (n,) scores, lower is better.
+FitnessFn = Callable[[np.ndarray], np.ndarray]
+
+
+class ContinuousOptimizer(abc.ABC):
+    """A persistent minimiser over the unit box."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be > 0, got {dim}")
+        self.dim = dim
+        self.rng = rng
+        self._best_position: np.ndarray | None = None
+        self._best_fitness: float = np.inf
+
+    # -- protocol -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def step(self, fitness: FitnessFn, iterations: int = 1) -> None:
+        """Advance the search against the *current* fitness landscape."""
+
+    @property
+    def best_position(self) -> np.ndarray:
+        """Best position found so far (raises if never stepped)."""
+        if self._best_position is None:
+            raise RuntimeError("optimizer has not been stepped yet")
+        return self._best_position
+
+    @property
+    def best_fitness(self) -> float:
+        return self._best_fitness
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _record_best(self, positions: np.ndarray, scores: np.ndarray) -> None:
+        """Track the incumbent optimum over a batch of evaluations."""
+        i = int(np.argmin(scores))
+        if scores[i] < self._best_fitness:
+            self._best_fitness = float(scores[i])
+            self._best_position = positions[i].copy()
+
+    def _refresh_best(self, fitness: FitnessFn) -> None:
+        """Re-score the incumbent under a (possibly changed) landscape.
+
+        Serverless fitness drifts between invocations (carbon intensity,
+        arrival statistics); without refreshing, a stale incumbent with an
+        obsolete low score could never be displaced.
+        """
+        if self._best_position is not None:
+            self._best_fitness = float(
+                fitness(self._best_position[None, :])[0]
+            )
+
+    def _uniform(self, n: int) -> np.ndarray:
+        return self.rng.uniform(0.0, 1.0, size=(n, self.dim))
+
+
+def clip_box(x: np.ndarray) -> np.ndarray:
+    """Clip positions into the unit box (in place) and return them."""
+    return np.clip(x, 0.0, 1.0, out=x)

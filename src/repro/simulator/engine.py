@@ -1,0 +1,433 @@
+"""Event-driven serverless simulation engine.
+
+The engine replays an :class:`~repro.workloads.trace.InvocationTrace`
+against a two-generation cluster, consulting a scheduler for execution
+placement and keep-alive decisions, and charging carbon with the shared
+:class:`~repro.carbon.footprint.CarbonModel`. It is the single accounting
+implementation used by EcoLife, every baseline, and every oracle -- which is
+what makes the paper's "% increase w.r.t. X-Opt" comparisons meaningful.
+
+Semantics (matching the paper's Sec. II/IV framing):
+
+- An invocation starts **warm** if its function sits in a warm pool at
+  arrival (no cold-start overhead); the pool entry is consumed and its
+  keep-alive segment is closed and billed.
+- After execution the scheduler's KDM decides (location, keep-alive period);
+  the container then occupies pool memory until a warm hit, its expiry, or
+  an eviction caused by warm-pool adjustment.
+- On pool overflow the scheduler ranks incumbents + the incoming container;
+  the engine packs greedily in that order, spills losers to the other pool
+  (if allowed and they fit) and drops the rest.
+- Keep-alive carbon is attributed to the invocation that decided it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+from repro import units
+from repro.carbon.footprint import CarbonModel
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.hardware.power import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.hardware.specs import GENERATIONS, Generation, HardwarePair
+from repro.simulator.containers import WarmContainer, WarmPool
+from repro.simulator.records import (
+    InvocationRecord,
+    KeepAliveDecision,
+    SimulationResult,
+)
+from repro.simulator.scheduler import (
+    AdjustmentRequest,
+    BaseScheduler,
+    KeepAliveRequest,
+    PlacementRequest,
+    PoolCandidate,
+    SchedulerEnv,
+)
+from repro.workloads.functions import FunctionProfile
+from repro.workloads.trace import InvocationTrace
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine knobs shared by all experiments."""
+
+    #: Keep-alive memory capacity per generation (GB). The paper's Fig. 11
+    #: sweeps this ("old/new" combinations); oracles run uncapped.
+    pool_capacity_old_gb: float = 32.0
+    pool_capacity_new_gb: float = 32.0
+    #: Fixed scheduling/setup delay added to every service time.
+    setup_delay_s: float = 0.05
+    #: Upper bound of the keep-alive search space K_AT.
+    kmax_minutes: float = 30.0
+    #: Quantisation of K_AT (the paper works at minute granularity).
+    k_step_s: float = 60.0
+    #: Record wall-clock decision overhead per invocation.
+    measure_decision_overhead: bool = True
+
+    def __post_init__(self) -> None:
+        units.require_non_negative(self.pool_capacity_old_gb, "pool_capacity_old_gb")
+        units.require_non_negative(self.pool_capacity_new_gb, "pool_capacity_new_gb")
+        units.require_non_negative(self.setup_delay_s, "setup_delay_s")
+        units.require_positive(self.kmax_minutes, "kmax_minutes")
+        units.require_positive(self.k_step_s, "k_step_s")
+
+    @property
+    def kmax_s(self) -> float:
+        return units.minutes(self.kmax_minutes)
+
+    def capacity(self, gen: Generation) -> float:
+        return (
+            self.pool_capacity_old_gb
+            if gen is Generation.OLD
+            else self.pool_capacity_new_gb
+        )
+
+    def uncapped(self) -> "SimulationConfig":
+        """Copy with unlimited pool memory (used by the oracle solutions)."""
+        import dataclasses
+        import math
+
+        return dataclasses.replace(
+            self,
+            pool_capacity_old_gb=math.inf,
+            pool_capacity_new_gb=math.inf,
+        )
+
+
+class SimulationEngine:
+    """Replays one trace with one scheduler. Engines are single-use."""
+
+    def __init__(
+        self,
+        pair: HardwarePair,
+        trace: InvocationTrace,
+        ci_trace: CarbonIntensityTrace,
+        config: SimulationConfig | None = None,
+        energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    ) -> None:
+        self.pair = pair
+        self.trace = trace
+        self.config = config or SimulationConfig()
+        self.carbon_model = CarbonModel(trace=ci_trace, energy_model=energy_model)
+        self.pools: dict[Generation, WarmPool] = {
+            g: WarmPool(generation=g, capacity_gb=self.config.capacity(g))
+            for g in GENERATIONS
+        }
+        self.records: list[InvocationRecord] = []
+        # Deferred-event heap: (time, priority, seq, kind, payload).
+        # Activations (a container becoming warm at execution end) sort
+        # before expiries at equal timestamps via their priority.
+        self._events: list[tuple[float, int, int, str, object]] = []
+        self._seq = 0
+        self._token = 0
+        self._ran = False
+        self._scheduler: BaseScheduler | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, scheduler: BaseScheduler) -> SimulationResult:
+        """Replay the full trace and return the aggregated result."""
+        if self._ran:
+            raise RuntimeError("SimulationEngine instances are single-use")
+        self._ran = True
+
+        env = SchedulerEnv(
+            pair=self.pair,
+            carbon_model=self.carbon_model,
+            energy_model=self.carbon_model.energy_model,
+            pools=self.pools,
+            trace=self.trace,
+            setup_delay_s=self.config.setup_delay_s,
+            kmax_s=self.config.kmax_s,
+            k_step_s=self.config.k_step_s,
+            allow_lookahead=scheduler.requires_lookahead,
+        )
+        scheduler.bind(env)
+        self._scheduler = scheduler
+
+        wall_start = time.perf_counter()
+        horizon = 0.0
+        for inv in self.trace:
+            self._drain_events(until=inv.t)
+            t_end = self._process_invocation(scheduler, inv.t, inv.func)
+            horizon = max(horizon, t_end)
+        self._drain_events(until=float("inf"))
+        if any(len(self.pools[g]) for g in GENERATIONS):  # pragma: no cover
+            raise RuntimeError("pools not empty after final drain")
+        wall = time.perf_counter() - wall_start
+
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            records=self.records,
+            horizon_s=horizon,
+            wall_time_s=wall,
+        )
+
+    # ------------------------------------------------------------------
+    # Invocation pipeline
+    # ------------------------------------------------------------------
+
+    def _process_invocation(
+        self, scheduler: BaseScheduler, t: float, func: FunctionProfile
+    ) -> float:
+        """Handle one invocation end-to-end; returns the execution end time."""
+        warm_locations = tuple(
+            g for g in GENERATIONS if func.name in self.pools[g]
+        )
+
+        placement, wall_place = self._timed(
+            scheduler.place,
+            PlacementRequest(
+                t=t,
+                func=func,
+                warm_locations=warm_locations,
+                invocation_index=len(self.records),
+            ),
+        )
+
+        cold = placement not in warm_locations
+        if not cold:
+            hit = self.pools[placement].remove(func.name)
+            self._close_segment(hit, t)
+
+        server = self.pair.server(placement)
+        overhead = func.cold_overhead_s(server) if cold else 0.0
+        busy = self.config.setup_delay_s + func.exec_time_s(server)
+        service_carbon = self.carbon_model.service(
+            server, func.mem_gb, t, busy, overhead
+        )
+        service_energy = self.carbon_model.service_energy_wh(
+            server, func.mem_gb, busy, overhead
+        )
+        record = InvocationRecord(
+            index=len(self.records),
+            t=t,
+            func_name=func.name,
+            mem_gb=func.mem_gb,
+            location=placement,
+            cold=cold,
+            setup_s=self.config.setup_delay_s,
+            cold_overhead_s=overhead,
+            exec_s=func.exec_time_s(server),
+            service_carbon=service_carbon,
+            service_energy_wh=service_energy,
+            decision_wall_s=wall_place,
+        )
+        self.records.append(record)
+        t_end = t + record.service_s
+
+        decision, wall_ka = self._timed(
+            scheduler.keepalive,
+            KeepAliveRequest(
+                t_end=t_end,
+                func=func,
+                record=record,
+                executed_on=placement,
+                was_cold=cold,
+            ),
+        )
+        record.decision_wall_s += wall_ka
+        record.keepalive_decision = decision
+
+        if decision.duration_s > 0.0:
+            self._admit_keepalive(scheduler, func, decision, t_end, record)
+        return t_end
+
+    def _admit_keepalive(
+        self,
+        scheduler: BaseScheduler,
+        func: FunctionProfile,
+        decision: KeepAliveDecision,
+        t: float,
+        record: InvocationRecord,
+    ) -> None:
+        """Defer container activation to the execution end time ``t``.
+
+        The decision is made while processing the invocation *arrival*
+        event, but the container only becomes warm (and only starts to
+        occupy memory / accrue carbon) once the execution completes --
+        other invocations may arrive in between.
+        """
+        container = WarmContainer(
+            func=func,
+            location=decision.location,
+            segment_start_s=t,
+            expire_s=t + decision.duration_s,
+            decider_index=record.index,
+            token=self._new_token(),
+        )
+        self._seq += 1
+        heapq.heappush(self._events, (t, 0, self._seq, "activate", container))
+
+    def _activate(self, container: WarmContainer) -> None:
+        """Make a container warm at its execution-end timestamp."""
+        t = container.segment_start_s
+        # Replace any stale container of the same function (overlapping runs).
+        for gen in GENERATIONS:
+            if container.name in self.pools[gen]:
+                stale = self.pools[gen].remove(container.name)
+                self._close_segment(stale, t)
+
+        pool = self.pools[container.location]
+        if pool.fits(container.mem_gb):
+            pool.insert(container)
+            self._schedule_expiry(container)
+            return
+        assert self._scheduler is not None
+        self._run_adjustment(
+            self._scheduler,
+            container.location,
+            container,
+            t,
+            self.records[container.decider_index],
+        )
+
+    def _run_adjustment(
+        self,
+        scheduler: BaseScheduler,
+        gen: Generation,
+        incoming: WarmContainer,
+        t: float,
+        record: InvocationRecord,
+    ) -> None:
+        """Overflow path: rank, pack, spill, drop (paper Fig. 6)."""
+        pool = self.pools[gen]
+        incumbents = pool.containers()
+        candidates = tuple(
+            [
+                PoolCandidate(
+                    func=c.func, expire_s=c.expire_s, is_incoming=False, container=c
+                )
+                for c in incumbents
+            ]
+            + [
+                PoolCandidate(
+                    func=incoming.func, expire_s=incoming.expire_s, is_incoming=True
+                )
+            ]
+        )
+        request = AdjustmentRequest(
+            t=t, generation=gen, candidates=candidates, capacity_gb=pool.capacity_gb
+        )
+        ranked, wall = self._timed(scheduler.rank_keepalive_candidates, request)
+        record.decision_wall_s += wall
+        if sorted(c.name for c in ranked) != sorted(c.name for c in candidates):
+            raise RuntimeError(
+                f"{scheduler.name}: adjustment ranking must be a permutation of "
+                "the candidates"
+            )
+
+        free = pool.capacity_gb
+        kept_names: set[str] = set()
+        losers: list[PoolCandidate] = []
+        for cand in ranked:
+            if cand.mem_gb <= free + 1e-12:
+                kept_names.add(cand.name)
+                free -= cand.mem_gb
+            else:
+                losers.append(cand)
+
+        # Evict incumbents that lost their slot.
+        for cand in losers:
+            if not cand.is_incoming:
+                evicted = pool.remove(cand.name)
+                self._close_segment(evicted, t)
+
+        # Insert the incoming container if it won a slot.
+        if incoming.name in kept_names:
+            pool.insert(incoming)
+            self._schedule_expiry(incoming)
+
+        # Spill losers to the other generation (no cascading adjustment).
+        other_pool = self.pools[gen.other]
+        for cand in losers:
+            decider = (
+                record
+                if cand.is_incoming
+                else self.records[cand.container.decider_index]
+            )
+            can_spill = (
+                scheduler.allow_spill
+                and other_pool.fits(cand.mem_gb)
+                and cand.name not in other_pool
+            )
+            if can_spill:
+                moved = WarmContainer(
+                    func=cand.func,
+                    location=gen.other,
+                    segment_start_s=t,
+                    expire_s=cand.expire_s,
+                    decider_index=decider.index,
+                    token=self._new_token(),
+                )
+                other_pool.insert(moved)
+                self._schedule_expiry(moved)
+                decider.spilled = True
+            else:
+                decider.evicted = True
+                if cand.is_incoming:
+                    decider.dropped = True
+
+    # ------------------------------------------------------------------
+    # Keep-alive bookkeeping
+    # ------------------------------------------------------------------
+
+    def _drain_events(self, until: float) -> None:
+        """Process activations and expiries at or before ``until``."""
+        while self._events and self._events[0][0] <= until:
+            t, _, _, kind, payload = heapq.heappop(self._events)
+            if kind == "activate":
+                self._activate(payload)
+                continue
+            name, gen, token = payload
+            container = self.pools[gen].get(name)
+            if container is None or container.token != token:
+                continue  # stale event: warm hit, move, or replacement
+            self.pools[gen].remove(name)
+            self._close_segment(container, t)
+
+    def _close_segment(self, container: WarmContainer, t_close: float) -> None:
+        """Accrue one finished keep-alive segment onto its deciding record."""
+        t0 = container.segment_start_s
+        if t_close < t0:
+            raise RuntimeError(
+                f"keep-alive segment for {container.name!r} closes before it opens"
+            )
+        server = self.pair.server(container.location)
+        carbon = self.carbon_model.keepalive(server, container.mem_gb, t0, t_close)
+        energy = self.carbon_model.keepalive_energy_wh(
+            server, container.mem_gb, t_close - t0
+        )
+        self.records[container.decider_index].add_keepalive(
+            carbon, energy, t_close - t0
+        )
+
+    def _schedule_expiry(self, container: WarmContainer) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._events,
+            (
+                container.expire_s,
+                1,  # expiries sort after activations at equal times
+                self._seq,
+                "expire",
+                (container.name, container.location, container.token),
+            ),
+        )
+
+    def _new_token(self) -> int:
+        self._token += 1
+        return self._token
+
+    def _timed(self, fn, *args):
+        """Invoke a scheduler decision, optionally measuring wall time."""
+        if not self.config.measure_decision_overhead:
+            return fn(*args), 0.0
+        start = time.perf_counter()
+        result = fn(*args)
+        return result, time.perf_counter() - start

@@ -1,0 +1,214 @@
+"""Per-invocation records and aggregated simulation results.
+
+Every invocation produces one :class:`InvocationRecord` holding its service
+time split and its carbon split. Keep-alive carbon is attributed to the
+invocation that *decided* the keep-alive (that is the quantity the paper's
+objective charges per function), so records are appended at execution time
+and updated when their keep-alive segment closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.carbon.footprint import ZERO_CARBON, CarbonBreakdown
+from repro.hardware.specs import Generation
+
+
+@dataclass
+class KeepAliveDecision:
+    """Output of a scheduler's keep-alive decision.
+
+    ``duration_s == 0`` means "do not keep alive" (the paper's third option
+    besides the two hardware generations).
+    """
+
+    location: Generation
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0.0:
+            raise ValueError(f"duration_s must be >= 0, got {self.duration_s}")
+
+    @classmethod
+    def none(cls) -> "KeepAliveDecision":
+        """The "no keep-alive" decision."""
+        return cls(location=Generation.NEW, duration_s=0.0)
+
+
+@dataclass
+class InvocationRecord:
+    """Everything measured about one invocation."""
+
+    index: int
+    t: float
+    func_name: str
+    mem_gb: float
+    location: Generation
+    cold: bool
+    setup_s: float
+    cold_overhead_s: float
+    exec_s: float
+    service_carbon: CarbonBreakdown
+    service_energy_wh: float
+    keepalive_decision: KeepAliveDecision | None = None
+    keepalive_carbon: CarbonBreakdown = ZERO_CARBON
+    keepalive_energy_wh: float = 0.0
+    keepalive_s: float = 0.0
+    evicted: bool = False
+    spilled: bool = False
+    dropped: bool = False  # keep-alive wish could not be honoured at all
+    decision_wall_s: float = 0.0
+
+    @property
+    def service_s(self) -> float:
+        """Service time: cold-start overhead + setup + execution."""
+        return self.cold_overhead_s + self.setup_s + self.exec_s
+
+    @property
+    def carbon_g(self) -> float:
+        """Total attributed carbon: service + decided keep-alive."""
+        return self.service_carbon.total + self.keepalive_carbon.total
+
+    @property
+    def energy_wh(self) -> float:
+        return self.service_energy_wh + self.keepalive_energy_wh
+
+    def add_keepalive(
+        self, carbon: CarbonBreakdown, energy_wh: float, duration_s: float
+    ) -> None:
+        """Accrue one closed keep-alive segment onto this record."""
+        self.keepalive_carbon = self.keepalive_carbon + carbon
+        self.keepalive_energy_wh += energy_wh
+        self.keepalive_s += duration_s
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one simulation run."""
+
+    scheduler_name: str
+    records: list[InvocationRecord]
+    horizon_s: float
+    wall_time_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- arrays ---------------------------------------------------------------
+
+    def service_times(self) -> np.ndarray:
+        return np.array([r.service_s for r in self.records], dtype=float)
+
+    def carbon_per_invocation(self) -> np.ndarray:
+        return np.array([r.carbon_g for r in self.records], dtype=float)
+
+    def energy_per_invocation(self) -> np.ndarray:
+        return np.array([r.energy_wh for r in self.records], dtype=float)
+
+    # -- scalars ----------------------------------------------------------------
+
+    @property
+    def total_service_s(self) -> float:
+        return float(self.service_times().sum()) if self.records else 0.0
+
+    @property
+    def mean_service_s(self) -> float:
+        return float(self.service_times().mean()) if self.records else 0.0
+
+    @property
+    def p95_service_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self.service_times(), 95))
+
+    @property
+    def total_carbon_g(self) -> float:
+        return float(self.carbon_per_invocation().sum()) if self.records else 0.0
+
+    @property
+    def total_energy_wh(self) -> float:
+        return float(self.energy_per_invocation().sum()) if self.records else 0.0
+
+    @property
+    def total_service_carbon_g(self) -> float:
+        return float(sum(r.service_carbon.total for r in self.records))
+
+    @property
+    def total_keepalive_carbon_g(self) -> float:
+        return float(sum(r.keepalive_carbon.total for r in self.records))
+
+    @property
+    def total_operational_g(self) -> float:
+        return float(
+            sum(
+                r.service_carbon.operational + r.keepalive_carbon.operational
+                for r in self.records
+            )
+        )
+
+    @property
+    def total_embodied_g(self) -> float:
+        return float(
+            sum(
+                r.service_carbon.embodied + r.keepalive_carbon.embodied
+                for r in self.records
+            )
+        )
+
+    @property
+    def warm_ratio(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(0 if r.cold else 1 for r in self.records) / len(self.records)
+
+    @property
+    def evicted_count(self) -> int:
+        """Containers dropped (or force-closed) by warm-pool pressure."""
+        return sum(1 for r in self.records if r.evicted)
+
+    @property
+    def spilled_count(self) -> int:
+        """Keep-alive decisions honoured on the *other* generation's pool."""
+        return sum(1 for r in self.records if r.spilled)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def total_decision_wall_s(self) -> float:
+        return float(sum(r.decision_wall_s for r in self.records))
+
+    def location_counts(self) -> dict[Generation, int]:
+        """How many executions landed on each generation."""
+        counts = {g: 0 for g in Generation}
+        for r in self.records:
+            counts[r.location] += 1
+        return counts
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One human-readable block, used by examples and the CLI."""
+        locs = self.location_counts()
+        lines = [
+            f"scheduler           : {self.scheduler_name}",
+            f"invocations         : {len(self.records)}",
+            f"mean service time   : {self.mean_service_s:.3f} s "
+            f"(p95 {self.p95_service_s:.3f} s)",
+            f"warm-start ratio    : {self.warm_ratio * 100.0:.1f} %",
+            f"total carbon        : {self.total_carbon_g:.3f} g "
+            f"(service {self.total_service_carbon_g:.3f}, "
+            f"keep-alive {self.total_keepalive_carbon_g:.3f})",
+            f"  operational       : {self.total_operational_g:.3f} g",
+            f"  embodied          : {self.total_embodied_g:.3f} g",
+            f"total energy        : {self.total_energy_wh:.2f} Wh",
+            f"executions old/new  : {locs[Generation.OLD]}/{locs[Generation.NEW]}",
+            f"evicted / spilled   : {self.evicted_count} / {self.spilled_count}",
+            f"decision overhead   : {self.total_decision_wall_s * 1000.0:.1f} ms wall",
+        ]
+        return "\n".join(lines)

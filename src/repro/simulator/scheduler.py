@@ -1,0 +1,258 @@
+"""Scheduler interface: what the engine asks, what schedulers may observe.
+
+The engine consults a scheduler at three points:
+
+1. :meth:`BaseScheduler.place` -- where to execute an arriving invocation.
+   Per the paper's EPDM, if the function is warm somewhere the engine expects
+   the scheduler to pick a warm location (warm placements never pay a cold
+   start); all shipped schedulers do.
+2. :meth:`BaseScheduler.keepalive` -- after execution: where and for how
+   long to keep the function alive (the KDM decision).
+3. :meth:`BaseScheduler.rank_keepalive_candidates` -- when a pool overflows:
+   a priority order over incumbents + the incoming container. The engine
+   packs the pool greedily in that order, spills the rest to the other
+   generation (if the scheduler allows it) and drops what still does not
+   fit. This is exactly the mechanical part of the paper's warm-pool
+   adjustment (Fig. 6); EcoLife supplies the score-based ranking.
+
+Schedulers observe the world through :class:`SchedulerEnv`: current carbon
+intensity, recent invocation rate, pool occupancy, hardware pair, carbon
+model, and -- only for oracle schedulers that declare
+``requires_lookahead`` -- the trace's next-arrival index.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.carbon.footprint import CarbonModel
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.hardware.power import EnergyModel
+from repro.hardware.specs import GENERATIONS, Generation, HardwarePair, ServerSpec
+from repro.simulator.containers import WarmContainer, WarmPool
+from repro.simulator.records import InvocationRecord, KeepAliveDecision
+from repro.workloads.functions import FunctionProfile
+from repro.workloads.trace import InvocationTrace
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """An invocation needing an execution location."""
+
+    t: float
+    func: FunctionProfile
+    warm_locations: tuple[Generation, ...]
+    invocation_index: int
+
+
+@dataclass(frozen=True)
+class KeepAliveRequest:
+    """A completed execution needing a keep-alive decision.
+
+    ``t_end`` is when the decision takes effect (execution completion).
+    """
+
+    t_end: float
+    func: FunctionProfile
+    record: InvocationRecord
+    executed_on: Generation
+    was_cold: bool
+
+
+@dataclass(frozen=True)
+class PoolCandidate:
+    """One candidate in a warm-pool adjustment: incumbent or incoming."""
+
+    func: FunctionProfile
+    expire_s: float
+    is_incoming: bool
+    container: WarmContainer | None = None
+
+    @property
+    def name(self) -> str:
+        return self.func.name
+
+    @property
+    def mem_gb(self) -> float:
+        return self.func.mem_gb
+
+
+@dataclass(frozen=True)
+class AdjustmentRequest:
+    """A pool overflow needing a priority ranking."""
+
+    t: float
+    generation: Generation
+    candidates: tuple[PoolCandidate, ...]
+    capacity_gb: float
+
+
+class SchedulerEnv:
+    """Read-only view of the simulated world handed to schedulers."""
+
+    def __init__(
+        self,
+        pair: HardwarePair,
+        carbon_model: CarbonModel,
+        energy_model: EnergyModel,
+        pools: dict[Generation, WarmPool],
+        trace: InvocationTrace,
+        setup_delay_s: float,
+        kmax_s: float,
+        k_step_s: float,
+        allow_lookahead: bool = False,
+    ) -> None:
+        self.pair = pair
+        self.carbon_model = carbon_model
+        self.energy_model = energy_model
+        self._pools = pools
+        self._trace = trace
+        self.setup_delay_s = setup_delay_s
+        self.kmax_s = kmax_s
+        self.k_step_s = k_step_s
+        self._allow_lookahead = allow_lookahead
+        # Running max of observed CI (causal normaliser for the objective).
+        self._ci_trace: CarbonIntensityTrace = carbon_model.trace
+
+    # -- hardware / carbon -----------------------------------------------------
+
+    def server(self, gen: Generation) -> ServerSpec:
+        """The server on one side of the pair."""
+        return self.pair.server(gen)
+
+    def ci_at(self, t: float) -> float:
+        """Current carbon intensity (g/kWh)."""
+        return self._ci_trace.at(t)
+
+    def ci_max_observed(self, t: float) -> float:
+        """Maximum CI observed up to ``t`` (causal; used for normalisation)."""
+        knots = self._ci_trace.times_s
+        idx = int(np.searchsorted(knots, t, side="right"))
+        if idx <= 0:
+            return float(self._ci_trace.values[0])
+        return float(self._ci_trace.values[:idx].max())
+
+    # -- workload observations ---------------------------------------------------
+
+    def rate_per_minute(self, t: float, window_s: float = 60.0) -> float:
+        """System-wide invocation arrival rate over the trailing window."""
+        return self._trace.rate_per_minute(t, window_s)
+
+    # -- warm pools ---------------------------------------------------------------
+
+    def warm_locations(self, name: str) -> tuple[Generation, ...]:
+        return tuple(g for g in GENERATIONS if name in self._pools[g])
+
+    def pool_used_gb(self, gen: Generation) -> float:
+        return self._pools[gen].used_gb
+
+    def pool_capacity_gb(self, gen: Generation) -> float:
+        return self._pools[gen].capacity_gb
+
+    def pool_free_gb(self, gen: Generation) -> float:
+        return self._pools[gen].free_gb
+
+    def pool_containers(self, gen: Generation) -> list[WarmContainer]:
+        return self._pools[gen].containers()
+
+    # -- keep-alive search space ------------------------------------------------
+
+    def keepalive_grid_s(self) -> np.ndarray:
+        """The discrete keep-alive period set K_AT (seconds), including 0."""
+        n = int(round(self.kmax_s / self.k_step_s))
+        return np.arange(n + 1, dtype=float) * self.k_step_s
+
+    # -- oracle lookahead ----------------------------------------------------------
+
+    def next_arrival(self, name: str, after_t: float) -> float | None:
+        """Next invocation of ``name`` strictly after ``after_t``.
+
+        Only available to schedulers that declared ``requires_lookahead``;
+        anything else asking for the future is a bug.
+        """
+        if not self._allow_lookahead:
+            raise PermissionError(
+                "lookahead is reserved for oracle schedulers "
+                "(set requires_lookahead = True)"
+            )
+        return self._trace.next_arrival(name, after_t)
+
+
+class BaseScheduler(abc.ABC):
+    """Abstract scheduler; see module docstring for the protocol."""
+
+    #: Display name used in results and reports.
+    name: str = "base"
+    #: Oracles set this to gain access to SchedulerEnv.next_arrival.
+    requires_lookahead: bool = False
+    #: Whether adjustment may spill evicted containers to the other pool.
+    allow_spill: bool = True
+
+    def __init__(self) -> None:
+        self.env: SchedulerEnv | None = None
+
+    def bind(self, env: SchedulerEnv) -> None:
+        """Called once by the engine before the run starts."""
+        self.env = env
+
+    # -- decision points --------------------------------------------------------
+
+    @abc.abstractmethod
+    def place(self, req: PlacementRequest) -> Generation:
+        """Choose the execution location (EPDM)."""
+
+    @abc.abstractmethod
+    def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
+        """Choose keep-alive location and period (KDM)."""
+
+    def rank_keepalive_candidates(
+        self, req: AdjustmentRequest
+    ) -> list[PoolCandidate]:
+        """Priority order (highest first) for warm-pool packing on overflow.
+
+        Default policy (used by the fixed-keep-alive baselines): keep the
+        containers that will stay warm the longest -- i.e. the most recently
+        invoked ones, which is OpenWhisk-style LRU eviction -- and treat the
+        incoming container as most recent.
+        """
+        return sorted(
+            req.candidates,
+            key=lambda c: (c.is_incoming, c.expire_s),
+            reverse=True,
+        )
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def service_time(self, func: FunctionProfile, gen: Generation, cold: bool) -> float:
+        """Service time of ``func`` on generation ``gen``."""
+        assert self.env is not None
+        return func.service_time_s(
+            self.env.server(gen), cold=cold, setup_s=self.env.setup_delay_s
+        )
+
+    def service_carbon_est(
+        self, func: FunctionProfile, gen: Generation, cold: bool, ci: float
+    ) -> float:
+        """Estimated service carbon of ``func`` on ``gen`` at intensity ``ci``."""
+        assert self.env is not None
+        server = self.env.server(gen)
+        busy = self.env.setup_delay_s + func.exec_time_s(server)
+        overhead = func.cold_overhead_s(server) if cold else 0.0
+        return self.env.carbon_model.est_service_g(
+            server, func.mem_gb, busy, overhead, ci
+        )
+
+    def keepalive_rate(self, func: FunctionProfile, gen: Generation, ci: float) -> float:
+        """Estimated keep-alive carbon rate (g/s) of ``func`` on ``gen``."""
+        assert self.env is not None
+        return self.env.carbon_model.est_keepalive_rate_g_per_s(
+            self.env.server(gen), func.mem_gb, ci
+        )
+
+
+DEFAULT_KEEPALIVE_S = 10.0 * units.SECONDS_PER_MINUTE
+"""OpenWhisk's fixed 10-minute keep-alive, used by the *-Only baselines."""

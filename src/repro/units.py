@@ -1,0 +1,78 @@
+"""Shared unit conventions and conversion helpers.
+
+Conventions used throughout the package (documented once here, relied on
+everywhere):
+
+- **time**: seconds (``float``). Minute/hour helpers are provided because the
+  paper quotes keep-alive periods in minutes and carbon intensity at minute
+  resolution.
+- **carbon**: grams of CO2-equivalent (``float``).
+- **carbon intensity**: grams CO2 per kilowatt-hour (gCO2/kWh), matching the
+  Electricity Maps convention used by the paper.
+- **energy**: watt-hours (Wh). Power is watts (W).
+- **memory**: gigabytes (GB, decimal) -- function footprints and DRAM
+  capacities.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE: float = 60.0
+SECONDS_PER_HOUR: float = 3600.0
+SECONDS_PER_DAY: float = 86400.0
+SECONDS_PER_YEAR: float = 365.0 * SECONDS_PER_DAY
+
+MB: float = 1.0 / 1024.0
+"""One binary megabyte expressed in the package's GB unit."""
+
+
+def minutes(m: float) -> float:
+    """Convert minutes to seconds."""
+    return m * SECONDS_PER_MINUTE
+
+
+def hours(h: float) -> float:
+    """Convert hours to seconds."""
+    return h * SECONDS_PER_HOUR
+
+
+def days(d: float) -> float:
+    """Convert days to seconds."""
+    return d * SECONDS_PER_DAY
+
+
+def years(y: float) -> float:
+    """Convert years to seconds."""
+    return y * SECONDS_PER_YEAR
+
+
+def watt_seconds_to_wh(joules: float) -> float:
+    """Convert watt-seconds (joules) to watt-hours."""
+    return joules / SECONDS_PER_HOUR
+
+
+def energy_wh(power_w: float, duration_s: float) -> float:
+    """Energy (Wh) drawn by a constant ``power_w`` load over ``duration_s``."""
+    return power_w * duration_s / SECONDS_PER_HOUR
+
+
+def operational_carbon_g(energy_wh_: float, ci_g_per_kwh: float) -> float:
+    """Operational carbon (g) for ``energy_wh_`` at intensity ``ci_g_per_kwh``.
+
+    This is the paper's ``energy x CI`` product with the kWh/Wh unit
+    conversion folded in.
+    """
+    return energy_wh_ * ci_g_per_kwh / 1000.0
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive; return it unchanged."""
+    if not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0; return it unchanged."""
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)

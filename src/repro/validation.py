@@ -1,0 +1,201 @@
+"""Programmatic validation of the DESIGN.md calibration targets.
+
+The reproduction stands on a calibrated substrate (hardware constants,
+workload profiles, region generators). This module re-checks every
+calibration target from DESIGN.md as executable assertions, so a user
+changing constants immediately sees which paper shapes break. It backs both
+``ecolife validate`` on the CLI and the regression tests in
+``tests/test_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon import CarbonIntensityTrace, CarbonModel, generate_region_trace
+from repro.hardware import PAIRS, PAIR_A, PAIR_C
+from repro.workloads import MOTIVATION_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class Check:
+    """One calibration target with its measured value and pass verdict."""
+
+    name: str
+    detail: str
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def ok(self) -> bool:
+        return self.low <= self.measured <= self.high
+
+    def render(self) -> str:
+        flag = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{flag}] {self.name}: {self.measured:.3f} "
+            f"(target [{self.low:g}, {self.high:g}]) -- {self.detail}"
+        )
+
+
+def _flat_model(ci: float) -> CarbonModel:
+    return CarbonModel(trace=CarbonIntensityTrace.constant(ci))
+
+
+def _total(model, server, func, keepalive_s, cold=False) -> float:
+    overhead = func.cold_overhead_s(server) if cold else 0.0
+    return (
+        model.service(server, func.mem_gb, 0.0, func.exec_time_s(server), overhead).total
+        + model.keepalive(server, func.mem_gb, 0.0, keepalive_s).total
+    )
+
+
+def check_fig1_keepalive_fractions() -> list[Check]:
+    """Fig. 1: Graph-BFS keep-alive share ~18% @2min -> ~52% @10min."""
+    model = _flat_model(250.0)
+    bfs = MOTIVATION_FUNCTIONS[1]
+    new = PAIR_A.new
+    sc = model.service(new, bfs.mem_gb, 0.0, bfs.exec_time_s(new)).total
+    ka2 = model.keepalive(new, bfs.mem_gb, 0.0, 120.0).total
+    ka10 = model.keepalive(new, bfs.mem_gb, 0.0, 600.0).total
+    return [
+        Check(
+            "fig1.bfs_ka_share_2min",
+            "keep-alive share of total carbon at k=2min (paper ~0.18)",
+            ka2 / (ka2 + sc), 0.10, 0.35,
+        ),
+        Check(
+            "fig1.bfs_ka_share_10min",
+            "keep-alive share of total carbon at k=10min (paper ~0.52)",
+            ka10 / (ka10 + sc), 0.40, 0.70,
+        ),
+    ]
+
+
+def check_fig2_pair_a_tradeoff() -> list[Check]:
+    """Fig. 2: A_OLD saves carbon (~23.8%) but is slower (~15.9%)."""
+    model = _flat_model(250.0)
+    video = MOTIVATION_FUNCTIONS[0]
+    saving = 1.0 - _total(model, PAIR_A.old, video, 600.0) / _total(
+        model, PAIR_A.new, video, 600.0
+    )
+    slowdown = video.exec_time_s(PAIR_A.old) / video.exec_time_s(PAIR_A.new) - 1.0
+    return [
+        Check(
+            "fig2.video_carbon_saving_on_old",
+            "total-carbon saving of A_OLD at 10-min keep-alive (paper ~0.238)",
+            saving, 0.10, 0.35,
+        ),
+        Check(
+            "fig2.video_exec_slowdown_on_old",
+            "execution slowdown on A_OLD (paper ~0.159)",
+            slowdown, 0.10, 0.25,
+        ),
+    ]
+
+
+def check_fig3_inversion() -> list[Check]:
+    """Fig. 3: Case A wins at CI=300; DNA-visualization inverts at CI=50."""
+    checks = []
+    for ci, expect_win in ((300.0, True), (50.0, False)):
+        model = _flat_model(ci)
+        dna = MOTIVATION_FUNCTIONS[2]
+        a = _total(model, PAIR_C.old, dna, 900.0)
+        b = _total(model, PAIR_C.new, dna, 600.0, cold=True)
+        margin = (b - a) / b  # positive = Case A saves carbon
+        if expect_win:
+            checks.append(
+                Check(
+                    "fig3.dna_case_a_wins_at_high_ci",
+                    "carbon margin of Case A at CI=300 (must be > 0)",
+                    margin, 0.0, 1.0,
+                )
+            )
+        else:
+            checks.append(
+                Check(
+                    "fig3.dna_inverts_at_low_ci",
+                    "carbon margin of Case A at CI=50 (must be < 0)",
+                    margin, -1.0, 0.0,
+                )
+            )
+    video = MOTIVATION_FUNCTIONS[0]
+    s_a = video.exec_time_s(PAIR_C.old)
+    s_b = video.exec_time_s(PAIR_C.new) + video.cold_overhead_s(PAIR_C.new)
+    checks.append(
+        Check(
+            "fig3.video_service_saving",
+            "Case A service-time saving for video-processing (paper ~0.523)",
+            1.0 - s_a / s_b, 0.40, 0.60,
+        )
+    )
+    return checks
+
+
+def check_catalog_orderings() -> list[Check]:
+    """Table I invariants: old is slower but keep-alive-cheaper everywhere."""
+    checks = []
+    for name, pair in PAIRS.items():
+        checks.append(
+            Check(
+                f"catalog.{name}.perf_ordering",
+                "old perf index minus new (must be negative)",
+                pair.old.perf_index - pair.new.perf_index, -1.0, -1e-9,
+            )
+        )
+        checks.append(
+            Check(
+                f"catalog.{name}.keepalive_rate_ordering",
+                "old-minus-new per-function keep-alive carbon rate at CI=250 "
+                "(must be negative)",
+                _flat_model(250.0).est_keepalive_rate_g_per_s(pair.old, 0.5, 250.0)
+                - _flat_model(250.0).est_keepalive_rate_g_per_s(pair.new, 0.5, 250.0),
+                -1.0, -1e-15,
+            )
+        )
+    return checks
+
+
+def check_region_statistics() -> list[Check]:
+    """CISO calibration: ~6.75% hourly fluctuation, std ~59 (paper Sec. V)."""
+    traces = [generate_region_trace("CAL", days=3, seed=s) for s in range(4)]
+    fluct = float(np.mean([t.hourly_fluctuation_pct() for t in traces]))
+    std = float(np.mean([t.std() for t in traces]))
+    return [
+        Check(
+            "regions.ciso_hourly_fluctuation_pct",
+            "mean hourly CI fluctuation (paper 6.75%)",
+            fluct, 4.5, 9.0,
+        ),
+        Check(
+            "regions.ciso_std",
+            "CI standard deviation (paper 59.24)",
+            std, 40.0, 80.0,
+        ),
+    ]
+
+
+def run_all_checks() -> list[Check]:
+    """Every calibration target, in DESIGN.md order."""
+    checks: list[Check] = []
+    checks += check_fig1_keepalive_fractions()
+    checks += check_fig2_pair_a_tradeoff()
+    checks += check_fig3_inversion()
+    checks += check_catalog_orderings()
+    checks += check_region_statistics()
+    return checks
+
+
+def render_report(checks: list[Check] | None = None) -> str:
+    """Human-readable validation report (used by ``ecolife validate``)."""
+    checks = checks if checks is not None else run_all_checks()
+    lines = [c.render() for c in checks]
+    n_fail = sum(0 if c.ok else 1 for c in checks)
+    lines.append(
+        f"\n{len(checks) - n_fail}/{len(checks)} calibration targets hold"
+        + ("" if n_fail == 0 else f" -- {n_fail} FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Workload substrate: SeBS profiles, invocation traces, Azure synthesizer."""
+
+from repro.workloads.azure import (
+    AzureTraceConfig,
+    SyntheticFunctionSpec,
+    generate_azure_trace,
+)
+from repro.workloads.functions import FunctionProfile
+from repro.workloads.sebs import (
+    MOTIVATION_FUNCTIONS,
+    SEBS_FUNCTIONS,
+    get_function,
+)
+from repro.workloads.trace import Invocation, InvocationTrace
+
+__all__ = [
+    "FunctionProfile",
+    "SEBS_FUNCTIONS",
+    "MOTIVATION_FUNCTIONS",
+    "get_function",
+    "Invocation",
+    "InvocationTrace",
+    "AzureTraceConfig",
+    "SyntheticFunctionSpec",
+    "generate_azure_trace",
+]

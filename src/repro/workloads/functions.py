@@ -1,0 +1,109 @@
+"""Serverless function profiles.
+
+A :class:`FunctionProfile` captures everything the schedulers and the carbon
+model need to know about one function: memory footprint, execution time on
+the newest hardware, cold-start overhead, and how sensitive the function is
+to running on older silicon. The paper measures these with the SeBS
+benchmark suite on real nodes; the concrete catalog lives in
+:mod:`repro.workloads.sebs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+from repro.hardware.specs import ServerSpec
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Performance/footprint profile of one serverless function.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (e.g. ``"graph-bfs"`` or ``"app-017:graph-bfs"``
+        for Azure-trace clones).
+    mem_gb:
+        Warm-container memory footprint; drives warm-pool occupancy and all
+        DRAM carbon shares.
+    exec_ref_s:
+        Execution time on a ``perf_index = 1.0`` (newest) server.
+    cold_ref_s:
+        Cold-start overhead (image pull + container boot) on the newest
+        server.
+    perf_sensitivity:
+        How strongly execution time reacts to slower hardware.
+        ``exec(l) = exec_ref * (1 + sens * (1/perf_index(l) - 1))`` --
+        a sensitivity of 1 means the function scales exactly with the
+        hardware's performance index, 0 means it is insensitive (e.g.
+        I/O bound).
+    cold_sensitivity:
+        Same scaling for the cold-start window (container boot is mostly
+        I/O, so this is typically ~0.5).
+    """
+
+    name: str
+    mem_gb: float
+    exec_ref_s: float
+    cold_ref_s: float
+    perf_sensitivity: float = 0.6
+    cold_sensitivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        units.require_positive(self.mem_gb, "mem_gb")
+        units.require_positive(self.exec_ref_s, "exec_ref_s")
+        units.require_non_negative(self.cold_ref_s, "cold_ref_s")
+        units.require_non_negative(self.perf_sensitivity, "perf_sensitivity")
+        units.require_non_negative(self.cold_sensitivity, "cold_sensitivity")
+
+    # -- timing on a concrete server ---------------------------------------
+
+    def exec_time_s(self, server: ServerSpec) -> float:
+        """Execution time on ``server``."""
+        return self.exec_ref_s * (
+            1.0 + self.perf_sensitivity * (server.slowdown - 1.0)
+        )
+
+    def cold_overhead_s(self, server: ServerSpec) -> float:
+        """Cold-start overhead on ``server`` (zero for warm starts)."""
+        return self.cold_ref_s * (
+            1.0 + self.cold_sensitivity * (server.slowdown - 1.0)
+        )
+
+    def service_time_s(
+        self, server: ServerSpec, cold: bool, setup_s: float = 0.0
+    ) -> float:
+        """Service time = cold-start overhead (if cold) + setup + execution."""
+        s = setup_s + self.exec_time_s(server)
+        if cold:
+            s += self.cold_overhead_s(server)
+        return s
+
+    # -- derivation helpers --------------------------------------------------
+
+    def clone(
+        self,
+        name: str,
+        mem_scale: float = 1.0,
+        exec_scale: float = 1.0,
+        cold_scale: float = 1.0,
+    ) -> "FunctionProfile":
+        """Derive a variant profile (used by the Azure-trace mapper).
+
+        The paper maps every Azure-trace function to "the closest match,
+        considering the memory and execution time" among the SeBS
+        functions; cloning with mild scale factors represents that each
+        production function is *near* but not identical to its SeBS proxy.
+        """
+        units.require_positive(mem_scale, "mem_scale")
+        units.require_positive(exec_scale, "exec_scale")
+        units.require_positive(cold_scale, "cold_scale")
+        return replace(
+            self,
+            name=name,
+            mem_gb=self.mem_gb * mem_scale,
+            exec_ref_s=self.exec_ref_s * exec_scale,
+            cold_ref_s=self.cold_ref_s * cold_scale,
+        )

@@ -1,0 +1,134 @@
+"""SeBS benchmark function catalog.
+
+The paper's workloads come from the SeBS suite (Copik et al., Middleware'21)
+measured on the Table I nodes. The profiles below are calibrated so that the
+paper's motivational figures reproduce:
+
+- Fig. 1 magnitudes: total per-invocation carbon of order 0.1 g at a 10 min
+  keep-alive, with the keep-alive share of Graph-BFS moving from ~18% at
+  2 min to ~52% at 10 min;
+- Fig. 2 service times: video-processing ~2-3 s, Graph-BFS up to ~7 s,
+  DNA-visualization up to ~15 s on old hardware with a cold start;
+- Fig. 3 sensitivities: video-processing ~16% slower on A_OLD.
+
+``perf_sensitivity`` encodes how CPU-bound each function is: graph
+workloads suffer most on older memory subsystems, I/O-ish functions least.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.functions import FunctionProfile
+
+VIDEO_PROCESSING = FunctionProfile(
+    name="video-processing",
+    mem_gb=1.10,
+    exec_ref_s=1.90,
+    cold_ref_s=2.30,
+    perf_sensitivity=0.48,
+)
+
+GRAPH_BFS = FunctionProfile(
+    name="graph-bfs",
+    mem_gb=0.45,
+    exec_ref_s=3.00,
+    cold_ref_s=1.80,
+    perf_sensitivity=0.90,
+)
+
+DNA_VISUALIZATION = FunctionProfile(
+    name="dna-visualization",
+    mem_gb=1.80,
+    exec_ref_s=9.00,
+    cold_ref_s=4.50,
+    perf_sensitivity=1.35,  # memory-bandwidth bound: superlinear on old DRAM
+)
+
+THUMBNAILER = FunctionProfile(
+    name="thumbnailer",
+    mem_gb=0.25,
+    exec_ref_s=0.45,
+    cold_ref_s=1.20,
+    perf_sensitivity=0.55,
+)
+
+COMPRESSION = FunctionProfile(
+    name="compression",
+    mem_gb=0.60,
+    exec_ref_s=4.20,
+    cold_ref_s=1.60,
+    perf_sensitivity=0.65,
+)
+
+GRAPH_PAGERANK = FunctionProfile(
+    name="graph-pagerank",
+    mem_gb=0.50,
+    exec_ref_s=2.40,
+    cold_ref_s=1.80,
+    perf_sensitivity=0.85,
+)
+
+GRAPH_MST = FunctionProfile(
+    name="graph-mst",
+    mem_gb=0.50,
+    exec_ref_s=2.00,
+    cold_ref_s=1.80,
+    perf_sensitivity=0.85,
+)
+
+IMAGE_RECOGNITION = FunctionProfile(
+    name="image-recognition",
+    mem_gb=1.60,
+    exec_ref_s=1.40,
+    cold_ref_s=3.80,  # model load dominates the cold start
+    perf_sensitivity=0.60,
+)
+
+UPLOADER = FunctionProfile(
+    name="uploader",
+    mem_gb=0.20,
+    exec_ref_s=0.90,
+    cold_ref_s=1.10,
+    perf_sensitivity=0.35,  # network bound
+)
+
+DYNAMIC_HTML = FunctionProfile(
+    name="dynamic-html",
+    mem_gb=0.15,
+    exec_ref_s=0.15,
+    cold_ref_s=0.90,
+    perf_sensitivity=0.45,
+)
+
+#: All catalog functions keyed by name.
+SEBS_FUNCTIONS: dict[str, FunctionProfile] = {
+    f.name: f
+    for f in (
+        VIDEO_PROCESSING,
+        GRAPH_BFS,
+        DNA_VISUALIZATION,
+        THUMBNAILER,
+        COMPRESSION,
+        GRAPH_PAGERANK,
+        GRAPH_MST,
+        IMAGE_RECOGNITION,
+        UPLOADER,
+        DYNAMIC_HTML,
+    )
+}
+
+#: The three functions the paper uses throughout its motivation (Figs. 1-3).
+MOTIVATION_FUNCTIONS: tuple[FunctionProfile, ...] = (
+    VIDEO_PROCESSING,
+    GRAPH_BFS,
+    DNA_VISUALIZATION,
+)
+
+
+def get_function(name: str) -> FunctionProfile:
+    """Look up a SeBS profile by name."""
+    try:
+        return SEBS_FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SeBS function {name!r}; available: {sorted(SEBS_FUNCTIONS)}"
+        ) from None

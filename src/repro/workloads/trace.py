@@ -1,0 +1,135 @@
+"""Invocation traces: the event stream that drives the simulator.
+
+An :class:`InvocationTrace` is a time-ordered sequence of (timestamp,
+function) pairs plus the profile of every function appearing in it. It also
+provides the per-function *lookahead index* (``next_arrival``) that the
+oracle schedulers use -- the paper's Oracle/CO2-Opt/Service-Time-Opt brute
+force "every possible scheduling option for each function invocation",
+which requires knowing when each function is invoked next.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.workloads.functions import FunctionProfile
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One invocation request: function ``func`` arriving at time ``t``."""
+
+    index: int
+    t: float
+    func: FunctionProfile
+
+
+@dataclass
+class InvocationTrace:
+    """A sorted stream of invocations with per-function views.
+
+    Build with :meth:`from_events`; direct construction expects
+    already-sorted data.
+    """
+
+    functions: dict[str, FunctionProfile]
+    times_s: np.ndarray
+    func_names: list[str]
+    _per_func_times: dict[str, list[float]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times_s, dtype=float)
+        if t.ndim != 1 or t.size != len(self.func_names):
+            raise ValueError("times_s and func_names must have equal length")
+        if t.size and np.any(np.diff(t) < 0.0):
+            raise ValueError("times_s must be sorted (non-decreasing)")
+        missing = {n for n in self.func_names} - set(self.functions)
+        if missing:
+            raise ValueError(f"trace references unknown functions: {sorted(missing)}")
+        object.__setattr__(self, "times_s", t)
+        per: dict[str, list[float]] = {name: [] for name in self.functions}
+        for ts, name in zip(t, self.func_names):
+            per[name].append(float(ts))
+        self._per_func_times = per
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[tuple[float, FunctionProfile]],
+        functions: Iterable[FunctionProfile] | None = None,
+    ) -> "InvocationTrace":
+        """Build a trace from (time, profile) pairs (sorted internally)."""
+        ev = sorted(events, key=lambda e: e[0])
+        funcs: dict[str, FunctionProfile] = {}
+        if functions is not None:
+            funcs.update({f.name: f for f in functions})
+        for _, f in ev:
+            existing = funcs.setdefault(f.name, f)
+            if existing is not f and existing != f:
+                raise ValueError(f"conflicting profiles for function {f.name!r}")
+        return cls(
+            functions=funcs,
+            times_s=np.array([t for t, _ in ev], dtype=float),
+            func_names=[f.name for _, f in ev],
+        )
+
+    # -- basic queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+    def __iter__(self) -> Iterator[Invocation]:
+        for i, (t, name) in enumerate(zip(self.times_s, self.func_names)):
+            yield Invocation(index=i, t=float(t), func=self.functions[name])
+
+    @property
+    def duration_s(self) -> float:
+        """Span from time zero to the last invocation."""
+        return float(self.times_s[-1]) if len(self) else 0.0
+
+    def invocation_counts(self) -> dict[str, int]:
+        """Number of invocations per function."""
+        return {name: len(ts) for name, ts in self._per_func_times.items()}
+
+    def interarrival_s(self, name: str) -> np.ndarray:
+        """Observed inter-arrival times of one function (may be empty)."""
+        ts = self._per_func_times[name]
+        return np.diff(np.asarray(ts, dtype=float))
+
+    # -- lookahead (oracle) ----------------------------------------------------
+
+    def next_arrival(self, name: str, after_t: float) -> float | None:
+        """First invocation of ``name`` strictly after ``after_t`` (or None)."""
+        ts = self._per_func_times.get(name)
+        if not ts:
+            return None
+        i = bisect.bisect_right(ts, after_t)
+        return ts[i] if i < len(ts) else None
+
+    # -- aggregate statistics (used by DPSO's dF perception and reports) ------
+
+    def rate_per_minute(self, t: float, window_s: float = 60.0) -> float:
+        """Invocations per minute over ``[t - window_s, t]``."""
+        lo = int(np.searchsorted(self.times_s, t - window_s, side="right"))
+        hi = int(np.searchsorted(self.times_s, t, side="right"))
+        if window_s <= 0.0:
+            return 0.0
+        return (hi - lo) * 60.0 / window_s
+
+    def subset(self, names: Iterable[str]) -> "InvocationTrace":
+        """Restrict the trace to a set of functions (keeps ordering)."""
+        keep = set(names)
+        mask = [n in keep for n in self.func_names]
+        return InvocationTrace(
+            functions={n: f for n, f in self.functions.items() if n in keep},
+            times_s=self.times_s[np.array(mask, dtype=bool)]
+            if len(self)
+            else self.times_s,
+            func_names=[n for n in self.func_names if n in keep],
+        )

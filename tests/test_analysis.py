@@ -1,0 +1,136 @@
+"""Analysis helpers: CDFs, relative comparisons, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CDF,
+    ascii_table,
+    gap_pp,
+    pct_increase,
+    per_invocation_pct_increase,
+    relative_to_opts,
+    relative_to_oracle,
+    scatter_table,
+)
+from repro.carbon.footprint import CarbonBreakdown
+from repro.hardware import Generation
+from repro.simulator import InvocationRecord, SimulationResult
+
+
+def _result(name, service_s=1.0, carbon_g=1.0, n=4):
+    records = []
+    for i in range(n):
+        records.append(
+            InvocationRecord(
+                index=i,
+                t=float(i),
+                func_name="f",
+                mem_gb=0.5,
+                location=Generation.NEW,
+                cold=False,
+                setup_s=0.0,
+                cold_overhead_s=0.0,
+                exec_s=service_s,
+                service_carbon=CarbonBreakdown(op_cpu=carbon_g),
+                service_energy_wh=0.1,
+            )
+        )
+    return SimulationResult(scheduler_name=name, records=records, horizon_s=10.0)
+
+
+class TestCDF:
+    def test_of_sorted(self):
+        cdf = CDF.of([3.0, 1.0, 2.0])
+        assert cdf.values.tolist() == [1.0, 2.0, 3.0]
+        assert cdf.probs[-1] == 1.0
+
+    def test_percentile_and_prob(self):
+        cdf = CDF.of(np.arange(100))
+        assert cdf.percentile(50) == pytest.approx(49.5)
+        assert cdf.prob_at(49.0) == pytest.approx(0.5)
+
+    def test_series_downsamples(self):
+        cdf = CDF.of(np.arange(1000))
+        s = cdf.series(points=20)
+        assert len(s) == 20
+        assert s[-1][1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CDF.of([])
+
+
+class TestPctIncrease:
+    def test_basic(self):
+        assert pct_increase(1.1, 1.0) == pytest.approx(10.0)
+        assert pct_increase(1.0, 0.0) == 0.0
+
+    def test_per_invocation(self):
+        out = per_invocation_pct_increase([2.0, 1.0, 3.0], [1.0, 1.0, 0.0])
+        assert out.tolist() == [100.0, 0.0, 0.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            per_invocation_pct_increase([1.0], [1.0, 2.0])
+
+
+class TestComparisons:
+    def _results(self):
+        return {
+            "co2-opt": _result("co2-opt", service_s=2.0, carbon_g=1.0),
+            "service-time-opt": _result("st", service_s=1.0, carbon_g=2.0),
+            "oracle": _result("oracle", service_s=1.1, carbon_g=1.2),
+            "ecolife": _result("ecolife", service_s=1.2, carbon_g=1.3),
+        }
+
+    def test_relative_to_opts(self):
+        pts = relative_to_opts(self._results())
+        assert pts["co2-opt"].carbon_pct == 0.0
+        assert pts["service-time-opt"].service_pct == 0.0
+        assert pts["oracle"].carbon_pct == pytest.approx(20.0)
+        assert pts["oracle"].service_pct == pytest.approx(10.0)
+
+    def test_relative_to_oracle(self):
+        pts = relative_to_oracle(self._results())
+        assert pts["oracle"].carbon_pct == 0.0
+        assert pts["ecolife"].carbon_pct == pytest.approx(100 * (1.3 / 1.2 - 1))
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            relative_to_opts({"a": _result("a")})
+
+    def test_gap_pp(self):
+        pts = relative_to_opts(self._results())
+        svc, co2 = gap_pp(pts, "ecolife", "oracle")
+        assert svc == pytest.approx(pts["ecolife"].service_pct - 10.0)
+        assert co2 == pytest.approx(pts["ecolife"].carbon_pct - 20.0)
+
+
+class TestReporting:
+    def test_ascii_table_renders(self):
+        out = ascii_table(["a", "b"], [[1.5, "x"], [2.25, "y"]], title="T")
+        assert "T" in out
+        assert "1.50" in out
+        assert out.count("\n") >= 4
+
+    def test_scatter_table(self):
+        pts = relative_to_opts(
+            {
+                "co2-opt": _result("co2-opt"),
+                "service-time-opt": _result("st"),
+            }
+        )
+        out = scatter_table(pts, title="S")
+        assert "co2-opt" in out and "warm %" in out
+
+    def test_scatter_table_order(self):
+        pts = relative_to_opts(
+            {
+                "co2-opt": _result("co2-opt"),
+                "service-time-opt": _result("st"),
+            }
+        )
+        out = scatter_table(pts, title="S", order=["service-time-opt", "co2-opt"])
+        lines = out.splitlines()
+        assert lines[-2].strip().startswith("service-time-opt")

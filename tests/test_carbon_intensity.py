@@ -1,0 +1,150 @@
+"""Carbon-intensity trace: lookup, integration, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon import CarbonIntensityTrace
+
+
+@pytest.fixture
+def step_trace():
+    """100 g/kWh for the first minute, 300 for the second, 200 after."""
+    return CarbonIntensityTrace(
+        times_s=np.array([0.0, 60.0, 120.0]),
+        values=np.array([100.0, 300.0, 200.0]),
+    )
+
+
+class TestConstruction:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CarbonIntensityTrace(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CarbonIntensityTrace(np.array([0.0, 1.0]), np.array([1.0, -2.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_constant(self):
+        tr = CarbonIntensityTrace.constant(250.0)
+        assert tr.at(-5.0) == 250.0
+        assert tr.at(1e9) == 250.0
+
+    def test_from_minute_values(self):
+        tr = CarbonIntensityTrace.from_minute_values([10, 20, 30])
+        assert tr.at(0.0) == 10
+        assert tr.at(61.0) == 20
+        assert tr.times_s[-1] == 120.0
+
+
+class TestLookup:
+    def test_step_values(self, step_trace):
+        assert step_trace.at(0.0) == 100.0
+        assert step_trace.at(59.999) == 100.0
+        assert step_trace.at(60.0) == 300.0
+        assert step_trace.at(119.0) == 300.0
+        assert step_trace.at(500.0) == 200.0
+
+    def test_clamps_left(self, step_trace):
+        assert step_trace.at(-10.0) == 100.0
+
+    def test_at_many_matches_at(self, step_trace):
+        ts = np.array([-5.0, 0.0, 30.0, 60.0, 90.0, 120.0, 1e6])
+        many = step_trace.at_many(ts)
+        assert many.tolist() == [step_trace.at(t) for t in ts]
+
+
+class TestIntegration:
+    def test_within_one_segment(self, step_trace):
+        assert step_trace.integrate(10.0, 20.0) == pytest.approx(1000.0)
+
+    def test_across_segments(self, step_trace):
+        # 30 s at 100 + 60 s at 300 + 10 s at 200.
+        expected = 30 * 100 + 60 * 300 + 10 * 200
+        assert step_trace.integrate(30.0, 130.0) == pytest.approx(expected)
+
+    def test_beyond_last_knot_extends(self, step_trace):
+        assert step_trace.integrate(120.0, 180.0) == pytest.approx(60 * 200)
+
+    def test_reversed_interval_raises(self, step_trace):
+        with pytest.raises(ValueError, match="reversed"):
+            step_trace.integrate(10.0, 5.0)
+
+    def test_mean(self, step_trace):
+        assert step_trace.mean(0.0, 120.0) == pytest.approx(200.0)
+        # Empty interval falls back to the point value.
+        assert step_trace.mean(70.0, 70.0) == 300.0
+
+    def test_energy_to_carbon(self, step_trace):
+        # 1 kW for the first minute at 100 g/kWh: (1/60) h * 100 g/kWh.
+        g = step_trace.energy_to_carbon_g(1000.0, 0.0, 60.0)
+        assert g == pytest.approx(100.0 / 60.0)
+
+
+class TestStats:
+    def test_hourly_series_constant(self):
+        tr = CarbonIntensityTrace.from_minute_values([100.0] * 180)
+        assert np.allclose(tr.hourly_series(), 100.0)
+        assert tr.hourly_fluctuation_pct() == 0.0
+
+    def test_fluctuation_positive_for_varying(self):
+        vals = 100 + 50 * np.sin(np.arange(240) / 10.0)
+        tr = CarbonIntensityTrace.from_minute_values(vals)
+        assert tr.hourly_fluctuation_pct() > 0.0
+
+    def test_shifted(self, step_trace):
+        sh = step_trace.shifted(1000.0)
+        assert sh.at(1000.0) == step_trace.at(0.0)
+        assert sh.integrate(1000.0, 1060.0) == step_trace.integrate(0.0, 60.0)
+
+
+# -- property-based invariants -------------------------------------------------
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=600.0),
+            min_size=n, max_size=n,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0),
+            min_size=n, max_size=n,
+        )
+    )
+    t = np.cumsum(np.asarray(gaps))
+    return CarbonIntensityTrace(times_s=t, values=np.asarray(values))
+
+
+@given(traces(), st.floats(0.0, 5000.0), st.floats(0.0, 5000.0), st.floats(0.0, 5000.0))
+@settings(max_examples=60, deadline=None)
+def test_integral_is_additive(trace, a, b, c):
+    """integrate(a,c) == integrate(a,b) + integrate(b,c) for a <= b <= c."""
+    a, b, c = sorted((a, b, c))
+    whole = trace.integrate(a, c)
+    parts = trace.integrate(a, b) + trace.integrate(b, c)
+    assert whole == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+
+@given(traces(), st.floats(0.0, 5000.0), st.floats(0.1, 5000.0))
+@settings(max_examples=60, deadline=None)
+def test_mean_within_value_range(trace, a, width):
+    """The interval mean never escapes [min(values), max(values)]."""
+    m = trace.mean(a, a + width)
+    assert trace.values.min() - 1e-9 <= m <= trace.values.max() + 1e-9
+
+
+@given(traces(), st.floats(0.0, 5000.0), st.floats(0.0, 5000.0))
+@settings(max_examples=60, deadline=None)
+def test_integral_monotone_in_upper_limit(trace, a, b):
+    a, b = min(a, b), max(a, b)
+    assert trace.integrate(a, b) >= -1e-9

@@ -1,0 +1,60 @@
+"""Carbon-intensity CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.carbon import generate_region_trace
+from repro.carbon.io import load_ci_csv, save_ci_csv
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        original = generate_region_trace("NY", days=0.1, seed=2)
+        path = tmp_path / "ny.csv"
+        save_ci_csv(original, path)
+        loaded = load_ci_csv(path)
+        assert loaded.values.size == original.values.size
+        assert np.allclose(loaded.values, original.values, atol=1e-3)
+        assert np.allclose(loaded.times_s, original.times_s, atol=0.1)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        save_ci_csv(generate_region_trace("NY", days=0.05, seed=0), path)
+        assert load_ci_csv(path).name == "grid"
+
+
+class TestLoading:
+    def test_header_skipped_and_rows_sorted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,ci\n120,300\n0,100\n60,200\n")
+        tr = load_ci_csv(path)
+        assert tr.times_s.tolist() == [0.0, 60.0, 120.0]
+        assert tr.at(61.0) == 200.0
+
+    def test_iso_timestamps_rebased(self, tmp_path):
+        path = tmp_path / "iso.csv"
+        path.write_text(
+            "2024-01-01T00:00:00,100\n"
+            "2024-01-01T00:01:00,200\n"
+            "2024-01-01T00:02:00,300\n"
+        )
+        tr = load_ci_csv(path, iso=True)
+        assert tr.times_s.tolist() == [0.0, 60.0, 120.0]
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("header,only\n")
+        with pytest.raises(ValueError, match="no .* rows"):
+            load_ci_csv(path)
+
+    def test_malformed_rows_ignored(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("0,100\nnot,a,row\n60,abc\n120,300\n")
+        tr = load_ci_csv(path)
+        assert tr.values.tolist() == [100.0, 300.0]
+
+    def test_loaded_trace_is_fully_functional(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text("0,100\n60,200\n")
+        tr = load_ci_csv(path)
+        assert tr.integrate(0.0, 120.0) == pytest.approx(60 * 100 + 60 * 200)

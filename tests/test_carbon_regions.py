@@ -1,0 +1,104 @@
+"""Synthetic region generators, incl. the paper's CISO calibration."""
+
+import numpy as np
+import pytest
+
+from repro.carbon import (
+    REGION_NAMES,
+    REGIONS,
+    generate_region_trace,
+    region_trace_for,
+)
+
+
+def test_all_paper_regions_defined():
+    assert set(REGION_NAMES) == {"TEN", "TEX", "FLA", "NY", "CAL"}
+    for name in REGION_NAMES:
+        assert name in REGIONS
+
+
+def test_determinism():
+    a = generate_region_trace("CAL", days=0.5, seed=3)
+    b = generate_region_trace("CAL", days=0.5, seed=3)
+    assert np.array_equal(a.values, b.values)
+
+
+def test_seed_changes_trace():
+    a = generate_region_trace("CAL", days=0.5, seed=3)
+    b = generate_region_trace("CAL", days=0.5, seed=4)
+    assert not np.array_equal(a.values, b.values)
+
+
+def test_values_respect_floor():
+    for name in REGION_NAMES:
+        tr = generate_region_trace(name, days=2, seed=0)
+        assert tr.values.min() >= REGIONS[name].floor
+
+
+def test_ciso_calibration_matches_paper():
+    """Paper Sec. V: CISO fluctuates ~6.75% hourly with std ~59.24.
+
+    Averaged over several seeds the synthetic CISO must land near those
+    statistics (loose bands: the paper's numbers come from one specific
+    historical window).
+    """
+    stats = [generate_region_trace("CAL", days=3, seed=s) for s in range(6)]
+    fluct = np.mean([t.hourly_fluctuation_pct() for t in stats])
+    std = np.mean([t.std() for t in stats])
+    assert 4.5 <= fluct <= 9.0
+    assert 40.0 <= std <= 80.0
+
+
+def test_region_variability_ordering():
+    """CISO/Texas are the volatile grids; Tennessee/Florida the flat ones."""
+    std = {
+        name: np.mean(
+            [generate_region_trace(name, days=2, seed=s).std() for s in range(3)]
+        )
+        for name in REGION_NAMES
+    }
+    assert std["CAL"] > std["TEN"]
+    assert std["TEX"] > std["FLA"]
+    assert std["TEN"] < 30.0
+
+
+def test_region_mean_levels():
+    """Clean-grid California sits well below the fossil-heavy regions."""
+    means = {
+        name: generate_region_trace(name, days=2, seed=0).values.mean()
+        for name in REGION_NAMES
+    }
+    assert means["CAL"] < means["TEN"]
+    assert means["CAL"] < means["FLA"]
+    assert means["NY"] < means["FLA"]
+
+
+def test_duck_curve_shape():
+    """CISO midday (solar) is cleaner than early morning or evening."""
+    tr = generate_region_trace("CAL", days=4, seed=1)
+    minutes = tr.values.size
+    per_day = 1440
+    days = minutes // per_day
+    daily = tr.values[: days * per_day].reshape(days, per_day)
+    profile = daily.mean(axis=0)
+    midday = profile[12 * 60 : 14 * 60].mean()
+    morning = profile[6 * 60 : 8 * 60].mean()
+    evening = profile[19 * 60 : 21 * 60].mean()
+    assert midday < morning
+    assert midday < evening
+
+
+def test_region_trace_for_covers_duration():
+    tr = region_trace_for("NY", duration_s=7200.0, seed=0)
+    assert tr.duration_s >= 7200.0
+
+
+def test_start_hour_shifts_phase():
+    a = generate_region_trace("CAL", days=1, seed=0, start_hour=0.0)
+    b = generate_region_trace("CAL", days=1, seed=0, start_hour=12.0)
+    assert not np.array_equal(a.values, b.values)
+
+
+def test_unknown_region_raises():
+    with pytest.raises(KeyError):
+        generate_region_trace("MOON", days=1)

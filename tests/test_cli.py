@@ -1,0 +1,60 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            build_parser().parse_args(["--version"])
+        assert e.value.code == 0
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "fig14" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "a_old" in out and "Samsung-192" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run-experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Case A" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run-experiment", "fig99"]) == 2
+
+    def test_simulate_unknown_scheduler(self, capsys):
+        assert main(["simulate", "--scheduler", "nope"]) == 2
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheduler",
+                "new-only",
+                "--functions",
+                "5",
+                "--hours",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total carbon" in out
+
+    def test_run_trace_experiment_quick(self, capsys):
+        code = main(["run-experiment", "fig4", "--quick", "--seed", "3"])
+        assert code == 0
+        assert "Fig. 4" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Warm-pool adjuster: ranking, arrival weighting, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrivalRegistry, EcoLifeConfig, WarmPoolAdjuster
+from repro.core.objective import CostModel
+from repro.hardware import Generation
+from repro.simulator.scheduler import AdjustmentRequest, PoolCandidate
+from repro.workloads import FunctionProfile
+from tests.test_core_objective import make_env
+
+
+def _candidate(name, mem=1.0, cold_s=2.0, expire=600.0, incoming=False):
+    func = FunctionProfile(
+        name=name, mem_gb=mem, exec_ref_s=2.0, cold_ref_s=cold_s
+    )
+    return PoolCandidate(func=func, expire_s=expire, is_incoming=incoming)
+
+
+def _adjuster(arrivals=None, **cfg_kw):
+    env = make_env()
+    cfg = EcoLifeConfig(**cfg_kw)
+    return WarmPoolAdjuster(env, cfg, CostModel(env, cfg), arrivals)
+
+
+def _request(candidates, t=0.0):
+    return AdjustmentRequest(
+        t=t,
+        generation=Generation.NEW,
+        candidates=tuple(candidates),
+        capacity_gb=2.0,
+    )
+
+
+class TestRanking:
+    def test_higher_cold_benefit_ranks_first(self):
+        adj = _adjuster()
+        heavy = _candidate("heavy", cold_s=6.0)
+        light = _candidate("light", cold_s=0.3)
+        ranked = adj.rank(_request([light, heavy]))
+        assert [c.name for c in ranked] == ["heavy", "light"]
+
+    def test_permutation_preserved(self):
+        adj = _adjuster()
+        cands = [_candidate(f"f{i}", cold_s=0.5 + i) for i in range(5)]
+        ranked = adj.rank(_request(cands))
+        assert sorted(c.name for c in ranked) == sorted(c.name for c in cands)
+
+    def test_deterministic_tiebreak(self):
+        adj = _adjuster()
+        a = _candidate("aa", mem=0.5)
+        b = _candidate("bb", mem=0.5)
+        r1 = adj.rank(_request([a, b]))
+        r2 = adj.rank(_request([b, a]))
+        assert [c.name for c in r1] == [c.name for c in r2]
+
+
+class TestArrivalWeighting:
+    def _arrivals_with_period(self, name, period, n=40):
+        reg = ArrivalRegistry()
+        for t in np.arange(n) * period:
+            reg.observe(name, float(t))
+        return reg
+
+    def test_imminent_function_outranks_idle_one(self):
+        """Same cold-start benefit, but one function returns every 2 min
+        while the other returns every 2 h: the hot one keeps its slot."""
+        reg = self._arrivals_with_period("hot", 120.0)
+        for t in np.arange(3) * 7200.0:
+            reg.observe("cold", float(t))
+        adj = _adjuster(arrivals=reg)
+        hot = _candidate("hot", expire=600.0)
+        idle = _candidate("cold", expire=600.0)
+        ranked = adj.rank(_request([idle, hot]))
+        assert ranked[0].name == "hot"
+
+    def test_weighting_can_be_disabled(self):
+        reg = self._arrivals_with_period("hot", 120.0)
+        for t in np.arange(3) * 7200.0:
+            reg.observe("cold", float(t))
+        adj = _adjuster(arrivals=reg, adjustment_arrival_weighting=False)
+        hot = _candidate("hot", expire=600.0)
+        idle = _candidate("cold", expire=600.0)
+        # Identical profiles -> identical paper-literal scores; arrival
+        # statistics must not influence the ranking when disabled.
+        assert adj.priority(hot, _request([hot, idle])) == pytest.approx(
+            adj.priority(idle, _request([hot, idle]))
+        )
+
+    def test_arrival_mass_bounds(self):
+        reg = self._arrivals_with_period("f", 120.0)
+        adj = _adjuster(arrivals=reg)
+        c_soon = _candidate("f", expire=600.0)
+        c_expired = _candidate("f", expire=0.0)
+        assert 0.0 <= adj.arrival_mass(c_expired, t=10.0) <= adj.arrival_mass(
+            c_soon, t=10.0
+        ) <= 1.0
+
+    def test_no_registry_means_neutral_weight(self):
+        adj = _adjuster(arrivals=None)
+        assert adj.arrival_mass(_candidate("x"), t=0.0) == 1.0

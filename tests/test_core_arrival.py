@@ -1,0 +1,155 @@
+"""Arrival estimator: empirical IAT statistics with prior blending."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArrivalEstimator, ArrivalRegistry
+
+
+def make_est(**kw):
+    base = dict(history=64, prior_mean_iat_s=600.0, prior_strength=2.0)
+    base.update(kw)
+    return ArrivalEstimator(**base)
+
+
+class TestObservation:
+    def test_first_observation_yields_no_iat(self):
+        est = make_est()
+        est.observe(100.0)
+        assert est.n_samples == 0
+
+    def test_iats_recorded(self):
+        est = make_est()
+        for t in (0.0, 60.0, 180.0):
+            est.observe(t)
+        assert est.n_samples == 2
+
+    def test_out_of_order_rejected(self):
+        est = make_est()
+        est.observe(10.0)
+        with pytest.raises(ValueError, match="time order"):
+            est.observe(5.0)
+
+    def test_history_window(self):
+        est = make_est(history=4)
+        for t in np.arange(10) * 10.0:
+            est.observe(t)
+        assert est.n_samples == 4
+
+
+class TestPWarm:
+    def test_prior_only(self):
+        est = make_est()
+        p = est.p_warm([0.0, 600.0, 1e9])
+        assert p[0] == pytest.approx(0.0)
+        assert p[1] == pytest.approx(1 - np.exp(-1))
+        assert p[2] == pytest.approx(1.0)
+
+    def test_empirical_dominates_with_history(self):
+        est = make_est(prior_strength=2.0)
+        # Strictly periodic at 120 s.
+        for t in np.arange(50) * 120.0:
+            est.observe(t)
+        p_low = est.p_warm([60.0])[0]
+        p_high = est.p_warm([180.0])[0]
+        assert p_low < 0.15  # almost never warm below the period
+        assert p_high > 0.9  # almost surely warm above it
+
+    def test_monotone_in_k(self):
+        est = make_est()
+        for t in np.cumsum(np.random.default_rng(0).exponential(100.0, 30)):
+            est.observe(float(t))
+        ks = np.linspace(0, 2000, 50)
+        p = est.p_warm(ks)
+        assert (np.diff(p) >= -1e-12).all()
+        assert ((0.0 <= p) & (p <= 1.0)).all()
+
+
+class TestExpectedKeepalive:
+    def test_prior_only_closed_form(self):
+        est = make_est()
+        e = est.expected_keepalive_s([600.0])[0]
+        assert e == pytest.approx(600.0 * (1 - np.exp(-1)))
+
+    def test_bounded_by_k_and_mean(self):
+        est = make_est()
+        for t in np.cumsum(np.random.default_rng(1).exponential(300.0, 40)):
+            est.observe(float(t))
+        ks = np.array([0.0, 60.0, 600.0, 3600.0])
+        e = est.expected_keepalive_s(ks)
+        assert e[0] == pytest.approx(0.0)
+        assert (e <= ks + 1e-9).all()
+        assert (np.diff(e) >= -1e-9).all()
+
+    def test_periodic_saturates_at_period(self):
+        est = make_est(prior_strength=0.0)
+        for t in np.arange(30) * 120.0:
+            est.observe(t)
+        e = est.expected_keepalive_s([1e6])[0]
+        assert e == pytest.approx(120.0)
+
+    def test_mean_iat_blend(self):
+        est = make_est()
+        assert est.mean_iat_s == 600.0  # pure prior
+        for t in (0.0, 100.0, 200.0):
+            est.observe(t)
+        # 2 samples of 100 s, prior strength 2 -> halfway blend.
+        assert est.mean_iat_s == pytest.approx(0.5 * 100 + 0.5 * 600)
+
+
+class TestRegistry:
+    def test_per_function_isolation(self):
+        reg = ArrivalRegistry()
+        reg.observe("a", 0.0)
+        reg.observe("a", 50.0)
+        reg.observe("b", 10.0)
+        assert reg.get("a").n_samples == 1
+        assert reg.get("b").n_samples == 0
+        assert len(reg) == 2
+
+    def test_get_creates_once(self):
+        reg = ArrivalRegistry()
+        assert reg.get("x") is reg.get("x")
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            make_est(history=1)
+        with pytest.raises(ValueError):
+            make_est(prior_mean_iat_s=0.0)
+        with pytest.raises(ValueError):
+            make_est(prior_strength=-1.0)
+
+
+@given(
+    iats=st.lists(st.floats(1.0, 10_000.0), min_size=1, max_size=80),
+    k=st.floats(0.0, 20_000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_p_warm_matches_empirical_fraction(iats, k):
+    """With zero prior weight, p_warm(k) is exactly the ECDF."""
+    est = ArrivalEstimator(history=128, prior_mean_iat_s=600.0, prior_strength=0.0)
+    times = np.cumsum([0.0] + iats)
+    for t in times:
+        est.observe(float(t))
+    # Compare against the gaps the estimator actually saw (absolute-time
+    # subtraction can differ from the raw gaps in the last ulp).
+    seen = np.diff(times)
+    expected = float(np.mean(seen <= k))
+    assert est.p_warm([k])[0] == pytest.approx(expected)
+
+
+@given(iats=st.lists(st.floats(1.0, 10_000.0), min_size=1, max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_property_expected_min_is_mean_when_k_huge(iats):
+    est = ArrivalEstimator(history=128, prior_mean_iat_s=600.0, prior_strength=0.0)
+    t = 0.0
+    est.observe(t)
+    for gap in iats:
+        t += gap
+        est.observe(t)
+    e = est.expected_keepalive_s([1e12])[0]
+    assert e == pytest.approx(np.mean(iats), rel=1e-9)

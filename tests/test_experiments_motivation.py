@@ -1,0 +1,87 @@
+"""Motivation experiment drivers (Figs. 1-3): paper-shape assertions."""
+
+import pytest
+
+from repro.experiments import run_fig01, run_fig02, run_fig03
+from repro.experiments.fig01_motivation import KEEPALIVE_MINUTES
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig01()
+
+    def test_all_series_present(self, result):
+        assert len(result.points) == 3 * len(KEEPALIVE_MINUTES)
+
+    def test_keepalive_grows_linearly(self, result):
+        series = result.series("graph-bfs")
+        kas = [p.keepalive_co2_g for p in series]
+        assert kas[1] / kas[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_fraction_grows_with_k(self, result):
+        f2 = result.fraction("graph-bfs", 2.0)
+        f10 = result.fraction("graph-bfs", 10.0)
+        assert f2 < f10
+        assert 0.1 < f2 < 0.35
+        assert 0.4 < f10 < 0.7
+
+    def test_service_constant_across_k(self, result):
+        series = result.series("video-processing")
+        assert len({round(p.service_co2_g, 12) for p in series}) == 1
+
+    def test_render_contains_rows(self, result):
+        out = result.render()
+        assert "graph-bfs" in out and "dna-visualization" in out
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig02()
+
+    def test_grid_complete(self, result):
+        assert len(result.points) == 3 * 4
+
+    def test_video_a_pair_tradeoff(self, result):
+        """Paper: -23.8% carbon / +15.9% time on A_OLD for video-processing."""
+        assert 10.0 < result.saving_pct("video-processing", "a_old", "a_new") < 35.0
+        assert 10.0 < result.slowdown_pct("video-processing", "a_old", "a_new") < 25.0
+
+    def test_c_pair_small_perf_impact(self, result):
+        """Paper: Graph-BFS on C_OLD: small slowdown, visible saving."""
+        assert result.slowdown_pct("graph-bfs", "c_old", "c_new") < 15.0
+        assert result.saving_pct("graph-bfs", "c_old", "c_new") > 0.0
+
+    def test_keepalive_cheaper_on_old_everywhere(self, result):
+        for func in ("video-processing", "graph-bfs", "dna-visualization"):
+            assert (
+                result.get(func, "a_old").keepalive_co2_g
+                < result.get(func, "a_new").keepalive_co2_g
+            )
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig03()
+
+    def test_high_ci_case_a_wins_everywhere(self, result):
+        for func in ("video-processing", "graph-bfs", "dna-visualization"):
+            p = result.get(func, 300.0)
+            assert p.co2_saving_pct > 0.0
+            assert p.service_saving_pct > 0.0
+
+    def test_video_service_saving_matches_paper(self, result):
+        """Paper: 52.3% service-time saving for video-processing."""
+        p = result.get("video-processing", 300.0)
+        assert 40.0 < p.service_saving_pct < 60.0
+
+    def test_dna_inversion_at_low_ci(self, result):
+        assert result.get("dna-visualization", 50.0).inverted
+        assert not result.get("dna-visualization", 300.0).inverted
+
+    def test_service_savings_ci_independent(self, result):
+        a = result.get("graph-bfs", 300.0).service_saving_pct
+        b = result.get("graph-bfs", 50.0).service_saving_pct
+        assert a == pytest.approx(b)

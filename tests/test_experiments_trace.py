@@ -1,0 +1,141 @@
+"""Trace-driven experiment drivers on a small scenario (integration tests)."""
+
+import pytest
+
+from repro.experiments import (
+    default_scenario,
+    run_fig04,
+    run_fig07,
+    run_fig09,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_component_sensitivity,
+    run_embodied_sensitivity,
+    run_optimizer_comparison,
+    run_overhead,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """A small-but-representative scenario for integration tests."""
+    return default_scenario(n_functions=15, hours=1.0, seed=9)
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self, tiny):
+        return run_fig04(tiny)
+
+    def test_axes_anchored(self, result):
+        assert result.points["co2-opt"].carbon_pct == 0.0
+        assert result.points["service-time-opt"].service_pct == 0.0
+
+    def test_opts_are_apart(self, result):
+        """Joint optimization is a real trade-off (Sec. III)."""
+        assert result.points["co2-opt"].service_pct > 2.0
+        assert result.points["service-time-opt"].carbon_pct > 2.0
+
+    def test_oracle_dominated_by_neither(self, result):
+        pts = result.points
+        assert pts["oracle"].carbon_pct <= pts["service-time-opt"].carbon_pct
+        assert pts["oracle"].service_pct <= pts["co2-opt"].service_pct
+
+    def test_render(self, result):
+        assert "Fig. 4" in result.render()
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self, tiny):
+        return run_fig07(tiny)
+
+    def test_ecolife_near_oracle(self, result):
+        svc_gap, co2_gap = result.ecolife_gap_to_oracle_pp
+        assert svc_gap < 15.0
+        assert co2_gap < 12.0
+
+    def test_ecolife_bounded_distance_to_oracle(self, result):
+        """EcoLife tracks the oracle even on a tiny trace with little
+        arrival history to learn from (the larger bench scenarios assert
+        the tighter paper margins)."""
+        pts = result.points
+        eco_d = abs(pts["ecolife"].service_pct - pts["oracle"].service_pct) + abs(
+            pts["ecolife"].carbon_pct - pts["oracle"].carbon_pct
+        )
+        assert eco_d < 25.0
+
+
+class TestFig09:
+    def test_single_gen_baselines_dominated(self, tiny):
+        result = run_fig09(tiny)
+        pts = result.points
+        # OLD-ONLY is much slower; EcoLife saves service time vs it.
+        assert result.service_saving_vs_old_only_pct > 0.0
+        assert pts["old-only"].service_pct > pts["ecolife"].service_pct
+
+
+class TestFig11:
+    def test_adjustment_dominates_on_warm_ratio(self, tiny):
+        result = run_fig11(tiny)
+        for label in ("6/6", "8/8", "12/12"):
+            w = result.get(label, True)
+            wo = result.get(label, False)
+            assert w.warm_ratio >= wo.warm_ratio - 0.02
+
+    def test_more_memory_fewer_evictions(self, tiny):
+        result = run_fig11(tiny)
+        assert (
+            result.get("12/12", True).evicted <= result.get("6/6", True).evicted
+        )
+
+
+class TestFig12:
+    def test_static_variants_lose_on_their_weak_axis(self, tiny):
+        result = run_fig12(tiny)
+        pts = result.points
+        assert pts["eco-old"].service_pct > pts["oracle"].service_pct
+        assert pts["eco-new"].carbon_pct > pts["oracle"].carbon_pct
+
+
+class TestFig13:
+    def test_all_pairs_evaluated_and_bounded(self, tiny):
+        result = run_fig13(tiny)
+        assert [p.pair for p in result.points] == ["A", "B", "C"]
+        assert result.max_margin_pct < 25.0
+
+
+class TestFig14:
+    def test_all_regions_evaluated(self, tiny):
+        result = run_fig14(tiny)
+        assert [p.region for p in result.points] == [
+            "TEN", "TEX", "FLA", "NY", "CAL",
+        ]
+        assert result.max_carbon_margin_pct < 20.0
+
+
+class TestSensitivity:
+    def test_optimizer_comparison_runs(self, tiny):
+        result = run_optimizer_comparison(tiny)
+        assert set(result.service_s) == {"ecolife", "ecolife-ga", "ecolife-sa"}
+        assert "PSO vs GA" in result.render()
+
+    def test_overhead_within_paper_bounds(self, tiny):
+        result = run_overhead(tiny)
+        assert result.service_overhead_pct < 0.4
+        assert result.carbon_overhead_pct < 1.2
+        assert result.mean_decision_ms < 5.0
+
+    def test_embodied_flexibility(self, tiny):
+        result = run_embodied_sensitivity(tiny)
+        assert len(result.points) == 3
+        labels = [p.label for p in result.points]
+        assert labels == ["embodied x0.9", "embodied x1", "embodied x1.1"]
+
+    def test_component_extension(self, tiny):
+        result = run_component_sensitivity(tiny, extra_kg=80.0)
+        assert len(result.points) == 2
+        # Adding platform embodied must not break EcoLife's closeness.
+        assert result.get("+platform 80 kg").carbon_pct_vs_oracle < 20.0

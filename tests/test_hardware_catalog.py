@@ -1,0 +1,83 @@
+"""Table I catalog invariants -- the orderings EcoLife's motivation rests on."""
+
+import pytest
+
+from repro.hardware import (
+    PAIRS,
+    Generation,
+    get_pair,
+    single_generation_pair,
+)
+
+
+def test_all_three_pairs_present():
+    assert sorted(PAIRS) == ["A", "B", "C"]
+
+
+def test_get_pair_case_insensitive():
+    assert get_pair("a") is PAIRS["A"]
+    assert get_pair(" B ") is PAIRS["B"]
+
+
+def test_get_pair_unknown():
+    with pytest.raises(KeyError, match="unknown hardware pair"):
+        get_pair("Z")
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+class TestPairOrderings:
+    """The catalog must encode the paper's old-vs-new trade-off."""
+
+    def test_old_is_older(self, name):
+        pair = get_pair(name)
+        assert pair.old.cpu.year < pair.new.cpu.year
+
+    def test_old_is_slower(self, name):
+        pair = get_pair(name)
+        assert pair.old.perf_index < pair.new.perf_index
+
+    def test_old_has_lower_percore_embodied(self, name):
+        """Old hardware: lower embodied carbon per keep-alive core."""
+        pair = get_pair(name)
+        assert (
+            pair.old.cpu.embodied_per_core_g < pair.new.cpu.embodied_per_core_g
+        )
+
+    def test_old_has_lower_percore_keepalive_power(self, name):
+        pair = get_pair(name)
+        assert (
+            pair.old.cpu.keepalive_core_power_w
+            < pair.new.cpu.keepalive_core_power_w
+        )
+
+    def test_generation_labels(self, name):
+        pair = get_pair(name)
+        assert pair.old.generation is Generation.OLD
+        assert pair.new.generation is Generation.NEW
+
+    def test_four_year_lifetime_default(self, name):
+        pair = get_pair(name)
+        assert pair.old.lifetime_years == 4.0
+        assert pair.new.lifetime_years == 4.0
+
+
+def test_older_dram_has_higher_embodied_per_gb():
+    """Lower-density (older) DRAM costs more wafer area per GB."""
+    pair = get_pair("A")
+    assert pair.old.dram.embodied_kg_per_gb > pair.new.dram.embodied_kg_per_gb
+
+
+def test_single_generation_pair_old():
+    base = get_pair("A")
+    degenerate = single_generation_pair(base, Generation.OLD)
+    assert degenerate.old.cpu == base.old.cpu
+    assert degenerate.new.cpu == base.old.cpu
+    assert degenerate.old.generation is Generation.OLD
+    assert degenerate.new.generation is Generation.NEW
+
+
+def test_single_generation_pair_new():
+    base = get_pair("C")
+    degenerate = single_generation_pair(base, Generation.NEW)
+    assert degenerate.old.cpu == base.new.cpu
+    assert degenerate.new.dram == base.new.dram

@@ -1,0 +1,72 @@
+"""Energy model."""
+
+import pytest
+
+from repro.hardware import EnergyModel
+from repro.hardware.catalog import A_NEW, A_OLD
+
+
+@pytest.fixture
+def em():
+    return EnergyModel()
+
+
+class TestServiceEnergy:
+    def test_cpu_full_power(self, em):
+        # 300 W for 1 hour -> 300 Wh.
+        assert em.cpu_service_wh(A_NEW, 3600.0) == pytest.approx(300.0)
+
+    def test_cold_window_added(self, em):
+        base = em.cpu_service_wh(A_NEW, 10.0)
+        with_cold = em.cpu_service_wh(A_NEW, 10.0, cold_overhead_s=10.0)
+        assert with_cold == pytest.approx(2 * base)
+
+    def test_cold_power_fraction(self):
+        em = EnergyModel(coldstart_power_fraction=0.5)
+        e = em.cpu_service_wh(A_NEW, 0.0, cold_overhead_s=3600.0)
+        assert e == pytest.approx(150.0)
+
+    def test_dram_service(self, em):
+        # Whole-DRAM energy; share applied by the carbon layer.
+        expected = A_NEW.dram.total_power_w  # 1 hour
+        assert em.dram_service_wh(A_NEW, 3600.0) == pytest.approx(expected)
+
+    def test_rejects_negative_duration(self, em):
+        with pytest.raises(ValueError):
+            em.cpu_service_wh(A_NEW, -1.0)
+
+
+class TestKeepaliveEnergy:
+    def test_cpu_keepalive_is_package_idle(self, em):
+        assert em.cpu_keepalive_wh(A_NEW, 3600.0) == pytest.approx(
+            A_NEW.cpu.idle_power_w
+        )
+
+    def test_keepalive_power_attributed(self, em):
+        p = em.keepalive_power_attributed_w(A_NEW, mem_gb=1.0)
+        expected = A_NEW.cpu.keepalive_core_power_w + A_NEW.dram.power_w_per_gb
+        assert p == pytest.approx(expected)
+
+    def test_old_keepalive_cheaper_per_function(self, em):
+        """Per-function keep-alive power: old < new (catalog calibration)."""
+        assert em.keepalive_power_attributed_w(
+            A_OLD, 0.5
+        ) < em.keepalive_power_attributed_w(A_NEW, 0.5)
+
+    def test_zero_memory_function(self, em):
+        p = em.keepalive_power_attributed_w(A_NEW, 0.0)
+        assert p == pytest.approx(A_NEW.cpu.keepalive_core_power_w)
+
+
+class TestValidation:
+    def test_bad_cold_fraction(self):
+        with pytest.raises(ValueError):
+            EnergyModel(coldstart_power_fraction=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(coldstart_power_fraction=1.5)
+
+    def test_service_power_attributed(self, em):
+        p = em.service_power_attributed_w(A_NEW, mem_gb=192.0)
+        assert p == pytest.approx(
+            A_NEW.cpu.full_power_w + A_NEW.dram.total_power_w
+        )

@@ -1,0 +1,113 @@
+"""CPU/DRAM/server spec types."""
+
+import pytest
+
+from repro.hardware import CPUSpec, DRAMSpec, Generation, HardwarePair, ServerSpec
+from repro.hardware.catalog import A_NEW, A_OLD
+
+
+def _cpu(**kw):
+    base = dict(
+        name="cpu", year=2020, cores=24, full_power_w=300.0,
+        idle_power_w=36.0, embodied_kg=30.0,
+    )
+    base.update(kw)
+    return CPUSpec(**base)
+
+
+def _dram(**kw):
+    base = dict(
+        name="dram", year=2019, capacity_gb=192.0,
+        embodied_kg_per_gb=0.4, power_w_per_gb=0.33,
+    )
+    base.update(kw)
+    return DRAMSpec(**base)
+
+
+class TestCPUSpec:
+    def test_derived_quantities(self):
+        cpu = _cpu()
+        assert cpu.embodied_g == 30000.0
+        assert cpu.embodied_per_core_g == pytest.approx(1250.0)
+        assert cpu.keepalive_core_power_w == pytest.approx(1.5)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            _cpu(cores=0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            _cpu(full_power_w=0.0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ValueError):
+            _cpu(idle_power_w=-1.0)
+
+
+class TestDRAMSpec:
+    def test_derived_quantities(self):
+        d = _dram()
+        assert d.embodied_g == pytest.approx(0.4 * 192 * 1000)
+        assert d.total_power_w == pytest.approx(0.33 * 192)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            _dram(capacity_gb=0.0)
+
+
+class TestServerSpec:
+    def test_lifetime_and_slowdown(self):
+        s = ServerSpec(
+            key="s", generation=Generation.OLD, cpu=_cpu(), dram=_dram(),
+            perf_index=0.8,
+        )
+        assert s.lifetime_s == pytest.approx(4 * 365 * 86400)
+        assert s.slowdown == pytest.approx(1.25)
+
+    def test_scaled_embodied(self):
+        s2 = A_OLD.scaled_embodied(1.1)
+        assert s2.cpu.embodied_kg == pytest.approx(A_OLD.cpu.embodied_kg * 1.1)
+        assert s2.dram.embodied_kg_per_gb == pytest.approx(
+            A_OLD.dram.embodied_kg_per_gb * 1.1
+        )
+        # Power and performance are untouched.
+        assert s2.cpu.full_power_w == A_OLD.cpu.full_power_w
+        assert s2.perf_index == A_OLD.perf_index
+
+    def test_scaled_embodied_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            A_OLD.scaled_embodied(0.0)
+
+    def test_with_platform_overhead(self):
+        s2 = A_NEW.with_platform_overhead(50.0)
+        assert s2.platform_embodied_kg == 50.0
+        assert A_NEW.platform_embodied_kg == 0.0  # original untouched
+
+
+class TestGeneration:
+    def test_other(self):
+        assert Generation.OLD.other is Generation.NEW
+        assert Generation.NEW.other is Generation.OLD
+
+    def test_str(self):
+        assert str(Generation.OLD) == "old"
+
+
+class TestHardwarePair:
+    def test_lookup(self):
+        pair = HardwarePair(name="X", old=A_OLD, new=A_NEW)
+        assert pair.server(Generation.OLD) is A_OLD
+        assert pair[Generation.NEW] is A_NEW
+        assert pair.servers[Generation.OLD] is A_OLD
+
+    def test_rejects_wrong_generation_slots(self):
+        with pytest.raises(ValueError, match="must be Generation.OLD"):
+            HardwarePair(name="X", old=A_NEW, new=A_NEW)
+        with pytest.raises(ValueError, match="must be Generation.NEW"):
+            HardwarePair(name="X", old=A_OLD, new=A_OLD)
+
+    def test_map_servers(self):
+        pair = HardwarePair(name="X", old=A_OLD, new=A_NEW)
+        scaled = pair.map_servers(lambda s: s.scaled_embodied(2.0))
+        assert scaled.old.cpu.embodied_kg == pytest.approx(2 * A_OLD.cpu.embodied_kg)
+        assert scaled.new.cpu.embodied_kg == pytest.approx(2 * A_NEW.cpu.embodied_kg)

@@ -1,0 +1,87 @@
+"""Warm pool mechanics."""
+
+import math
+
+import pytest
+
+from repro.hardware import Generation
+from repro.simulator import PoolFullError, WarmContainer, WarmPool
+from repro.workloads import FunctionProfile
+
+
+def _container(name, mem=1.0, gen=Generation.NEW, start=0.0, expire=600.0, idx=0):
+    func = FunctionProfile(name=name, mem_gb=mem, exec_ref_s=1.0, cold_ref_s=1.0)
+    return WarmContainer(
+        func=func, location=gen, segment_start_s=start, expire_s=expire,
+        decider_index=idx,
+    )
+
+
+class TestWarmPool:
+    def test_insert_and_lookup(self):
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=4.0)
+        c = _container("a", mem=1.5)
+        pool.insert(c)
+        assert "a" in pool
+        assert pool.get("a") is c
+        assert pool.used_gb == pytest.approx(1.5)
+        assert pool.free_gb == pytest.approx(2.5)
+
+    def test_capacity_enforced(self):
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=2.0)
+        pool.insert(_container("a", mem=1.5))
+        assert not pool.fits(1.0)
+        with pytest.raises(PoolFullError):
+            pool.insert(_container("b", mem=1.0))
+
+    def test_exact_fit_allowed(self):
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=2.0)
+        pool.insert(_container("a", mem=1.5))
+        pool.insert(_container("b", mem=0.5))
+        assert len(pool) == 2
+
+    def test_remove_restores_capacity(self):
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=2.0)
+        pool.insert(_container("a", mem=2.0))
+        pool.remove("a")
+        assert pool.used_gb == 0.0
+        pool.insert(_container("b", mem=2.0))
+
+    def test_remove_missing_raises(self):
+        pool = WarmPool(generation=Generation.NEW)
+        with pytest.raises(KeyError):
+            pool.remove("ghost")
+
+    def test_duplicate_insert_rejected(self):
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=10.0)
+        pool.insert(_container("a"))
+        with pytest.raises(ValueError, match="already"):
+            pool.insert(_container("a"))
+
+    def test_generation_mismatch_rejected(self):
+        pool = WarmPool(generation=Generation.NEW)
+        with pytest.raises(ValueError, match="location"):
+            pool.insert(_container("a", gen=Generation.OLD))
+
+    def test_unbounded_default(self):
+        pool = WarmPool(generation=Generation.OLD)
+        assert pool.capacity_gb == math.inf
+        for i in range(50):
+            pool.insert(_container(f"f{i}", mem=100.0, gen=Generation.OLD))
+        assert len(pool) == 50
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            WarmPool(generation=Generation.NEW, capacity_gb=-1.0)
+
+
+class TestWarmContainer:
+    def test_remaining(self):
+        c = _container("a", expire=100.0)
+        assert c.remaining_s(40.0) == 60.0
+        assert c.remaining_s(150.0) == 0.0
+
+    def test_properties(self):
+        c = _container("a", mem=2.5)
+        assert c.name == "a"
+        assert c.mem_gb == 2.5

@@ -1,0 +1,279 @@
+"""Simulation engine semantics: warm/cold, accounting, adjustment, flush."""
+
+import math
+
+import pytest
+
+from repro.carbon import CarbonIntensityTrace, CarbonModel
+from repro.hardware import PAIR_A, Generation
+from repro.simulator import (
+    AdjustmentRequest,
+    BaseScheduler,
+    KeepAliveDecision,
+    KeepAliveRequest,
+    PlacementRequest,
+    SimulationConfig,
+    SimulationEngine,
+)
+from repro.workloads import FunctionProfile, InvocationTrace
+
+CI = 250.0
+
+
+class FixedTestScheduler(BaseScheduler):
+    """Keep-alive for a fixed duration/location; prefer warm placement."""
+
+    name = "fixed-test"
+
+    def __init__(self, gen=Generation.NEW, keepalive_s=600.0, spill=True):
+        super().__init__()
+        self.gen = gen
+        self.keepalive_s = keepalive_s
+        self.allow_spill = spill
+
+    def place(self, req: PlacementRequest) -> Generation:
+        if req.warm_locations:
+            return req.warm_locations[0]
+        return self.gen
+
+    def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
+        return KeepAliveDecision(location=self.gen, duration_s=self.keepalive_s)
+
+
+def _func(name="f", mem=1.0, exec_s=2.0, cold_s=1.0):
+    return FunctionProfile(
+        name=name, mem_gb=mem, exec_ref_s=exec_s, cold_ref_s=cold_s,
+        perf_sensitivity=0.0, cold_sensitivity=0.0,
+    )
+
+
+def _engine(events, config=None, ci=CI):
+    trace = InvocationTrace.from_events(events)
+    return SimulationEngine(
+        pair=PAIR_A,
+        trace=trace,
+        ci_trace=CarbonIntensityTrace.constant(ci),
+        config=config or SimulationConfig(setup_delay_s=0.0),
+    )
+
+
+class TestWarmColdSemantics:
+    def test_first_invocation_is_cold(self):
+        f = _func()
+        res = _engine([(0.0, f)]).run(FixedTestScheduler())
+        assert len(res) == 1
+        assert res.records[0].cold
+        assert res.records[0].service_s == pytest.approx(3.0)  # cold 1 + exec 2
+
+    def test_reinvocation_within_keepalive_is_warm(self):
+        f = _func()
+        # Second invocation 100 s after the first *completes* (3 s service).
+        res = _engine([(0.0, f), (103.0, f)]).run(FixedTestScheduler())
+        assert not res.records[1].cold
+        assert res.records[1].service_s == pytest.approx(2.0)
+
+    def test_reinvocation_after_keepalive_is_cold(self):
+        f = _func()
+        # Keep-alive 600 s starting at t=3; expired by t=800.
+        res = _engine([(0.0, f), (800.0, f)]).run(FixedTestScheduler())
+        assert res.records[1].cold
+
+    def test_boundary_exactly_at_expiry_is_cold(self):
+        f = _func()
+        # Keep-alive ends at 3 + 600 = 603; invocation at exactly 603 misses.
+        res = _engine([(0.0, f), (603.0, f)]).run(FixedTestScheduler())
+        assert res.records[1].cold
+
+    def test_just_before_expiry_is_warm(self):
+        f = _func()
+        res = _engine([(0.0, f), (602.9, f)]).run(FixedTestScheduler())
+        assert not res.records[1].cold
+
+    def test_no_keepalive_means_always_cold(self):
+        f = _func()
+        res = _engine([(0.0, f), (10.0, f)]).run(
+            FixedTestScheduler(keepalive_s=0.0)
+        )
+        assert res.records[1].cold
+        assert res.total_keepalive_carbon_g == 0.0
+
+    def test_distinct_functions_do_not_share_warmth(self):
+        fa, fb = _func("a"), _func("b")
+        res = _engine([(0.0, fa), (10.0, fb)]).run(FixedTestScheduler())
+        assert res.records[1].cold
+
+
+class TestCarbonAccounting:
+    def test_keepalive_truncated_by_warm_hit(self):
+        """Keep-alive carbon accrues only until the next (warm) invocation."""
+        f = _func()
+        res = _engine([(0.0, f), (103.0, f)]).run(FixedTestScheduler())
+        model = CarbonModel(trace=CarbonIntensityTrace.constant(CI))
+        # Segment: from t=3 (first completion) to t=103 (warm hit).
+        expected = model.keepalive(PAIR_A.new, f.mem_gb, 3.0, 103.0).total
+        assert res.records[0].keepalive_carbon.total == pytest.approx(expected)
+        assert res.records[0].keepalive_s == pytest.approx(100.0)
+
+    def test_keepalive_full_period_on_expiry(self):
+        f = _func()
+        res = _engine([(0.0, f), (5000.0, f)]).run(FixedTestScheduler())
+        assert res.records[0].keepalive_s == pytest.approx(600.0)
+
+    def test_flush_accrues_trailing_containers(self):
+        f = _func()
+        res = _engine([(0.0, f)]).run(FixedTestScheduler())
+        # No further invocation: the container expires naturally.
+        assert res.records[0].keepalive_s == pytest.approx(600.0)
+
+    def test_service_carbon_matches_model(self):
+        f = _func()
+        res = _engine([(0.0, f)]).run(FixedTestScheduler())
+        model = CarbonModel(trace=CarbonIntensityTrace.constant(CI))
+        expected = model.service(PAIR_A.new, f.mem_gb, 0.0, 2.0, 1.0).total
+        assert res.records[0].service_carbon.total == pytest.approx(expected)
+
+    def test_attribution_to_decider(self):
+        """Each keep-alive segment lands on the invocation that decided it."""
+        f = _func()
+        res = _engine([(0.0, f), (103.0, f), (206.0, f)]).run(FixedTestScheduler())
+        assert res.records[0].keepalive_s == pytest.approx(100.0)
+        assert res.records[1].keepalive_s == pytest.approx(101.0)  # 105 -> 206
+        assert res.records[2].keepalive_s == pytest.approx(600.0)  # expires
+
+    def test_total_carbon_is_sum_of_parts(self):
+        f = _func()
+        res = _engine([(0.0, f), (50.0, f), (900.0, f)]).run(FixedTestScheduler())
+        assert res.total_carbon_g == pytest.approx(
+            res.total_service_carbon_g + res.total_keepalive_carbon_g
+        )
+
+    def test_old_placement_uses_old_server(self):
+        f = _func()
+        res = _engine([(0.0, f)]).run(FixedTestScheduler(gen=Generation.OLD))
+        assert res.records[0].location is Generation.OLD
+        model = CarbonModel(trace=CarbonIntensityTrace.constant(CI))
+        expected = model.service(PAIR_A.old, f.mem_gb, 0.0, 2.0, 1.0).total
+        assert res.records[0].service_carbon.total == pytest.approx(expected)
+
+
+class TestMemoryPressure:
+    def _config(self, old=2.0, new=2.0):
+        return SimulationConfig(
+            pool_capacity_old_gb=old, pool_capacity_new_gb=new, setup_delay_s=0.0
+        )
+
+    def test_default_ranking_evicts_earliest_expiry(self):
+        """Two 1 GB functions fill a 2 GB pool; a third evicts the oldest."""
+        fa, fb, fc = _func("a"), _func("b"), _func("c")
+        sched = FixedTestScheduler(spill=False)
+        res = _engine(
+            [(0.0, fa), (10.0, fb), (20.0, fc), (25.0, fa)],
+            config=self._config(),
+        ).run(sched)
+        # 'a' (earliest expiry) was evicted to fit 'c' at t=23 -> cold at 25.
+        assert res.records[3].cold
+        assert res.records[0].evicted
+        # Its keep-alive was cut at the adjustment time (t=23).
+        assert res.records[0].keepalive_s == pytest.approx(20.0)
+
+    def test_spill_moves_to_other_pool(self):
+        fa, fb, fc = _func("a"), _func("b"), _func("c")
+        sched = FixedTestScheduler(spill=True)
+        res = _engine(
+            [(0.0, fa), (10.0, fb), (20.0, fc), (25.0, fa)],
+            config=self._config(old=8.0),
+        ).run(sched)
+        # 'a' spilled to the old pool instead of dying -> warm at t=25.
+        assert res.records[0].spilled
+        assert not res.records[0].evicted
+        assert not res.records[3].cold
+        assert res.records[3].location is Generation.OLD
+
+    def test_spilled_segment_split_accounting(self):
+        """A moved container accrues old-pool rates after the move."""
+        fa, fb, fc = _func("a"), _func("b"), _func("c")
+        res = _engine(
+            [(0.0, fa), (10.0, fb), (20.0, fc)],
+            config=self._config(old=8.0),
+        ).run(FixedTestScheduler(spill=True))
+        model = CarbonModel(trace=CarbonIntensityTrace.constant(CI))
+        # Segment 1: new pool from t=3 to t=23; segment 2: old pool 23..603.
+        expected = (
+            model.keepalive(PAIR_A.new, 1.0, 3.0, 23.0).total
+            + model.keepalive(PAIR_A.old, 1.0, 23.0, 603.0).total
+        )
+        assert res.records[0].keepalive_carbon.total == pytest.approx(expected)
+
+    def test_incoming_dropped_when_nothing_fits(self):
+        """A function bigger than the pool is dropped outright."""
+        big = _func("big", mem=5.0)
+        res = _engine([(0.0, big)], config=self._config()).run(
+            FixedTestScheduler(spill=False)
+        )
+        assert res.records[0].dropped
+        assert res.records[0].keepalive_s == 0.0
+
+    def test_oversized_function_executes_fine(self):
+        """Memory caps only constrain keep-alive, not execution."""
+        big = _func("big", mem=50.0)
+        res = _engine([(0.0, big)], config=self._config()).run(FixedTestScheduler())
+        assert len(res) == 1
+
+
+class TestEngineLifecycle:
+    def test_single_use(self):
+        f = _func()
+        eng = _engine([(0.0, f)])
+        eng.run(FixedTestScheduler())
+        with pytest.raises(RuntimeError, match="single-use"):
+            eng.run(FixedTestScheduler())
+
+    def test_lookahead_denied_without_flag(self):
+        f = _func()
+
+        class Peeker(FixedTestScheduler):
+            def keepalive(self, req):
+                self.env.next_arrival(req.func.name, req.t_end)
+                return super().keepalive(req)
+
+        with pytest.raises(PermissionError):
+            _engine([(0.0, f)]).run(Peeker())
+
+    def test_decision_overhead_measured(self):
+        f = _func()
+        res = _engine([(0.0, f), (10.0, f)]).run(FixedTestScheduler())
+        assert all(r.decision_wall_s >= 0.0 for r in res.records)
+        assert res.total_decision_wall_s > 0.0
+
+    def test_overhead_measurement_can_be_disabled(self):
+        f = _func()
+        cfg = SimulationConfig(setup_delay_s=0.0, measure_decision_overhead=False)
+        res = _engine([(0.0, f)], config=cfg).run(FixedTestScheduler())
+        assert res.total_decision_wall_s == 0.0
+
+    def test_uncapped_config(self):
+        cfg = SimulationConfig().uncapped()
+        assert cfg.pool_capacity_old_gb == math.inf
+
+    def test_summary_renders(self):
+        f = _func()
+        res = _engine([(0.0, f), (10.0, f)]).run(FixedTestScheduler())
+        text = res.summary()
+        assert "fixed-test" in text
+        assert "total carbon" in text
+
+
+class TestMisbehavingScheduler:
+    def test_bad_ranking_detected(self):
+        class BadRanker(FixedTestScheduler):
+            def rank_keepalive_candidates(self, req: AdjustmentRequest):
+                return list(req.candidates)[:-1]  # drops one candidate
+
+        fa, fb, fc = _func("a"), _func("b"), _func("c")
+        cfg = SimulationConfig(
+            pool_capacity_old_gb=2.0, pool_capacity_new_gb=2.0, setup_delay_s=0.0
+        )
+        with pytest.raises(RuntimeError, match="permutation"):
+            _engine([(0.0, fa), (10.0, fb), (20.0, fc)], config=cfg).run(
+                BadRanker(spill=False)
+            )

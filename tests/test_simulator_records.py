@@ -1,0 +1,100 @@
+"""Record and result aggregation."""
+
+import pytest
+
+from repro.carbon.footprint import CarbonBreakdown
+from repro.hardware import Generation
+from repro.simulator import InvocationRecord, KeepAliveDecision, SimulationResult
+
+
+def _record(i=0, exec_s=1.0, cold=False, op=1.0, emb=0.5, location=Generation.NEW):
+    return InvocationRecord(
+        index=i,
+        t=float(i),
+        func_name=f"f{i % 3}",
+        mem_gb=0.5,
+        location=location,
+        cold=cold,
+        setup_s=0.05,
+        cold_overhead_s=0.7 if cold else 0.0,
+        exec_s=exec_s,
+        service_carbon=CarbonBreakdown(op_cpu=op, emb_cpu=emb),
+        service_energy_wh=2.0,
+    )
+
+
+class TestKeepAliveDecision:
+    def test_none_decision(self):
+        d = KeepAliveDecision.none()
+        assert d.duration_s == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KeepAliveDecision(location=Generation.NEW, duration_s=-1.0)
+
+
+class TestInvocationRecord:
+    def test_service_time_composition(self):
+        r = _record(cold=True)
+        assert r.service_s == pytest.approx(0.7 + 0.05 + 1.0)
+
+    def test_carbon_sum(self):
+        r = _record()
+        r.add_keepalive(CarbonBreakdown(op_dram=0.25), energy_wh=0.5, duration_s=60.0)
+        assert r.carbon_g == pytest.approx(1.5 + 0.25)
+        assert r.energy_wh == pytest.approx(2.5)
+        assert r.keepalive_s == 60.0
+
+    def test_multiple_keepalive_segments_accumulate(self):
+        r = _record()
+        r.add_keepalive(CarbonBreakdown(op_dram=0.1), 0.1, 30.0)
+        r.add_keepalive(CarbonBreakdown(op_dram=0.2), 0.2, 40.0)
+        assert r.keepalive_carbon.op_dram == pytest.approx(0.3)
+        assert r.keepalive_s == pytest.approx(70.0)
+
+
+class TestSimulationResult:
+    def _result(self):
+        records = [
+            _record(0, exec_s=1.0),
+            _record(1, exec_s=2.0, cold=True),
+            _record(2, exec_s=3.0, location=Generation.OLD),
+        ]
+        records[0].evicted = True
+        records[1].spilled = True
+        records[2].dropped = True
+        records[2].evicted = True
+        return SimulationResult(
+            scheduler_name="t", records=records, horizon_s=100.0
+        )
+
+    def test_aggregates(self):
+        res = self._result()
+        assert len(res) == 3
+        assert res.total_service_s == pytest.approx(
+            (0.05 + 1.0) + (0.7 + 0.05 + 2.0) + (0.05 + 3.0)
+        )
+        assert res.total_carbon_g == pytest.approx(3 * 1.5)
+        assert res.total_operational_g == pytest.approx(3.0)
+        assert res.total_embodied_g == pytest.approx(1.5)
+        assert res.total_energy_wh == pytest.approx(6.0)
+
+    def test_ratios_and_counts(self):
+        res = self._result()
+        assert res.warm_ratio == pytest.approx(2 / 3)
+        assert res.evicted_count == 2
+        assert res.spilled_count == 1
+        assert res.dropped_count == 1
+        locs = res.location_counts()
+        assert locs[Generation.NEW] == 2 and locs[Generation.OLD] == 1
+
+    def test_percentiles(self):
+        res = self._result()
+        assert res.p95_service_s >= res.mean_service_s
+
+    def test_empty_result_safe(self):
+        res = SimulationResult(scheduler_name="e", records=[], horizon_s=0.0)
+        assert res.total_carbon_g == 0.0
+        assert res.mean_service_s == 0.0
+        assert res.warm_ratio == 0.0
+        assert res.p95_service_s == 0.0

@@ -1,0 +1,48 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_minute_hour_day_year_chain():
+    assert units.minutes(1) == 60.0
+    assert units.hours(1) == 3600.0
+    assert units.days(1) == 86400.0
+    assert units.years(1) == 365 * 86400.0
+    assert units.hours(2.5) == units.minutes(150)
+
+
+def test_energy_wh_basic():
+    # 1000 W for one hour is 1 kWh = 1000 Wh.
+    assert units.energy_wh(1000.0, 3600.0) == pytest.approx(1000.0)
+    # 60 W for one minute is 1 Wh.
+    assert units.energy_wh(60.0, 60.0) == pytest.approx(1.0)
+
+
+def test_watt_seconds_to_wh():
+    assert units.watt_seconds_to_wh(3600.0) == pytest.approx(1.0)
+
+
+def test_operational_carbon_g():
+    # 1 kWh at 250 g/kWh is 250 g.
+    assert units.operational_carbon_g(1000.0, 250.0) == pytest.approx(250.0)
+    assert units.operational_carbon_g(0.0, 250.0) == 0.0
+
+
+def test_mb_constant():
+    assert 512 * units.MB == pytest.approx(0.5)
+
+
+def test_require_positive_accepts_and_rejects():
+    assert units.require_positive(1.5, "x") == 1.5
+    with pytest.raises(ValueError, match="x must be > 0"):
+        units.require_positive(0.0, "x")
+    with pytest.raises(ValueError):
+        units.require_positive(-2.0, "x")
+
+
+def test_require_non_negative():
+    assert units.require_non_negative(0.0, "y") == 0.0
+    with pytest.raises(ValueError, match="y must be >= 0"):
+        units.require_non_negative(-0.1, "y")

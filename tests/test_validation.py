@@ -1,0 +1,38 @@
+"""The DESIGN.md calibration targets, checked via repro.validation."""
+
+import pytest
+
+from repro import validation
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validation.run_all_checks()
+
+
+def test_all_calibration_targets_hold(checks):
+    failures = [c.render() for c in checks if not c.ok]
+    assert not failures, "calibration drift:\n" + "\n".join(failures)
+
+
+def test_report_renders(checks):
+    report = validation.render_report(checks)
+    assert "calibration targets hold" in report
+    assert report.count("PASS") == len(checks)
+
+
+def test_check_maths():
+    c = validation.Check("x", "d", measured=0.5, low=0.0, high=1.0)
+    assert c.ok
+    assert "PASS" in c.render()
+    bad = validation.Check("x", "d", measured=2.0, low=0.0, high=1.0)
+    assert not bad.ok
+    assert "FAIL" in bad.render()
+
+
+def test_individual_check_groups_nonempty():
+    assert len(validation.check_fig1_keepalive_fractions()) == 2
+    assert len(validation.check_fig2_pair_a_tradeoff()) == 2
+    assert len(validation.check_fig3_inversion()) == 3
+    assert len(validation.check_catalog_orderings()) == 6
+    assert len(validation.check_region_statistics()) == 2

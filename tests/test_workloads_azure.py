@@ -1,0 +1,98 @@
+"""Azure-shaped trace synthesizer: determinism and workload shape."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.workloads import AzureTraceConfig, generate_azure_trace
+from repro.workloads.sebs import SEBS_FUNCTIONS
+
+
+@pytest.fixture(scope="module")
+def default_trace():
+    cfg = AzureTraceConfig(
+        n_functions=50, duration_s=4 * units.SECONDS_PER_HOUR, seed=11
+    )
+    return generate_azure_trace(cfg)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        cfg = AzureTraceConfig(n_functions=10, duration_s=1800.0, seed=3)
+        t1, _ = generate_azure_trace(cfg)
+        t2, _ = generate_azure_trace(cfg)
+        assert np.array_equal(t1.times_s, t2.times_s)
+        assert t1.func_names == t2.func_names
+
+    def test_different_seed_differs(self):
+        t1, _ = generate_azure_trace(AzureTraceConfig(n_functions=10, seed=3))
+        t2, _ = generate_azure_trace(AzureTraceConfig(n_functions=10, seed=4))
+        assert not np.array_equal(t1.times_s, t2.times_s)
+
+
+class TestShape:
+    def test_function_count(self, default_trace):
+        trace, specs = default_trace
+        assert len(specs) == 50
+        assert len(trace.functions) == 50
+
+    def test_all_times_within_duration(self, default_trace):
+        trace, _ = default_trace
+        assert trace.times_s.min() >= 0.0
+        assert trace.times_s.max() <= 4 * units.SECONDS_PER_HOUR
+
+    def test_profiles_are_sebs_clones(self, default_trace):
+        _, specs = default_trace
+        for spec in specs:
+            assert spec.base_profile in SEBS_FUNCTIONS
+            base = SEBS_FUNCTIONS[spec.base_profile]
+            assert spec.profile.name.endswith(base.name)
+            # perturbations stay within the configured bands
+            assert 0.69 * base.mem_gb <= spec.profile.mem_gb <= 1.31 * base.mem_gb
+
+    def test_popularity_is_heavy_tailed(self, default_trace):
+        """A few hot functions dominate: top 20% >= ~45% of invocations."""
+        trace, _ = default_trace
+        counts = np.sort(np.array(list(trace.invocation_counts().values())))[::-1]
+        top = counts[: max(len(counts) // 5, 1)].sum()
+        assert top / counts.sum() >= 0.4
+
+    def test_periodic_functions_have_regular_iats(self, default_trace):
+        trace, specs = default_trace
+        periodic = [
+            s for s in specs if s.periodic and not s.bursty and s.period_s <= 900
+        ]
+        checked = 0
+        for s in periodic:
+            iat = trace.interarrival_s(s.profile.name)
+            if iat.size < 3:
+                continue
+            # Median IAT within 10% of the configured period.
+            assert abs(np.median(iat) - s.period_s) / s.period_s < 0.1
+            checked += 1
+        assert checked >= 1
+
+    def test_mixture_contains_both_kinds(self, default_trace):
+        _, specs = default_trace
+        kinds = {s.periodic for s in specs}
+        assert kinds == {True, False}
+
+    def test_bursts_marked(self, default_trace):
+        _, specs = default_trace
+        assert any(s.bursty for s in specs)
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(n_functions=0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(periodic_fraction=1.5)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(periods_s=(60.0,), period_weights=(0.5, 0.5))
+
+    def test_tiny_trace_works(self):
+        trace, specs = generate_azure_trace(
+            AzureTraceConfig(n_functions=2, duration_s=120.0, seed=0)
+        )
+        assert len(specs) == 2

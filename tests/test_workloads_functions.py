@@ -1,0 +1,73 @@
+"""Function profile timing model."""
+
+import pytest
+
+from repro.hardware import PAIR_A
+from repro.workloads import FunctionProfile
+
+
+@pytest.fixture
+def func():
+    return FunctionProfile(
+        name="f", mem_gb=0.5, exec_ref_s=2.0, cold_ref_s=1.0,
+        perf_sensitivity=0.5, cold_sensitivity=0.5,
+    )
+
+
+class TestTiming:
+    def test_exec_on_reference_hardware(self, func):
+        assert func.exec_time_s(PAIR_A.new) == pytest.approx(2.0)
+
+    def test_exec_slowdown_scaling(self, func):
+        # perf 0.75 -> slowdown 1/0.75; sensitivity halves the effect.
+        expected = 2.0 * (1 + 0.5 * (1 / 0.75 - 1))
+        assert func.exec_time_s(PAIR_A.old) == pytest.approx(expected)
+
+    def test_zero_sensitivity_is_hardware_invariant(self):
+        f = FunctionProfile(
+            name="io", mem_gb=0.1, exec_ref_s=1.0, cold_ref_s=0.5,
+            perf_sensitivity=0.0, cold_sensitivity=0.0,
+        )
+        assert f.exec_time_s(PAIR_A.old) == f.exec_time_s(PAIR_A.new) == 1.0
+        assert f.cold_overhead_s(PAIR_A.old) == f.cold_overhead_s(PAIR_A.new)
+
+    def test_unit_sensitivity_tracks_perf_index(self):
+        f = FunctionProfile(
+            name="cpu", mem_gb=0.1, exec_ref_s=1.0, cold_ref_s=0.5,
+            perf_sensitivity=1.0,
+        )
+        assert f.exec_time_s(PAIR_A.old) == pytest.approx(1.0 / 0.75)
+
+    def test_service_time_composition(self, func):
+        warm = func.service_time_s(PAIR_A.new, cold=False, setup_s=0.1)
+        cold = func.service_time_s(PAIR_A.new, cold=True, setup_s=0.1)
+        assert warm == pytest.approx(0.1 + 2.0)
+        assert cold == pytest.approx(0.1 + 2.0 + 1.0)
+
+    def test_old_is_never_faster(self, func):
+        assert func.exec_time_s(PAIR_A.old) >= func.exec_time_s(PAIR_A.new)
+
+
+class TestValidationAndClone:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FunctionProfile(name="x", mem_gb=0.0, exec_ref_s=1.0, cold_ref_s=1.0)
+        with pytest.raises(ValueError):
+            FunctionProfile(name="x", mem_gb=1.0, exec_ref_s=-1.0, cold_ref_s=1.0)
+
+    def test_clone_scales(self, func):
+        c = func.clone("f2", mem_scale=2.0, exec_scale=0.5, cold_scale=3.0)
+        assert c.name == "f2"
+        assert c.mem_gb == pytest.approx(1.0)
+        assert c.exec_ref_s == pytest.approx(1.0)
+        assert c.cold_ref_s == pytest.approx(3.0)
+        # Sensitivities carry over.
+        assert c.perf_sensitivity == func.perf_sensitivity
+
+    def test_clone_rejects_bad_scale(self, func):
+        with pytest.raises(ValueError):
+            func.clone("bad", mem_scale=0.0)
+
+    def test_frozen(self, func):
+        with pytest.raises(AttributeError):
+            func.mem_gb = 2.0

@@ -1,0 +1,53 @@
+"""SeBS catalog contents and calibration-relevant properties."""
+
+import pytest
+
+from repro.hardware import PAIR_A
+from repro.workloads import MOTIVATION_FUNCTIONS, SEBS_FUNCTIONS, get_function
+
+
+def test_catalog_size_and_uniqueness():
+    assert len(SEBS_FUNCTIONS) == 10
+    assert len({f.name for f in SEBS_FUNCTIONS.values()}) == 10
+
+
+def test_motivation_functions_are_the_papers():
+    names = [f.name for f in MOTIVATION_FUNCTIONS]
+    assert names == ["video-processing", "graph-bfs", "dna-visualization"]
+
+
+def test_get_function():
+    assert get_function("graph-bfs").name == "graph-bfs"
+    with pytest.raises(KeyError, match="unknown SeBS function"):
+        get_function("nope")
+
+
+def test_video_processing_slowdown_matches_paper():
+    """Paper Sec. III: video-processing ~15.9% slower on A_OLD."""
+    v = get_function("video-processing")
+    ratio = v.exec_time_s(PAIR_A.old) / v.exec_time_s(PAIR_A.new)
+    assert 1.10 <= ratio <= 1.25
+
+
+def test_catalog_spans_paper_magnitudes():
+    execs = [f.exec_ref_s for f in SEBS_FUNCTIONS.values()]
+    colds = [f.cold_ref_s for f in SEBS_FUNCTIONS.values()]
+    mems = [f.mem_gb for f in SEBS_FUNCTIONS.values()]
+    assert min(execs) < 0.5 and max(execs) > 5.0
+    assert min(colds) < 1.0 and max(colds) > 3.0
+    assert min(mems) <= 0.2 and max(mems) >= 1.5
+
+
+def test_dna_visualization_service_time_on_old():
+    """Fig. 2: DNA-visualization reaches ~15 s service on A_OLD with cold."""
+    d = get_function("dna-visualization")
+    s = d.service_time_s(PAIR_A.old, cold=True)
+    assert 12.0 <= s <= 20.0
+
+
+def test_cold_starts_comparable_to_exec():
+    """The paper stresses cold starts are comparable to execution times."""
+    comparable = [
+        f for f in SEBS_FUNCTIONS.values() if f.cold_ref_s >= 0.5 * f.exec_ref_s
+    ]
+    assert len(comparable) >= 5

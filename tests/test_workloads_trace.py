@@ -1,0 +1,124 @@
+"""Invocation trace structure, lookahead index, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import FunctionProfile, InvocationTrace
+
+
+def _f(name):
+    return FunctionProfile(name=name, mem_gb=0.5, exec_ref_s=1.0, cold_ref_s=1.0)
+
+
+@pytest.fixture
+def fa():
+    return _f("a")
+
+
+@pytest.fixture
+def fb():
+    return _f("b")
+
+
+@pytest.fixture
+def trace(fa, fb):
+    return InvocationTrace.from_events(
+        [(10.0, fa), (5.0, fb), (20.0, fa), (30.0, fb), (25.0, fa)]
+    )
+
+
+class TestConstruction:
+    def test_sorting(self, trace):
+        assert trace.times_s.tolist() == [5.0, 10.0, 20.0, 25.0, 30.0]
+        assert trace.func_names == ["b", "a", "a", "a", "b"]
+
+    def test_rejects_unsorted_direct(self, fa):
+        with pytest.raises(ValueError, match="sorted"):
+            InvocationTrace(
+                functions={"a": fa},
+                times_s=np.array([2.0, 1.0]),
+                func_names=["a", "a"],
+            )
+
+    def test_rejects_unknown_function(self, fa):
+        with pytest.raises(ValueError, match="unknown"):
+            InvocationTrace(
+                functions={"a": fa},
+                times_s=np.array([1.0]),
+                func_names=["zzz"],
+            )
+
+    def test_rejects_conflicting_profiles(self, fa):
+        other = FunctionProfile(name="a", mem_gb=9.0, exec_ref_s=1.0, cold_ref_s=1.0)
+        with pytest.raises(ValueError, match="conflicting"):
+            InvocationTrace.from_events([(0.0, fa), (1.0, other)])
+
+    def test_empty_trace(self, fa):
+        tr = InvocationTrace.from_events([], functions=[fa])
+        assert len(tr) == 0
+        assert tr.duration_s == 0.0
+
+
+class TestQueries:
+    def test_iteration_yields_profiles(self, trace, fa):
+        invs = list(trace)
+        assert len(invs) == 5
+        assert invs[1].func is fa
+        assert invs[0].t == 5.0
+        assert [i.index for i in invs] == [0, 1, 2, 3, 4]
+
+    def test_counts(self, trace):
+        assert trace.invocation_counts() == {"a": 3, "b": 2}
+
+    def test_interarrival(self, trace):
+        assert trace.interarrival_s("a").tolist() == [10.0, 5.0]
+        assert trace.interarrival_s("b").tolist() == [25.0]
+
+    def test_next_arrival(self, trace):
+        assert trace.next_arrival("a", 0.0) == 10.0
+        assert trace.next_arrival("a", 10.0) == 20.0  # strictly after
+        assert trace.next_arrival("a", 25.0) is None
+        assert trace.next_arrival("b", 29.9) == 30.0
+
+    def test_rate_per_minute(self, trace):
+        # Window (-30, 30] holds all five invocations.
+        assert trace.rate_per_minute(30.0, window_s=60.0) == pytest.approx(5.0)
+        assert trace.rate_per_minute(30.0, window_s=10.0) == pytest.approx(
+            2 * 6.0
+        )
+
+    def test_subset(self, trace, fa):
+        sub = trace.subset(["a"])
+        assert len(sub) == 3
+        assert set(sub.functions) == {"a"}
+        assert sub.times_s.tolist() == [10.0, 20.0, 25.0]
+
+
+# -- property-based: the lookahead index is consistent with the raw stream ----
+
+
+@given(
+    times=st.lists(st.floats(0.0, 10_000.0), min_size=1, max_size=60),
+    probes=st.lists(st.floats(-10.0, 11_000.0), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_next_arrival_matches_linear_scan(times, probes):
+    f = _f("x")
+    trace = InvocationTrace.from_events([(t, f) for t in times])
+    sorted_times = sorted(times)
+    for p in probes:
+        expected = next((t for t in sorted_times if t > p), None)
+        assert trace.next_arrival("x", p) == expected
+
+
+@given(times=st.lists(st.floats(0.0, 1000.0), min_size=2, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_interarrivals_are_nonnegative_and_consistent(times):
+    f = _f("x")
+    trace = InvocationTrace.from_events([(t, f) for t in times])
+    iat = trace.interarrival_s("x")
+    assert (iat >= 0.0).all()
+    assert iat.size == len(times) - 1
+    assert iat.sum() == pytest.approx(max(times) - min(times), abs=1e-6)
