@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the sweep runner and the KDM cost cache.
+
+Two hot paths introduced by the runner/caching work:
+
+- ``bench_fitness_construction_cached`` vs ``_uncached`` measures the KDM's
+  per-decision objective build with warm and cold :class:`CostModel`
+  caches (the cached path is what every decision after a function's first
+  one pays).
+- ``bench_grid_serial`` / ``bench_grid_parallel`` replay a small scenario
+  grid through :class:`ParallelRunner` with 1 and 4 workers.
+"""
+
+import numpy as np
+from _harness import record
+
+from repro.core import ArrivalEstimator, EcoLifeConfig, ObjectiveBuilder
+from repro.experiments.runner import ParallelRunner, ScenarioGrid
+from repro.workloads import get_function
+
+GRID = ScenarioGrid(regions=("CAL", "TEN"), seeds=(7,), n_functions=15, hours=1.0)
+GRID_SCHEDULERS = ("oracle", "ecolife")
+
+
+def _make_builder():
+    """A builder over a flat-CI env (mirrors tests/test_core_objective)."""
+    from repro.carbon import CarbonIntensityTrace, CarbonModel
+    from repro.hardware import PAIR_A, Generation
+    from repro.simulator import SimulationConfig, WarmPool
+    from repro.simulator.scheduler import SchedulerEnv
+    from repro.workloads import InvocationTrace
+
+    cfg = SimulationConfig()
+    trace = InvocationTrace.from_events([], functions=[get_function("graph-bfs")])
+    pools = {
+        g: WarmPool(generation=g, capacity_gb=cfg.capacity(g)) for g in Generation
+    }
+    model = CarbonModel(trace=CarbonIntensityTrace.constant(250.0))
+    env = SchedulerEnv(
+        pair=PAIR_A,
+        carbon_model=model,
+        energy_model=model.energy_model,
+        pools=pools,
+        trace=trace,
+        setup_delay_s=cfg.setup_delay_s,
+        kmax_s=cfg.kmax_s,
+        k_step_s=cfg.k_step_s,
+    )
+    return ObjectiveBuilder(env, EcoLifeConfig())
+
+
+def _arrival():
+    est = ArrivalEstimator()
+    for t in np.arange(40) * 120.0:
+        est.observe(float(t))
+    return est
+
+
+def bench_fitness_construction_cached(benchmark):
+    """Objective build with a warm cost cache (the steady-state path)."""
+    builder = _make_builder()
+    func = get_function("graph-bfs")
+    est = _arrival()
+    x = np.random.default_rng(0).uniform(size=(15, 2))
+    builder.fitness(func, 0.0, est)  # warm the cache
+
+    def build_and_eval():
+        return builder.fitness(func, 0.0, est)(x)
+
+    benchmark(build_and_eval)
+
+
+def bench_fitness_construction_uncached(benchmark):
+    """Objective build with a cold cache each round (the pre-cache cost)."""
+    func = get_function("graph-bfs")
+    est = _arrival()
+    x = np.random.default_rng(0).uniform(size=(15, 2))
+
+    def build_and_eval():
+        return _make_builder().fitness(func, 0.0, est)(x)
+
+    benchmark(build_and_eval)
+
+
+def bench_grid_serial(benchmark):
+    """Small grid, serial runner (the pre-PR run_suite-style path)."""
+    runner = ParallelRunner(n_workers=1)
+
+    def run():
+        return runner.run_grid(GRID, GRID_SCHEDULERS)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "bench_runner_serial",
+        "\n".join(
+            f"{s.scenario_label} {s.scheduler_name}: "
+            f"{s.total_carbon_g:.2f} g, {s.mean_service_s:.3f} s"
+            for s in result.summaries
+        ),
+    )
+
+
+def bench_grid_parallel(benchmark):
+    """Same grid over a 4-worker process pool; results must match serial."""
+    serial = ParallelRunner(n_workers=1).run_grid(GRID, GRID_SCHEDULERS)
+    runner = ParallelRunner(n_workers=4)
+
+    def run():
+        return runner.run_grid(GRID, GRID_SCHEDULERS)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [s.deterministic_dict() for s in result.summaries] == [
+        s.deterministic_dict() for s in serial.summaries
+    ]

@@ -12,6 +12,15 @@ from repro.analysis.comparison import (
     relative_to_opts,
     relative_to_oracle,
 )
+from repro.analysis.grid import (
+    GridGapRow,
+    grid_gap_rows,
+    grid_gap_table,
+    grid_points,
+    mean_margins,
+    pairwise_gap,
+    worst_margins,
+)
 from repro.analysis.reporting import ascii_table, fmt, scatter_table
 from repro.analysis.stats import CDF, pct_increase, per_invocation_pct_increase
 
@@ -23,6 +32,13 @@ __all__ = [
     "relative_to_opts",
     "relative_to_oracle",
     "gap_pp",
+    "GridGapRow",
+    "grid_gap_rows",
+    "grid_gap_table",
+    "grid_points",
+    "mean_margins",
+    "worst_margins",
+    "pairwise_gap",
     "ascii_table",
     "scatter_table",
     "fmt",

@@ -1,0 +1,119 @@
+"""Aggregation of scenario-grid sweeps into the paper's relative tables.
+
+The sweep runner (:mod:`repro.experiments.runner`) produces
+``{scenario label: {scheduler name: result}}`` mappings, where each result
+is anything exposing ``total_carbon_g`` / ``mean_service_s`` /
+``warm_ratio`` (a full ``SimulationResult`` or the runner's
+``ResultSummary``). These helpers pivot such mappings into the paper's
+"% vs oracle" framing (Figs. 13/14 generalised to arbitrary grids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.comparison import SchemePoint, relative_to_oracle
+from repro.analysis.reporting import ascii_table
+from repro.analysis.stats import pct_increase
+
+
+@dataclass(frozen=True)
+class GridGapRow:
+    """One (scenario, scheduler) cell of a vs-reference gap table."""
+
+    scenario: str
+    scheduler: str
+    service_pct: float
+    carbon_pct: float
+    warm_ratio: float
+
+
+def grid_points(
+    by_scenario: Mapping[str, Mapping[str, object]],
+    reference: str = "oracle",
+) -> dict[str, dict[str, SchemePoint]]:
+    """Per-scenario scheme points relative to ``reference``."""
+    return {
+        label: relative_to_oracle(dict(results), oracle_name=reference)
+        for label, results in by_scenario.items()
+    }
+
+
+def grid_gap_rows(
+    by_scenario: Mapping[str, Mapping[str, object]],
+    reference: str = "oracle",
+) -> list[GridGapRow]:
+    """Flatten a grid into gap rows, excluding the reference itself."""
+    rows: list[GridGapRow] = []
+    for label, points in grid_points(by_scenario, reference).items():
+        for name, point in points.items():
+            if name == reference:
+                continue
+            rows.append(
+                GridGapRow(
+                    scenario=label,
+                    scheduler=name,
+                    service_pct=point.service_pct,
+                    carbon_pct=point.carbon_pct,
+                    warm_ratio=point.warm_ratio,
+                )
+            )
+    return rows
+
+
+def mean_margins(
+    rows: list[GridGapRow], scheduler: str
+) -> tuple[float, float]:
+    """Mean (service %, carbon %) margin of one scheduler across scenarios."""
+    picked = [r for r in rows if r.scheduler == scheduler]
+    if not picked:
+        raise KeyError(f"no rows for scheduler {scheduler!r}")
+    n = len(picked)
+    return (
+        sum(r.service_pct for r in picked) / n,
+        sum(r.carbon_pct for r in picked) / n,
+    )
+
+
+def worst_margins(
+    rows: list[GridGapRow], scheduler: str
+) -> tuple[float, float]:
+    """Worst-case (service %, carbon %) margin across scenarios."""
+    picked = [r for r in rows if r.scheduler == scheduler]
+    if not picked:
+        raise KeyError(f"no rows for scheduler {scheduler!r}")
+    return (
+        max(r.service_pct for r in picked),
+        max(r.carbon_pct for r in picked),
+    )
+
+
+def grid_gap_table(
+    by_scenario: Mapping[str, Mapping[str, object]],
+    reference: str = "oracle",
+    title: str | None = None,
+) -> str:
+    """Render the whole grid as one "% vs reference" ASCII table."""
+    rows = grid_gap_rows(by_scenario, reference)
+    body = [
+        [r.scenario, r.scheduler, r.service_pct, r.carbon_pct, r.warm_ratio * 100.0]
+        for r in rows
+    ]
+    return ascii_table(
+        ["scenario", "scheme", f"svc +% vs {reference}", f"co2 +% vs {reference}",
+         "warm %"],
+        body,
+        title=title or f"scenario grid vs {reference}",
+    )
+
+
+def pairwise_gap(
+    results: Mapping[str, object], a: str, b: str
+) -> tuple[float, float]:
+    """(service %, carbon %) increase of scheme ``a`` over scheme ``b``."""
+    ra, rb = results[a], results[b]
+    return (
+        pct_increase(ra.mean_service_s, rb.mean_service_s),
+        pct_increase(ra.total_carbon_g, rb.total_carbon_g),
+    )

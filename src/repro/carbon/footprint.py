@@ -149,6 +149,41 @@ class CarbonModel:
     # (KDM fitness, EPDM scores, warm-pool priority ranking, oracles).
     # ------------------------------------------------------------------
 
+    def est_service_split(
+        self,
+        server: ServerSpec,
+        mem_gb: float,
+        busy_s: float,
+        cold_overhead_s: float,
+    ) -> tuple[float, float]:
+        """CI-independent split of one service window: (energy Wh, embodied g).
+
+        The estimated carbon at intensity ``ci`` is
+        ``operational_carbon_g(energy, ci) + embodied`` -- callers that
+        evaluate many intensities (the KDM cost cache) compute the split
+        once and re-scale only the operational part.
+        """
+        duration = busy_s + cold_overhead_s
+        energy = self.service_energy_wh(server, mem_gb, busy_s, cold_overhead_s)
+        emb = (
+            embodied.cpu_service_g(server, duration)
+            + embodied.dram_g(server, mem_gb, duration)
+            + embodied.platform_g(server, mem_gb, duration)
+        )
+        return energy, emb
+
+    def est_keepalive_rate_split(
+        self, server: ServerSpec, mem_gb: float
+    ) -> tuple[float, float]:
+        """CI-independent split of the keep-alive rate: (power W, embodied g/s)."""
+        power = self.energy_model.keepalive_power_attributed_w(server, mem_gb)
+        emb_rate = (
+            embodied.cpu_keepalive_g(server, 1.0)
+            + embodied.dram_g(server, mem_gb, 1.0)
+            + embodied.platform_g(server, mem_gb, 1.0)
+        )
+        return power, emb_rate
+
     def est_service_g(
         self,
         server: ServerSpec,
@@ -158,29 +193,15 @@ class CarbonModel:
         ci: float,
     ) -> float:
         """Estimated service carbon at constant intensity ``ci``."""
-        duration = busy_s + cold_overhead_s
-        energy = self.service_energy_wh(server, mem_gb, busy_s, cold_overhead_s)
-        op = units.operational_carbon_g(energy, ci)
-        emb = (
-            embodied.cpu_service_g(server, duration)
-            + embodied.dram_g(server, mem_gb, duration)
-            + embodied.platform_g(server, mem_gb, duration)
-        )
-        return op + emb
+        energy, emb = self.est_service_split(server, mem_gb, busy_s, cold_overhead_s)
+        return units.operational_carbon_g(energy, ci) + emb
 
     def est_keepalive_rate_g_per_s(
         self, server: ServerSpec, mem_gb: float, ci: float
     ) -> float:
         """Estimated keep-alive carbon accrual rate (g/s) at intensity ``ci``."""
-        power = self.energy_model.keepalive_power_attributed_w(server, mem_gb)
-        op_rate = units.operational_carbon_g(
-            units.energy_wh(power, 1.0), ci
-        )
-        emb_rate = (
-            embodied.cpu_keepalive_g(server, 1.0)
-            + embodied.dram_g(server, mem_gb, 1.0)
-            + embodied.platform_g(server, mem_gb, 1.0)
-        )
+        power, emb_rate = self.est_keepalive_rate_split(server, mem_gb)
+        op_rate = units.operational_carbon_g(units.energy_wh(power, 1.0), ci)
         return op_rate + emb_rate
 
     # ------------------------------------------------------------------

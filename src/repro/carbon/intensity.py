@@ -127,12 +127,23 @@ class CarbonIntensityTrace:
     # -- statistics (used to validate region calibration) --------------------
 
     def hourly_series(self) -> np.ndarray:
-        """Hour-average intensity values across the trace span."""
+        """Hour-average intensity values across the trace span.
+
+        The final bucket may be shorter than an hour: a trace spanning
+        90 minutes yields the first full hour plus the 30-minute remainder
+        (dropping the remainder would skew fluctuation statistics on
+        non-integer-hour traces).
+        """
         t0, t1 = float(self.times_s[0]), float(self.times_s[-1])
-        n = max(int((t1 - t0) // units.SECONDS_PER_HOUR), 1)
-        edges = t0 + np.arange(n + 1) * units.SECONDS_PER_HOUR
+        n_full = int((t1 - t0) // units.SECONDS_PER_HOUR)
+        edges = list(t0 + np.arange(n_full + 1) * units.SECONDS_PER_HOUR)
+        if t1 - edges[-1] > 1e-9:
+            edges.append(t1)
+        if len(edges) < 2:  # single-knot trace: one flat bucket
+            return np.array([float(self.values[-1])])
         return np.array(
-            [self.mean(edges[i], edges[i + 1]) for i in range(n)], dtype=float
+            [self.mean(edges[i], edges[i + 1]) for i in range(len(edges) - 1)],
+            dtype=float,
         )
 
     def hourly_fluctuation_pct(self) -> float:

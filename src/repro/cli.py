@@ -5,6 +5,7 @@ Examples::
     ecolife list-experiments
     ecolife run-experiment fig7 --quick
     ecolife simulate --scheduler ecolife --functions 40 --hours 4
+    ecolife sweep --regions CAL TEN --seeds 1 2 --workers 4
     ecolife catalog
 """
 
@@ -87,6 +88,79 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.analysis import grid_gap_rows, grid_gap_table, worst_margins
+    from repro.experiments.runner import (
+        SCHEDULER_NAMES,
+        ParallelRunner,
+        ResultCache,
+        ScenarioGrid,
+    )
+
+    from repro.carbon.regions import REGION_NAMES
+    from repro.hardware import PAIRS
+
+    unknown = [s for s in args.schedulers if s not in SCHEDULER_NAMES]
+    if unknown:
+        print(f"unknown schedulers {unknown}; options: {sorted(SCHEDULER_NAMES)}")
+        return 2
+    bad_regions = [r for r in args.regions if r.upper() not in REGION_NAMES]
+    if bad_regions:
+        print(f"unknown regions {bad_regions}; options: {sorted(REGION_NAMES)}")
+        return 2
+    bad_pairs = [p for p in args.pairs if p.upper() not in PAIRS]
+    if bad_pairs:
+        print(f"unknown pairs {bad_pairs}; options: {sorted(PAIRS)}")
+        return 2
+    grid = ScenarioGrid(
+        regions=tuple(args.regions),
+        pairs=tuple(args.pairs),
+        seeds=tuple(args.seeds),
+        pool_gbs=tuple(args.pool_gb),
+        n_functions=args.functions,
+        hours=args.hours,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ParallelRunner(n_workers=args.workers, cache=cache)
+    result = runner.run_grid(grid, args.schedulers)
+    by_scenario = result.by_scenario()
+
+    n_jobs = len(result)
+    title = (
+        f"sweep: {len(grid)} scenarios x {len(args.schedulers)} schemes "
+        f"({n_jobs} runs, {runner.n_workers} workers)"
+    )
+    if args.relative_to in args.schedulers:
+        print(grid_gap_table(by_scenario, reference=args.relative_to, title=title))
+        rows = grid_gap_rows(by_scenario, reference=args.relative_to)
+        for name in args.schedulers:
+            if name == args.relative_to:
+                continue
+            svc, co2 = worst_margins(rows, name)
+            print(
+                f"{name}: worst margin vs {args.relative_to} "
+                f"{svc:+.1f}% service / {co2:+.1f}% carbon"
+            )
+    else:
+        from repro.analysis import ascii_table
+
+        body = [
+            [label, name, r.mean_service_s, r.total_carbon_g, r.warm_ratio * 100.0]
+            for label, schemes in by_scenario.items()
+            for name, r in schemes.items()
+        ]
+        print(
+            ascii_table(
+                ["scenario", "scheme", "svc (s)", "co2 (g)", "warm %"],
+                body,
+                title=title,
+            )
+        )
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({args.cache_dir})")
+    return 0
+
+
 def _cmd_validate(_args) -> int:
     from repro import validation
 
@@ -148,6 +222,32 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--pair", default="A")
     sim_p.add_argument("--pool-gb", type=float, default=32.0)
 
+    sweep_p = sub.add_parser(
+        "sweep", help="run a scenario grid (regions x pairs x seeds x pools)"
+    )
+    sweep_p.add_argument("--regions", nargs="+", default=["CAL"])
+    sweep_p.add_argument("--pairs", nargs="+", default=["A"])
+    sweep_p.add_argument("--seeds", nargs="+", type=int, default=[7])
+    sweep_p.add_argument("--pool-gb", nargs="+", type=float, default=[32.0])
+    sweep_p.add_argument(
+        "--schedulers", nargs="+", default=["oracle", "ecolife"],
+        help="sweep-runner registry names",
+    )
+    sweep_p.add_argument("--functions", type=int, default=60)
+    sweep_p.add_argument("--hours", type=float, default=6.0)
+    sweep_p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPU count)",
+    )
+    sweep_p.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk result cache (reruns become free)",
+    )
+    sweep_p.add_argument(
+        "--relative-to", default="oracle",
+        help="reference scheme for the %%-increase table",
+    )
+
     sub.add_parser("catalog", help="print the Table I hardware catalog")
     sub.add_parser(
         "validate", help="re-check the DESIGN.md calibration targets"
@@ -162,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
         "list-experiments": _cmd_list_experiments,
         "run-experiment": _cmd_run_experiment,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
         "catalog": _cmd_catalog,
         "validate": _cmd_validate,
     }

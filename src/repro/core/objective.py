@@ -21,8 +21,11 @@ simulator's exact accounting.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro import units
 from repro.core.arrival import ArrivalEstimator
 from repro.core.config import EcoLifeConfig, KeepAliveExpectation
 from repro.hardware.specs import Generation
@@ -31,12 +34,118 @@ from repro.simulator.scheduler import SchedulerEnv
 from repro.workloads.functions import FunctionProfile
 
 
+@dataclass(frozen=True)
+class FunctionCostVectors:
+    """CI-independent per-location cost vectors of one function.
+
+    Arrays are indexed by position in ``config.locations`` (the same
+    indexing :meth:`ObjectiveBuilder.decode_locations` produces). Carbon
+    estimates split into an energy/power part (scaled by the queried CI)
+    and a constant embodied part, so re-evaluating at a new intensity is a
+    couple of vector ops instead of per-location Python loops.
+    """
+
+    s_warm: np.ndarray  # warm service time per location (s)
+    s_cold: np.ndarray  # cold service time per location (s)
+    s_max: float  # max cold service time across locations (s)
+    warm_energy_wh: np.ndarray
+    warm_emb_g: np.ndarray
+    cold_energy_wh: np.ndarray
+    cold_emb_g: np.ndarray
+    ka_power_w: np.ndarray  # attributed keep-alive power per location (W)
+    ka_emb_g_per_s: np.ndarray
+
+    def sc_warm(self, ci: float) -> np.ndarray:
+        """Warm service carbon per location at intensity ``ci``."""
+        return units.operational_carbon_g(self.warm_energy_wh, ci) + self.warm_emb_g
+
+    def sc_cold(self, ci: float) -> np.ndarray:
+        """Cold service carbon per location at intensity ``ci``."""
+        return units.operational_carbon_g(self.cold_energy_wh, ci) + self.cold_emb_g
+
+    def ka_rate(self, ci: float) -> np.ndarray:
+        """Keep-alive carbon rate (g/s) per location at intensity ``ci``."""
+        return (
+            units.operational_carbon_g(units.energy_wh(self.ka_power_w, 1.0), ci)
+            + self.ka_emb_g_per_s
+        )
+
+
 class CostModel:
-    """Decision-time estimates shared by KDM, EPDM and the adjuster."""
+    """Decision-time estimates shared by KDM, EPDM and the adjuster.
+
+    Hot-path note: one EcoLife run asks for these estimates thousands of
+    times (every KDM decision rebuilds its fitness closure), so the
+    CI-independent pieces -- service times, energy/embodied splits,
+    keep-alive power -- are computed once per function and cached as
+    per-location vectors (:class:`FunctionCostVectors`), and the guarded
+    normalisers are memoised per ``(function, reference CI)``. Functions
+    are keyed by name; the trace guarantees names map to unique profiles.
+    """
 
     def __init__(self, env: SchedulerEnv, config: EcoLifeConfig) -> None:
         self.env = env
         self.config = config
+        self._vectors: dict[str, FunctionCostVectors] = {}
+        self._normalisers: dict[tuple[str, float], tuple[float, float, float]] = {}
+
+    # -- cache -----------------------------------------------------------------
+
+    def vectors(self, func: FunctionProfile) -> FunctionCostVectors:
+        """The cached CI-independent cost vectors of ``func``."""
+        cached = self._vectors.get(func.name)
+        if cached is None:
+            cached = self._build_vectors(func)
+            self._vectors[func.name] = cached
+        return cached
+
+    def _build_vectors(self, func: FunctionProfile) -> FunctionCostVectors:
+        model = self.env.carbon_model
+        s_warm, s_cold = [], []
+        warm_energy, warm_emb, cold_energy, cold_emb = [], [], [], []
+        ka_power, ka_emb = [], []
+        for gen in self.config.locations:
+            server = self.env.server(gen)
+            busy = self.env.setup_delay_s + func.exec_time_s(server)
+            overhead = func.cold_overhead_s(server)
+            s_warm.append(self.service_time(func, gen, cold=False))
+            s_cold.append(self.service_time(func, gen, cold=True))
+            e_w, m_w = model.est_service_split(server, func.mem_gb, busy, 0.0)
+            e_c, m_c = model.est_service_split(server, func.mem_gb, busy, overhead)
+            warm_energy.append(e_w)
+            warm_emb.append(m_w)
+            cold_energy.append(e_c)
+            cold_emb.append(m_c)
+            p, m = model.est_keepalive_rate_split(server, func.mem_gb)
+            ka_power.append(p)
+            ka_emb.append(m)
+        return FunctionCostVectors(
+            s_warm=np.array(s_warm),
+            s_cold=np.array(s_cold),
+            s_max=max(s_cold),
+            warm_energy_wh=np.array(warm_energy),
+            warm_emb_g=np.array(warm_emb),
+            cold_energy_wh=np.array(cold_energy),
+            cold_emb_g=np.array(cold_emb),
+            ka_power_w=np.array(ka_power),
+            ka_emb_g_per_s=np.array(ka_emb),
+        )
+
+    def normalisers(
+        self, func: FunctionProfile, ci_ref: float
+    ) -> tuple[float, float, float]:
+        """Guarded ``(s_max, sc_max, kc_max)`` at the reference intensity."""
+        key = (func.name, ci_ref)
+        cached = self._normalisers.get(key)
+        if cached is None:
+            v = self.vectors(func)
+            cached = (
+                max(v.s_max, 1e-9),
+                max(float(v.sc_cold(ci_ref).max()), 1e-12),
+                max(float(v.ka_rate(ci_ref).max()) * self.env.kmax_s, 1e-12),
+            )
+            self._normalisers[key] = cached
+        return cached
 
     # -- primitives ------------------------------------------------------------
 
@@ -68,22 +177,15 @@ class CostModel:
 
     def s_max(self, func: FunctionProfile) -> float:
         """Max service time: cold start on the slowest allowed location."""
-        return max(
-            self.service_time(func, g, cold=True) for g in self.config.locations
-        )
+        return self.vectors(func).s_max
 
     def sc_max(self, func: FunctionProfile, ci_ref: float) -> float:
         """Max service carbon across allowed locations at the reference CI."""
-        return max(
-            self.service_carbon(func, g, cold=True, ci=ci_ref)
-            for g in self.config.locations
-        )
+        return float(self.vectors(func).sc_cold(ci_ref).max())
 
     def kc_max(self, func: FunctionProfile, ci_ref: float) -> float:
         """Max keep-alive carbon: highest-rate location for the full k_max."""
-        rate = max(
-            self.keepalive_rate(func, g, ci_ref) for g in self.config.locations
-        )
+        rate = float(self.vectors(func).ka_rate(ci_ref).max())
         return rate * self.env.kmax_s
 
     # -- EPDM -----------------------------------------------------------------------
@@ -91,9 +193,13 @@ class CostModel:
     def fscore(
         self, func: FunctionProfile, gen: Generation, cold: bool, ci: float
     ) -> float:
-        """The EPDM placement score (Sec. IV-D): weighted time + carbon."""
-        s_max = self.s_max(func)
-        sc_max = self.sc_max(func, max(ci, 1e-12)) or 1.0
+        """The EPDM placement score (Sec. IV-D): weighted time + carbon.
+
+        Normalisers are guarded the same way :meth:`ObjectiveBuilder.fitness`
+        guards them, so a degenerate zero-cost configuration scores finite
+        instead of dividing by zero.
+        """
+        s_max, sc_max, _ = self.normalisers(func, max(ci, 1e-12))
         s = self.service_time(func, gen, cold)
         sc = self.service_carbon(func, gen, cold, ci)
         return (
@@ -105,15 +211,15 @@ class CostModel:
         self, func: FunctionProfile, ci: float
     ) -> tuple[Generation, float, float]:
         """The EPDM's cold-placement choice: (location, S, SC)."""
-        best = min(
-            self.config.locations,
-            key=lambda g: self.fscore(func, g, cold=True, ci=ci),
+        v = self.vectors(func)
+        s_max, sc_max, _ = self.normalisers(func, max(ci, 1e-12))
+        sc_cold = v.sc_cold(ci)
+        scores = (
+            self.config.lambda_s * v.s_cold / s_max
+            + self.config.lambda_c * sc_cold / sc_max
         )
-        return (
-            best,
-            self.service_time(func, best, cold=True),
-            self.service_carbon(func, best, cold=True, ci=ci),
-        )
+        idx = int(np.argmin(scores))
+        return self.config.locations[idx], float(v.s_cold[idx]), float(sc_cold[idx])
 
 
 class ObjectiveBuilder:
@@ -138,10 +244,16 @@ class ObjectiveBuilder:
         return idx
 
     def decode_k(self, x1: np.ndarray) -> np.ndarray:
-        """Map x1 in [0,1] to the keep-alive grid (seconds)."""
+        """Map x1 in [0,1] to the keep-alive grid (seconds).
+
+        Grid midpoints round half-up (``floor(x + 0.5)``) -- ``np.round``'s
+        banker's rounding would bias midpoint candidates toward even
+        multiples of the step.
+        """
         step = self.env.k_step_s
         kmax = self.env.kmax_s
-        return np.clip(np.round(np.asarray(x1) * kmax / step) * step, 0.0, kmax)
+        steps = np.floor(np.asarray(x1) * kmax / step + 0.5)
+        return np.clip(steps * step, 0.0, kmax)
 
     def decode_single(self, position: np.ndarray) -> tuple[Generation, float]:
         """Decode one position into a (location, keep-alive seconds) pair."""
@@ -163,21 +275,13 @@ class ObjectiveBuilder:
         ci = self.env.ci_at(t)
         ci_ref = max(self.env.ci_max_observed(t), 1e-9)
 
-        s_max = max(self.costs.s_max(func), 1e-9)
-        sc_max = max(self.costs.sc_max(func, ci_ref), 1e-12)
-        kc_max = max(self.costs.kc_max(func, ci_ref), 1e-12)
+        s_max, sc_max, kc_max = self.costs.normalisers(func, ci_ref)
 
         _, s_cold, sc_cold = self.costs.best_cold(func, ci)
-        locations = cfg.locations
-        s_warm = np.array(
-            [self.costs.service_time(func, g, cold=False) for g in locations]
-        )
-        sc_warm = np.array(
-            [self.costs.service_carbon(func, g, cold=False, ci=ci) for g in locations]
-        )
-        ka_rate = np.array(
-            [self.costs.keepalive_rate(func, g, ci) for g in locations]
-        )
+        vectors = self.costs.vectors(func)
+        s_warm = vectors.s_warm
+        sc_warm = vectors.sc_warm(ci)
+        ka_rate = vectors.ka_rate(ci)
         expected_mode = cfg.keepalive_expectation is KeepAliveExpectation.EXPECTED_MIN
 
         def fitness_fn(x: np.ndarray) -> np.ndarray:

@@ -15,6 +15,19 @@ from repro.experiments.common import (
     run_scheduler,
     run_suite,
 )
+from repro.experiments.runner import (
+    SCHEDULER_NAMES,
+    SCHEDULERS,
+    GridResult,
+    ParallelRunner,
+    ResultCache,
+    ResultSummary,
+    RunnerJob,
+    ScenarioGrid,
+    ScenarioSpec,
+    execute_job,
+    make_scheduler,
+)
 from repro.experiments.fig01_motivation import run_fig01
 from repro.experiments.fig02_hardware import run_fig02
 from repro.experiments.fig03_tradeoff import run_fig03
@@ -64,6 +77,17 @@ __all__ = [
     "paper_schemes",
     "ecolife_factory",
     "EXPERIMENTS",
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "RunnerJob",
+    "ResultSummary",
+    "ResultCache",
+    "ParallelRunner",
+    "GridResult",
+    "SCHEDULERS",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "execute_job",
     "run_fig01",
     "run_fig02",
     "run_fig03",

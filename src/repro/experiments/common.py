@@ -10,7 +10,10 @@ trace, CISO carbon intensity) and run schedulers over them with
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import ResultSummary
 
 from repro import units
 from repro.baselines import (
@@ -131,11 +134,44 @@ def run_scheduler(
 
 
 def run_suite(
-    schedulers: dict[str, SchedulerFactory],
+    schedulers: dict[str, SchedulerFactory | str],
     scenario: Scenario,
-) -> dict[str, SimulationResult]:
-    """Run several schedulers over the same scenario."""
-    return {name: run_scheduler(f, scenario) for name, f in schedulers.items()}
+    n_workers: int = 1,
+) -> dict[str, SimulationResult | "ResultSummary"]:
+    """Run several schedulers over the same scenario.
+
+    Values may be factories (callables) or sweep-runner registry names
+    (strings, see :data:`repro.experiments.runner.SCHEDULERS`). With
+    ``n_workers > 1`` every scheduler must be a registry name; the suite
+    then fans out over a process pool and returns
+    :class:`~repro.experiments.runner.ResultSummary` aggregates (identical
+    numbers to the serial path, but without per-invocation records).
+    """
+    if n_workers > 1:
+        from repro.experiments.runner import ParallelRunner, RunnerJob
+
+        non_names = [n for n, f in schedulers.items() if not isinstance(f, str)]
+        if non_names:
+            raise ValueError(
+                "parallel run_suite needs registry scheduler names, got "
+                f"factories for {non_names}; use n_workers=1 or names from "
+                "repro.experiments.runner.SCHEDULERS"
+            )
+        jobs = [
+            RunnerJob(scheduler=f, scenario=scenario) for f in schedulers.values()
+        ]
+        summaries = ParallelRunner(n_workers=n_workers).run(jobs)
+        return dict(zip(schedulers, summaries))
+
+    out: dict[str, SimulationResult] = {}
+    for name, f in schedulers.items():
+        if isinstance(f, str):
+            from repro.experiments.runner import make_scheduler
+
+            registry_name = f
+            f = lambda: make_scheduler(registry_name)  # noqa: E731
+        out[name] = run_scheduler(f, scenario)
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -10,13 +10,8 @@ from dataclasses import dataclass
 
 from repro.analysis.reporting import ascii_table
 from repro.analysis.stats import pct_increase
-from repro.baselines import oracle
-from repro.experiments.common import (
-    Scenario,
-    default_scenario,
-    ecolife_factory,
-    run_scheduler,
-)
+from repro.experiments.common import Scenario, default_scenario
+from repro.experiments.runner import ParallelRunner, RunnerJob
 from repro.hardware.catalog import get_pair
 
 PAIR_NAMES: tuple[str, ...] = ("A", "B", "C")
@@ -63,14 +58,22 @@ class Fig13Result:
         )
 
 
-def run_fig13(scenario: Scenario | None = None) -> Fig13Result:
-    """Measure EcoLife-vs-ORACLE margins on every Table I pair."""
+def run_fig13(scenario: Scenario | None = None, n_workers: int = 1) -> Fig13Result:
+    """Measure EcoLife-vs-ORACLE margins on every Table I pair.
+
+    ``n_workers > 1`` fans the 2 x len(PAIR_NAMES) runs out over a process
+    pool via the sweep runner (identical numbers to the serial path).
+    """
     scenario = scenario or default_scenario()
-    points = []
+    jobs = []
     for name in PAIR_NAMES:
         pair_scenario = scenario.with_pair(get_pair(name))
-        orc = run_scheduler(oracle, pair_scenario)
-        eco = run_scheduler(ecolife_factory(), pair_scenario)
+        jobs.append(RunnerJob(scheduler="oracle", scenario=pair_scenario))
+        jobs.append(RunnerJob(scheduler="ecolife", scenario=pair_scenario))
+    summaries = ParallelRunner(n_workers=n_workers).run(jobs)
+    points = []
+    for i, name in enumerate(PAIR_NAMES):
+        orc, eco = summaries[2 * i], summaries[2 * i + 1]
         points.append(
             Fig13Point(
                 pair=name,

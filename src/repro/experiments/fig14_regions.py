@@ -11,14 +11,9 @@ from dataclasses import dataclass
 
 from repro.analysis.reporting import ascii_table
 from repro.analysis.stats import pct_increase
-from repro.baselines import oracle
 from repro.carbon.regions import REGION_NAMES, region_trace_for
-from repro.experiments.common import (
-    Scenario,
-    default_scenario,
-    ecolife_factory,
-    run_scheduler,
-)
+from repro.experiments.common import Scenario, default_scenario
+from repro.experiments.runner import ParallelRunner, RunnerJob
 
 
 @dataclass(frozen=True)
@@ -64,17 +59,25 @@ class Fig14Result:
 
 
 def run_fig14(
-    scenario: Scenario | None = None, ci_seed: int = 0
+    scenario: Scenario | None = None, ci_seed: int = 0, n_workers: int = 1
 ) -> Fig14Result:
-    """Measure EcoLife-vs-ORACLE margins on every region's CI trace."""
+    """Measure EcoLife-vs-ORACLE margins on every region's CI trace.
+
+    ``n_workers > 1`` fans the per-region runs out over a process pool via
+    the sweep runner (identical numbers to the serial path).
+    """
     scenario = scenario or default_scenario()
     horizon = scenario.trace.duration_s + 3600.0
-    points = []
+    jobs = []
     for region in REGION_NAMES:
         ci = region_trace_for(region, horizon, seed=ci_seed, start_hour=8.0)
         region_scenario = scenario.with_ci(ci, label=f"{scenario.label}|{region}")
-        orc = run_scheduler(oracle, region_scenario)
-        eco = run_scheduler(ecolife_factory(), region_scenario)
+        jobs.append(RunnerJob(scheduler="oracle", scenario=region_scenario))
+        jobs.append(RunnerJob(scheduler="ecolife", scenario=region_scenario))
+    summaries = ParallelRunner(n_workers=n_workers).run(jobs)
+    points = []
+    for i, region in enumerate(REGION_NAMES):
+        orc, eco = summaries[2 * i], summaries[2 * i + 1]
         points.append(
             Fig14Point(
                 region=region,

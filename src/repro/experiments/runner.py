@@ -1,0 +1,517 @@
+"""Parallel scenario-sweep runner.
+
+Every paper figure replays full traces; multi-region / multi-pair studies
+multiply that by a scenario grid. This module makes such sweeps practical:
+
+- :class:`ScenarioSpec` -- a small, picklable recipe for one scenario
+  (:func:`repro.experiments.common.default_scenario` parameters), built
+  lazily inside the worker process so the grid ships cheaply.
+- :class:`ScenarioGrid` -- expands cross-products of regions x hardware
+  pairs x seeds x pool capacities into specs.
+- :class:`RunnerJob` -- one (scheduler, scenario) unit of work. Schedulers
+  are referenced by registry name so jobs stay picklable; per-job
+  determinism comes from the spec's seed plus the scheduler's own config
+  seed (the KDM already derives per-function RNGs stably from those).
+- :class:`ParallelRunner` -- fans jobs out over
+  :class:`concurrent.futures.ProcessPoolExecutor` (or runs them serially
+  for ``n_workers=1`` -- both paths execute the identical
+  :func:`execute_job`, so results are byte-identical), with an optional
+  on-disk :class:`ResultCache` keyed by (scenario label, scheduler name,
+  config hash).
+
+Workers return :class:`ResultSummary`, a frozen aggregate that mirrors the
+``SimulationResult`` properties the analysis layer consumes
+(``total_carbon_g``, ``mean_service_s``, ``warm_ratio``, ...), so the
+"% vs oracle" helpers work on both.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.experiments.common import Scenario, default_scenario, run_scheduler
+from repro.hardware.specs import Generation
+from repro.simulator import BaseScheduler, SimulationResult
+
+# ---------------------------------------------------------------------------
+# Scheduler registry (names -> picklable factories).
+# ---------------------------------------------------------------------------
+
+
+def _make_ecolife(config: EcoLifeConfig | None) -> BaseScheduler:
+    return EcoLifeScheduler(config or EcoLifeConfig())
+
+
+def _make_ecolife_no_dpso(config: EcoLifeConfig | None) -> BaseScheduler:
+    return EcoLifeScheduler.without_dpso(config)
+
+
+def _make_ecolife_no_adjust(config: EcoLifeConfig | None) -> BaseScheduler:
+    return EcoLifeScheduler.without_adjustment(config)
+
+
+def _make_eco_old(config: EcoLifeConfig | None) -> BaseScheduler:
+    return EcoLifeScheduler.single_generation(Generation.OLD, config)
+
+
+def _make_eco_new(config: EcoLifeConfig | None) -> BaseScheduler:
+    return EcoLifeScheduler.single_generation(Generation.NEW, config)
+
+
+def _make_co2_opt(config):  # noqa: ARG001 - baselines ignore the config
+    from repro.baselines import co2_opt
+
+    return co2_opt()
+
+
+def _make_service_time_opt(config):  # noqa: ARG001
+    from repro.baselines import service_time_opt
+
+    return service_time_opt()
+
+
+def _make_energy_opt(config):  # noqa: ARG001
+    from repro.baselines import energy_opt
+
+    return energy_opt()
+
+
+def _make_oracle(config):  # noqa: ARG001
+    from repro.baselines import oracle
+
+    return oracle()
+
+
+def _make_new_only(config):  # noqa: ARG001
+    from repro.baselines import new_only
+
+    return new_only()
+
+
+def _make_old_only(config):  # noqa: ARG001
+    from repro.baselines import old_only
+
+    return old_only()
+
+
+#: Scheduler registry. Module-level functions only: jobs reference
+#: schedulers by name, and workers resolve the name back here.
+SCHEDULERS: dict[str, Callable[[EcoLifeConfig | None], BaseScheduler]] = {
+    "ecolife": _make_ecolife,
+    "ecolife-no-dpso": _make_ecolife_no_dpso,
+    "ecolife-no-adjust": _make_ecolife_no_adjust,
+    "eco-old": _make_eco_old,
+    "eco-new": _make_eco_new,
+    "co2-opt": _make_co2_opt,
+    "service-time-opt": _make_service_time_opt,
+    "energy-opt": _make_energy_opt,
+    "oracle": _make_oracle,
+    "new-only": _make_new_only,
+    "old-only": _make_old_only,
+}
+
+SCHEDULER_NAMES: tuple[str, ...] = tuple(SCHEDULERS)
+
+
+def make_scheduler(name: str, config: EcoLifeConfig | None = None) -> BaseScheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; registered: {sorted(SCHEDULERS)}"
+        ) from None
+    return factory(config)
+
+
+# ---------------------------------------------------------------------------
+# Scenario specs and grids.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable recipe for one :class:`Scenario`.
+
+    Mirrors :func:`default_scenario`'s parameters; ``build()`` runs in the
+    worker so only these few scalars cross the process boundary.
+    """
+
+    n_functions: int = 60
+    hours: float = 6.0
+    seed: int = 7
+    region: str = "CAL"
+    pair: str = "A"
+    pool_gb: float = 32.0
+    kmax_minutes: float = 30.0
+    start_hour: float = 8.0
+
+    @property
+    def label(self) -> str:
+        # Every build parameter appears in the label -- it doubles as the
+        # scenario's cache identity (see ResultCache).
+        return (
+            f"azure-n{self.n_functions}-h{self.hours:g}-s{self.seed}"
+            f"-{self.region}-pair{self.pair}"
+            f"-p{self.pool_gb:g}-k{self.kmax_minutes:g}-sh{self.start_hour:g}"
+        )
+
+    def build(self) -> Scenario:
+        scenario = default_scenario(
+            n_functions=self.n_functions,
+            hours=self.hours,
+            seed=self.seed,
+            region=self.region,
+            pair=self.pair,
+            pool_gb=self.pool_gb,
+            kmax_minutes=self.kmax_minutes,
+            start_hour=self.start_hour,
+        )
+        return dataclasses.replace(scenario, label=self.label)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Cross-product of scenario axes, expanded in deterministic order.
+
+    Axis order (outer to inner): region, pair, seed, pool capacity -- the
+    expansion order is part of the contract so cached and fresh runs line
+    up positionally.
+    """
+
+    regions: tuple[str, ...] = ("CAL",)
+    pairs: tuple[str, ...] = ("A",)
+    seeds: tuple[int, ...] = (7,)
+    pool_gbs: tuple[float, ...] = (32.0,)
+    n_functions: int = 60
+    hours: float = 6.0
+    kmax_minutes: float = 30.0
+    start_hour: float = 8.0
+
+    def __post_init__(self) -> None:
+        for axis in ("regions", "pairs", "seeds", "pool_gbs"):
+            if not getattr(self, axis):
+                raise ValueError(f"grid axis {axis!r} must be non-empty")
+
+    def __len__(self) -> int:
+        return (
+            len(self.regions) * len(self.pairs) * len(self.seeds) * len(self.pool_gbs)
+        )
+
+    def specs(self) -> tuple[ScenarioSpec, ...]:
+        """Expand the grid into scenario specs."""
+        return tuple(
+            ScenarioSpec(
+                n_functions=self.n_functions,
+                hours=self.hours,
+                seed=seed,
+                region=region,
+                pair=pair,
+                pool_gb=pool_gb,
+                kmax_minutes=self.kmax_minutes,
+                start_hour=self.start_hour,
+            )
+            for region in self.regions
+            for pair in self.pairs
+            for seed in self.seeds
+            for pool_gb in self.pool_gbs
+        )
+
+    def jobs(
+        self,
+        schedulers: Sequence[str],
+        config: EcoLifeConfig | None = None,
+    ) -> list["RunnerJob"]:
+        """One job per (scenario, scheduler), scenario-major order."""
+        return [
+            RunnerJob(scheduler=name, spec=spec, config=config)
+            for spec in self.specs()
+            for name in schedulers
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Jobs and results.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunnerJob:
+    """One (scheduler, scenario) unit of work.
+
+    Exactly one of ``spec`` / ``scenario`` must be set. Specs are the cheap
+    path (built in the worker); a full ``scenario`` payload supports
+    pre-built scenarios (e.g. the fig13/fig14 drivers' variants) at the
+    cost of pickling its trace arrays.
+    """
+
+    scheduler: str
+    spec: ScenarioSpec | None = None
+    scenario: Scenario | None = None
+    config: EcoLifeConfig | None = None
+
+    def __post_init__(self) -> None:
+        if (self.spec is None) == (self.scenario is None):
+            raise ValueError("exactly one of spec/scenario must be provided")
+        if self.scheduler not in SCHEDULERS:
+            raise KeyError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"registered: {sorted(SCHEDULERS)}"
+            )
+
+    @property
+    def scenario_label(self) -> str:
+        return self.spec.label if self.spec is not None else self.scenario.label
+
+    def build_scenario(self) -> Scenario:
+        return self.spec.build() if self.spec is not None else self.scenario
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """Deterministic aggregates of one run.
+
+    Field names deliberately mirror :class:`SimulationResult`'s properties
+    so the analysis helpers (``relative_to_oracle`` & co.) accept either.
+    ``wall_time_s`` is the only nondeterministic field; it is excluded from
+    :meth:`deterministic_dict`.
+    """
+
+    scheduler_name: str
+    scenario_label: str
+    n_invocations: int
+    total_carbon_g: float
+    total_service_carbon_g: float
+    total_keepalive_carbon_g: float
+    total_operational_g: float
+    total_embodied_g: float
+    total_service_s: float
+    mean_service_s: float
+    p95_service_s: float
+    total_energy_wh: float
+    warm_ratio: float
+    evicted_count: int
+    spilled_count: int
+    dropped_count: int
+    wall_time_s: float = 0.0
+
+    @classmethod
+    def from_result(
+        cls, result: SimulationResult, scenario_label: str
+    ) -> "ResultSummary":
+        return cls(
+            scheduler_name=result.scheduler_name,
+            scenario_label=scenario_label,
+            n_invocations=len(result),
+            total_carbon_g=result.total_carbon_g,
+            total_service_carbon_g=result.total_service_carbon_g,
+            total_keepalive_carbon_g=result.total_keepalive_carbon_g,
+            total_operational_g=result.total_operational_g,
+            total_embodied_g=result.total_embodied_g,
+            total_service_s=result.total_service_s,
+            mean_service_s=result.mean_service_s,
+            p95_service_s=result.p95_service_s,
+            total_energy_wh=result.total_energy_wh,
+            warm_ratio=result.warm_ratio,
+            evicted_count=result.evicted_count,
+            spilled_count=result.spilled_count,
+            dropped_count=result.dropped_count,
+            wall_time_s=result.wall_time_s,
+        )
+
+    def deterministic_dict(self) -> dict:
+        """All fields except wall time (for determinism comparisons)."""
+        d = dataclasses.asdict(self)
+        d.pop("wall_time_s")
+        return d
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSummary":
+        return cls(**json.loads(text))
+
+
+def execute_job(job: RunnerJob) -> ResultSummary:
+    """Run one job to completion (the worker entry point).
+
+    Serial and parallel execution share this exact function, which is what
+    makes ``n_workers > 1`` results identical to the serial path.
+    """
+    scenario = job.build_scenario()
+    result = run_scheduler(lambda: make_scheduler(job.scheduler, job.config), scenario)
+    return ResultSummary.from_result(result, scenario_label=scenario.label)
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache.
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` result summaries.
+
+    The key is ``sha256(scenario label | scheduler | config digest)``; see
+    ``docs/sweep_runner.md`` for the format. Scenario labels are trusted to
+    identify the scenario, which holds for :class:`ScenarioSpec` labels
+    (every build parameter is in the label) -- for pre-built scenarios the
+    digest additionally covers the simulation config.
+    """
+
+    VERSION = "v1"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, job: RunnerJob) -> str:
+        parts = [
+            self.VERSION,
+            job.scenario_label,
+            job.scheduler,
+            repr(job.config) if job.config is not None else "default",
+        ]
+        if job.scenario is not None:
+            parts.append(repr(job.scenario.sim_config))
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, job: RunnerJob) -> ResultSummary | None:
+        path = self._path(self.key(job))
+        if not path.exists():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ResultSummary.from_json(path.read_text())
+
+    def put(self, job: RunnerJob, summary: ResultSummary) -> None:
+        path = self._path(self.key(job))
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(summary.to_json())
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        return len(list(self.directory.glob("*.json")))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# The runner.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """All summaries of one grid run, positionally aligned with its jobs."""
+
+    jobs: tuple[RunnerJob, ...]
+    summaries: tuple[ResultSummary, ...]
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def scenario_labels(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.scenario_label)
+        return tuple(seen)
+
+    @property
+    def scheduler_names(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.scheduler)
+        return tuple(seen)
+
+    def by_scenario(self) -> dict[str, dict[str, ResultSummary]]:
+        """``{scenario label: {scheduler name: summary}}``."""
+        out: dict[str, dict[str, ResultSummary]] = {}
+        for job, summary in zip(self.jobs, self.summaries):
+            out.setdefault(job.scenario_label, {})[job.scheduler] = summary
+        return out
+
+
+class ParallelRunner:
+    """Executes runner jobs, optionally in parallel and/or cached.
+
+    ``n_workers=1`` runs in-process; ``n_workers>1`` fans out over a
+    process pool; ``n_workers=None`` uses the CPU count. Job order is
+    always preserved in the returned list.
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = 1,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.n_workers = (
+            int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
+        )
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.cache = cache
+
+    def run(self, jobs: Sequence[RunnerJob]) -> list[ResultSummary]:
+        """Execute all jobs (cache-first), preserving job order."""
+        jobs = list(jobs)
+        results: list[ResultSummary | None] = [None] * len(jobs)
+        pending: list[int] = []
+        for i, job in enumerate(jobs):
+            cached = self.cache.get(job) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.n_workers == 1 or len(pending) == 1:
+                fresh = [execute_job(jobs[i]) for i in pending]
+            else:
+                workers = min(self.n_workers, len(pending))
+                with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                    fresh = list(pool.map(execute_job, [jobs[i] for i in pending]))
+            for i, summary in zip(pending, fresh):
+                results[i] = summary
+                if self.cache is not None:
+                    self.cache.put(jobs[i], summary)
+
+        return list(results)  # type: ignore[arg-type]
+
+    def run_grid(
+        self,
+        grid: ScenarioGrid | Iterable[ScenarioSpec],
+        schedulers: Sequence[str],
+        config: EcoLifeConfig | None = None,
+    ) -> GridResult:
+        """Run every scheduler over every scenario of the grid."""
+        if isinstance(grid, ScenarioGrid):
+            jobs = grid.jobs(schedulers, config=config)
+        else:
+            jobs = [
+                RunnerJob(scheduler=name, spec=spec, config=config)
+                for spec in grid
+                for name in schedulers
+            ]
+        summaries = self.run(jobs)
+        return GridResult(jobs=tuple(jobs), summaries=tuple(summaries))

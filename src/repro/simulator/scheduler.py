@@ -117,6 +117,7 @@ class SchedulerEnv:
         self._allow_lookahead = allow_lookahead
         # Running max of observed CI (causal normaliser for the objective).
         self._ci_trace: CarbonIntensityTrace = carbon_model.trace
+        self._ci_cummax: np.ndarray | None = None
 
     # -- hardware / carbon -----------------------------------------------------
 
@@ -134,7 +135,10 @@ class SchedulerEnv:
         idx = int(np.searchsorted(knots, t, side="right"))
         if idx <= 0:
             return float(self._ci_trace.values[0])
-        return float(self._ci_trace.values[:idx].max())
+        if self._ci_cummax is None:
+            # Queried once per KDM decision; precompute the running max.
+            self._ci_cummax = np.maximum.accumulate(self._ci_trace.values)
+        return float(self._ci_cummax[idx - 1])
 
     # -- workload observations ---------------------------------------------------
 

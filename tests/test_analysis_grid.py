@@ -1,0 +1,97 @@
+"""Grid aggregation helpers: pivoting sweeps into % vs reference tables."""
+
+import pytest
+
+from repro.analysis.grid import (
+    grid_gap_rows,
+    grid_gap_table,
+    grid_points,
+    mean_margins,
+    pairwise_gap,
+    worst_margins,
+)
+
+
+class FakeResult:
+    """Duck-typed stand-in for SimulationResult / ResultSummary."""
+
+    def __init__(self, carbon, service, warm=0.5):
+        self.total_carbon_g = carbon
+        self.mean_service_s = service
+        self.warm_ratio = warm
+
+
+@pytest.fixture
+def by_scenario():
+    return {
+        "scen-a": {
+            "oracle": FakeResult(100.0, 1.0),
+            "ecolife": FakeResult(110.0, 1.05),
+            "new-only": FakeResult(150.0, 1.20),
+        },
+        "scen-b": {
+            "oracle": FakeResult(200.0, 2.0),
+            "ecolife": FakeResult(210.0, 2.2),
+            "new-only": FakeResult(260.0, 2.2),
+        },
+    }
+
+
+class TestGridPoints:
+    def test_reference_at_origin(self, by_scenario):
+        points = grid_points(by_scenario)
+        for label in by_scenario:
+            assert points[label]["oracle"].carbon_pct == pytest.approx(0.0)
+            assert points[label]["oracle"].service_pct == pytest.approx(0.0)
+
+    def test_percentages(self, by_scenario):
+        points = grid_points(by_scenario)
+        assert points["scen-a"]["ecolife"].carbon_pct == pytest.approx(10.0)
+        assert points["scen-a"]["ecolife"].service_pct == pytest.approx(5.0)
+
+    def test_missing_reference_raises(self, by_scenario):
+        del by_scenario["scen-a"]["oracle"]
+        with pytest.raises(KeyError):
+            grid_points(by_scenario)
+
+
+class TestGapRows:
+    def test_excludes_reference(self, by_scenario):
+        rows = grid_gap_rows(by_scenario)
+        assert len(rows) == 4
+        assert all(r.scheduler != "oracle" for r in rows)
+
+    def test_mean_margins(self, by_scenario):
+        rows = grid_gap_rows(by_scenario)
+        svc, co2 = mean_margins(rows, "ecolife")
+        assert co2 == pytest.approx((10.0 + 5.0) / 2)
+        assert svc == pytest.approx((5.0 + 10.0) / 2)
+
+    def test_worst_margins(self, by_scenario):
+        rows = grid_gap_rows(by_scenario)
+        svc, co2 = worst_margins(rows, "new-only")
+        assert co2 == pytest.approx(50.0)
+        assert svc == pytest.approx(20.0)
+
+    def test_unknown_scheduler_raises(self, by_scenario):
+        rows = grid_gap_rows(by_scenario)
+        with pytest.raises(KeyError):
+            mean_margins(rows, "nope")
+        with pytest.raises(KeyError):
+            worst_margins(rows, "nope")
+
+
+class TestRendering:
+    def test_table_mentions_every_cell(self, by_scenario):
+        table = grid_gap_table(by_scenario, title="test sweep")
+        assert "test sweep" in table
+        assert "scen-a" in table and "scen-b" in table
+        assert "ecolife" in table and "new-only" in table
+        assert "oracle" not in table.splitlines()[-1]
+
+
+class TestPairwiseGap:
+    def test_gap(self, by_scenario):
+        svc, co2 = pairwise_gap(by_scenario["scen-a"], "new-only", "ecolife")
+        assert co2 == pytest.approx((150.0 / 110.0 - 1.0) * 100.0)
+        assert svc == pytest.approx((1.20 / 1.05 - 1.0) * 100.0)

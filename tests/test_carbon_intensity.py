@@ -92,6 +92,32 @@ class TestStats:
         assert np.allclose(tr.hourly_series(), 100.0)
         assert tr.hourly_fluctuation_pct() == 0.0
 
+    def test_hourly_series_includes_trailing_partial_hour(self):
+        """A 90-minute trace must yield the full hour plus the remainder."""
+        vals = [100.0] * 60 + [300.0] * 30
+        tr = CarbonIntensityTrace.from_minute_values(vals)
+        h = tr.hourly_series()
+        assert h.shape == (2,)
+        assert h[0] == pytest.approx(100.0)
+        assert h[1] == pytest.approx(300.0)
+        assert tr.hourly_fluctuation_pct() == pytest.approx(200.0)
+
+    def test_hourly_series_subhour_trace(self):
+        """A trace shorter than an hour averages over its real span only."""
+        tr = CarbonIntensityTrace.from_minute_values([100.0, 200.0, 300.0])
+        h = tr.hourly_series()
+        assert h.shape == (1,)
+        assert h[0] == pytest.approx(tr.mean(0.0, 120.0))
+
+    def test_hourly_series_single_knot(self):
+        tr = CarbonIntensityTrace.constant(250.0)
+        assert tr.hourly_series().tolist() == [250.0]
+
+    def test_hourly_series_exact_hours_unchanged(self):
+        """Integer-hour spans keep exactly one bucket per hour."""
+        tr = CarbonIntensityTrace.from_minute_values([100.0] * 121)
+        assert tr.hourly_series().shape == (2,)
+
     def test_fluctuation_positive_for_varying(self):
         vals = 100 + 50 * np.sin(np.arange(240) / 10.0)
         tr = CarbonIntensityTrace.from_minute_values(vals)

@@ -58,3 +58,25 @@ class TestCommands:
         code = main(["run-experiment", "fig4", "--quick", "--seed", "3"])
         assert code == 0
         assert "Fig. 4" in capsys.readouterr().out
+
+    def test_sweep_unknown_scheduler(self, capsys):
+        assert main(["sweep", "--schedulers", "nope"]) == 2
+
+    def test_sweep_small_with_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--regions", "CAL",
+            "--schedulers", "oracle", "new-only",
+            "--functions", "6",
+            "--hours", "0.5",
+            "--seeds", "3",
+            "--workers", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "new-only" in out and "vs oracle" in out
+        assert "1 hits" not in out  # first run is all misses
+        assert main(argv) == 0  # second run served from the cache
+        out = capsys.readouterr().out
+        assert "2 hits, 0 misses" in out

@@ -65,6 +65,14 @@ class TestDecoding:
         k = builder.decode_k(np.array([0.501]))
         assert k[0] % 60.0 == 0.0
 
+    def test_k_midpoints_round_half_up(self):
+        """Grid midpoints go up -- banker's rounding would send 0.5 -> 0
+        and 2.5 -> 2, biasing candidates toward even step multiples."""
+        b = ObjectiveBuilder(make_env(kmax_minutes=32.0), EcoLifeConfig())
+        # x1 * kmax / step hits exactly 0.5, 1.5, 2.5 (binary-exact inputs).
+        k = b.decode_k(np.array([0.5 / 32.0, 1.5 / 32.0, 2.5 / 32.0]))
+        assert k.tolist() == [60.0, 120.0, 180.0]
+
     def test_decode_single(self, builder):
         gen, k = builder.decode_single(np.array([0.9, 1.0]))
         assert gen is Generation.NEW
@@ -91,6 +99,69 @@ class TestNormalisers:
         assert long.costs.kc_max(bfs, 250.0) == pytest.approx(
             3.0 * short.costs.kc_max(bfs, 250.0)
         )
+
+
+class TestCostCache:
+    """The memoised vectors must agree with the primitive estimators."""
+
+    def test_vectors_match_primitives(self, builder, bfs):
+        v = builder.costs.vectors(bfs)
+        for i, g in enumerate(builder.config.locations):
+            assert v.s_warm[i] == pytest.approx(
+                builder.costs.service_time(bfs, g, cold=False)
+            )
+            assert v.s_cold[i] == pytest.approx(
+                builder.costs.service_time(bfs, g, cold=True)
+            )
+            assert v.sc_warm(250.0)[i] == pytest.approx(
+                builder.costs.service_carbon(bfs, g, cold=False, ci=250.0)
+            )
+            assert v.sc_cold(100.0)[i] == pytest.approx(
+                builder.costs.service_carbon(bfs, g, cold=True, ci=100.0)
+            )
+            assert v.ka_rate(250.0)[i] == pytest.approx(
+                builder.costs.keepalive_rate(bfs, g, ci=250.0)
+            )
+
+    def test_vectors_memoised_by_name(self, builder, bfs):
+        assert builder.costs.vectors(bfs) is builder.costs.vectors(bfs)
+
+    def test_normalisers_memoised(self, builder, bfs):
+        a = builder.costs.normalisers(bfs, 250.0)
+        assert builder.costs.normalisers(bfs, 250.0) is a
+
+    def test_best_cold_matches_fscore_argmin(self, builder, bfs):
+        gen, s, sc = builder.costs.best_cold(bfs, 250.0)
+        by_score = min(
+            builder.config.locations,
+            key=lambda g: builder.costs.fscore(bfs, g, cold=True, ci=250.0),
+        )
+        assert gen is by_score
+        assert s == pytest.approx(builder.costs.service_time(bfs, gen, cold=True))
+
+
+class TestFscoreGuards:
+    """Zero-cost configurations must score finite, not divide by zero."""
+
+    def test_normalisers_guard_all_three(self, builder, bfs, monkeypatch):
+        import repro.core.objective as obj
+
+        zeros = np.zeros(len(builder.config.locations))
+        degenerate = obj.FunctionCostVectors(
+            s_warm=zeros, s_cold=zeros, s_max=0.0,
+            warm_energy_wh=zeros, warm_emb_g=zeros,
+            cold_energy_wh=zeros, cold_emb_g=zeros,
+            ka_power_w=zeros, ka_emb_g_per_s=zeros,
+        )
+        monkeypatch.setattr(builder.costs, "vectors", lambda f: degenerate)
+        s_max, sc_max, kc_max = builder.costs.normalisers(bfs, 0.0)
+        assert s_max > 0.0 and sc_max > 0.0 and kc_max > 0.0
+        score = builder.costs.fscore(bfs, Generation.NEW, cold=True, ci=0.0)
+        assert np.isfinite(score)
+
+    def test_fscore_finite_at_zero_ci(self, builder, bfs):
+        for gen in builder.config.locations:
+            assert np.isfinite(builder.costs.fscore(bfs, gen, cold=True, ci=0.0))
 
 
 class TestFitness:

@@ -1,0 +1,142 @@
+"""Engine overflow/spill edge cases: zero-length segments, drops, ranking.
+
+These exercise :meth:`SimulationEngine._run_adjustment` through the public
+``run()`` API with a scripted scheduler whose placements, keep-alive
+decisions and rankings are fully controlled.
+"""
+
+import pytest
+
+from repro.carbon import CarbonIntensityTrace
+from repro.hardware import PAIR_A, Generation
+from repro.simulator import SimulationConfig, SimulationEngine
+from repro.simulator.records import KeepAliveDecision
+from repro.simulator.scheduler import BaseScheduler
+from repro.workloads import FunctionProfile, InvocationTrace
+
+#: Cold overhead 0 and exec 0.95 + setup 0.05 make service exactly 1 s,
+#: so event timestamps line up exactly in the edge-case tests below.
+F_A = FunctionProfile(
+    name="f-a", mem_gb=1.0, exec_ref_s=0.95, cold_ref_s=0.0,
+    perf_sensitivity=0.0, cold_sensitivity=0.0,
+)
+F_B = FunctionProfile(
+    name="f-b", mem_gb=1.0, exec_ref_s=0.95, cold_ref_s=0.0,
+    perf_sensitivity=0.0, cold_sensitivity=0.0,
+)
+
+
+class ScriptedScheduler(BaseScheduler):
+    """Fixed placement/keep-alive decisions plus a controllable ranking."""
+
+    name = "scripted"
+
+    def __init__(self, ka_s=600.0, rank_mode="incoming-first", allow_spill=True):
+        super().__init__()
+        self.ka_s = ka_s
+        self.rank_mode = rank_mode
+        self.allow_spill = allow_spill
+
+    def place(self, req):
+        return req.warm_locations[0] if req.warm_locations else Generation.NEW
+
+    def keepalive(self, req):
+        return KeepAliveDecision(location=Generation.NEW, duration_s=self.ka_s)
+
+    def rank_keepalive_candidates(self, req):
+        if self.rank_mode == "incoming-first":
+            return sorted(req.candidates, key=lambda c: not c.is_incoming)
+        if self.rank_mode == "incumbent-first":
+            return sorted(req.candidates, key=lambda c: c.is_incoming)
+        # "broken": drops the incumbents -- not a permutation.
+        return [c for c in req.candidates if c.is_incoming]
+
+
+def run_engine(events, scheduler, new_gb=1.0, old_gb=0.0):
+    """One-NEW-pool setup: capacity for a single container by default."""
+    trace = InvocationTrace.from_events(events)
+    engine = SimulationEngine(
+        pair=PAIR_A,
+        trace=trace,
+        ci_trace=CarbonIntensityTrace.constant(250.0),
+        config=SimulationConfig(
+            pool_capacity_new_gb=new_gb, pool_capacity_old_gb=old_gb
+        ),
+    )
+    return engine.run(scheduler)
+
+
+class TestZeroLengthSegments:
+    def test_simultaneous_activations_close_zero_length_segment(self):
+        """Two executions ending at the same instant: the first container
+        activates, the second immediately evicts it -- the incumbent's
+        keep-alive segment is zero-length and must close cleanly."""
+        result = run_engine(
+            [(0.0, F_A), (0.0, F_B)], ScriptedScheduler(rank_mode="incoming-first")
+        )
+        rec_a, rec_b = result.records
+        assert rec_a.evicted and not rec_a.spilled
+        assert rec_a.keepalive_s == 0.0
+        assert rec_a.keepalive_carbon.total == 0.0
+        # The winner keeps its full keep-alive until expiry.
+        assert not rec_b.evicted
+        assert rec_b.keepalive_s == pytest.approx(600.0)
+
+    def test_incumbent_expiring_exactly_at_adjustment_time(self):
+        """An incumbent whose expiry coincides with the incoming
+        activation still participates (activations sort before expiries);
+        its eviction closes the segment at exactly the expiry instant and
+        the stale expiry event must be ignored."""
+        # f-a executes over [0, 1], kept alive until 601. f-b arrives at
+        # 600 and finishes at exactly 601.
+        result = run_engine(
+            [(0.0, F_A), (600.0, F_B)], ScriptedScheduler(rank_mode="incoming-first")
+        )
+        rec_a, rec_b = result.records
+        assert rec_a.evicted
+        assert rec_a.keepalive_s == pytest.approx(600.0)
+        assert rec_b.keepalive_s == pytest.approx(600.0)
+
+
+class TestSpillAndDrop:
+    def test_incoming_dropped_when_other_pool_full(self):
+        """A losing incoming container with no room in the other pool is
+        dropped outright: its wish was never honoured anywhere."""
+        result = run_engine(
+            [(0.0, F_A), (0.0, F_B)],
+            ScriptedScheduler(rank_mode="incumbent-first"),
+            old_gb=0.0,
+        )
+        rec_a, rec_b = result.records
+        assert not rec_a.evicted
+        assert rec_a.keepalive_s == pytest.approx(600.0)
+        assert rec_b.evicted and rec_b.dropped and not rec_b.spilled
+        assert rec_b.keepalive_s == 0.0
+
+    def test_incoming_spills_to_other_pool(self):
+        """With room on the other generation, the loser spills instead of
+        dropping and accrues its keep-alive there."""
+        result = run_engine(
+            [(0.0, F_A), (0.0, F_B)],
+            ScriptedScheduler(rank_mode="incumbent-first"),
+            old_gb=4.0,
+        )
+        rec_a, rec_b = result.records
+        assert not rec_a.evicted
+        assert rec_b.spilled and not rec_b.dropped
+        assert rec_b.keepalive_s == pytest.approx(600.0)
+
+    def test_spill_disabled_drops_instead(self):
+        result = run_engine(
+            [(0.0, F_A), (0.0, F_B)],
+            ScriptedScheduler(rank_mode="incumbent-first", allow_spill=False),
+            old_gb=4.0,
+        )
+        rec_b = result.records[1]
+        assert rec_b.evicted and rec_b.dropped and not rec_b.spilled
+
+
+class TestRankingContract:
+    def test_non_permutation_ranking_raises(self):
+        with pytest.raises(RuntimeError, match="permutation"):
+            run_engine([(0.0, F_A), (0.0, F_B)], ScriptedScheduler(rank_mode="broken"))

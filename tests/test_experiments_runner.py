@@ -1,0 +1,242 @@
+"""Sweep runner: grid expansion, determinism, caching, registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.experiments import quick_scenario, run_suite
+from repro.experiments.runner import (
+    SCHEDULER_NAMES,
+    ParallelRunner,
+    ResultCache,
+    ResultSummary,
+    RunnerJob,
+    ScenarioGrid,
+    ScenarioSpec,
+    execute_job,
+    make_scheduler,
+)
+
+
+def tiny_grid(**overrides):
+    """A grid small enough for per-test full replays (~100 invocations)."""
+    kwargs = dict(
+        regions=("CAL",), seeds=(3,), n_functions=6, hours=0.5
+    )
+    kwargs.update(overrides)
+    return ScenarioGrid(**kwargs)
+
+
+class TestScenarioSpec:
+    def test_label_covers_all_axes(self):
+        spec = ScenarioSpec(
+            n_functions=5, hours=1.0, seed=9, region="TEN", pair="B",
+            pool_gb=16.0, kmax_minutes=20.0,
+        )
+        label = spec.label
+        for token in ("n5", "h1", "s9", "TEN", "pairB", "p16", "k20", "sh8"):
+            assert token in label
+
+    def test_labels_distinct_across_every_axis(self):
+        """Labels double as cache identity: any parameter change must
+        produce a distinct label."""
+        base = ScenarioSpec()
+        variants = [
+            dataclasses.replace(base, n_functions=61),
+            dataclasses.replace(base, hours=5.5),
+            dataclasses.replace(base, seed=8),
+            dataclasses.replace(base, region="TEN"),
+            dataclasses.replace(base, pair="B"),
+            dataclasses.replace(base, pool_gb=16.0),
+            dataclasses.replace(base, kmax_minutes=20.0),
+            dataclasses.replace(base, start_hour=0.0),
+        ]
+        labels = {base.label, *(v.label for v in variants)}
+        assert len(labels) == len(variants) + 1
+
+    def test_build_produces_labelled_scenario(self):
+        spec = ScenarioSpec(n_functions=5, hours=0.5, seed=1)
+        scenario = spec.build()
+        assert scenario.label == spec.label
+        assert len(scenario.trace) > 0
+        assert scenario.sim_config.pool_capacity_old_gb == spec.pool_gb
+
+    def test_build_is_deterministic(self):
+        a = ScenarioSpec(n_functions=5, hours=0.5, seed=1).build()
+        b = ScenarioSpec(n_functions=5, hours=0.5, seed=1).build()
+        assert a.trace.times_s.tolist() == b.trace.times_s.tolist()
+        assert a.ci_trace.values.tolist() == b.ci_trace.values.tolist()
+
+
+class TestScenarioGrid:
+    def test_cross_product_size_and_order(self):
+        g = ScenarioGrid(
+            regions=("CAL", "TEN"), pairs=("A", "B"), seeds=(1, 2),
+            pool_gbs=(16.0, 32.0),
+        )
+        specs = g.specs()
+        assert len(g) == 16 and len(specs) == 16
+        # Region is the outermost axis, pool the innermost.
+        assert specs[0].region == "CAL" and specs[0].pool_gb == 16.0
+        assert specs[1].pool_gb == 32.0
+        assert specs[-1].region == "TEN" and specs[-1].pair == "B"
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ScenarioGrid(regions=())
+
+    def test_runner_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ParallelRunner(n_workers=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            ParallelRunner(n_workers=-2)
+
+    def test_jobs_are_scenario_major(self):
+        g = tiny_grid(regions=("CAL", "TEN"))
+        jobs = g.jobs(["oracle", "ecolife"])
+        assert [j.scheduler for j in jobs[:2]] == ["oracle", "ecolife"]
+        assert jobs[0].spec == jobs[1].spec
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in SCHEDULER_NAMES:
+            sched = make_scheduler(name)
+            assert hasattr(sched, "place")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            make_scheduler("nope")
+
+    def test_config_reaches_ecolife(self):
+        sched = make_scheduler("ecolife", EcoLifeConfig(seed=99))
+        assert isinstance(sched, EcoLifeScheduler)
+        assert sched.config.seed == 99
+
+
+class TestRunnerJob:
+    def test_requires_exactly_one_source(self):
+        spec = ScenarioSpec(n_functions=5, hours=0.5)
+        with pytest.raises(ValueError, match="exactly one"):
+            RunnerJob(scheduler="oracle")
+        with pytest.raises(ValueError, match="exactly one"):
+            RunnerJob(
+                scheduler="oracle", spec=spec, scenario=quick_scenario(),
+            )
+
+    def test_rejects_unregistered_scheduler(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            RunnerJob(scheduler="nope", spec=ScenarioSpec())
+
+    def test_execute_job_summary(self):
+        job = RunnerJob(
+            scheduler="new-only", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        summary = execute_job(job)
+        assert isinstance(summary, ResultSummary)
+        assert summary.scenario_label == job.scenario_label
+        assert summary.n_invocations > 0
+        assert summary.total_carbon_g > 0.0
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        """The acceptance criterion: n_workers > 1 must reproduce the
+        serial aggregates byte-for-byte (wall time excluded)."""
+        g = tiny_grid(regions=("CAL", "TEN"))
+        schedulers = ["oracle", "ecolife"]
+        serial = ParallelRunner(n_workers=1).run_grid(g, schedulers)
+        parallel = ParallelRunner(n_workers=2).run_grid(g, schedulers)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial.summaries, parallel.summaries):
+            assert a.deterministic_dict() == b.deterministic_dict()
+
+    def test_repeat_runs_identical(self):
+        job = RunnerJob(
+            scheduler="ecolife", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        a, b = execute_job(job), execute_job(job)
+        assert a.deterministic_dict() == b.deterministic_dict()
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = RunnerJob(
+            scheduler="new-only", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        assert cache.get(job) is None
+        summary = execute_job(job)
+        cache.put(job, summary)
+        assert cache.get(job) == summary
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_varies_by_scheduler_scenario_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec(n_functions=6, hours=0.5)
+        base = RunnerJob(scheduler="ecolife", spec=spec)
+        assert cache.key(base) != cache.key(
+            RunnerJob(scheduler="oracle", spec=spec)
+        )
+        assert cache.key(base) != cache.key(
+            RunnerJob(scheduler="ecolife", spec=dataclasses.replace(spec, seed=8))
+        )
+        assert cache.key(base) != cache.key(
+            RunnerJob(scheduler="ecolife", spec=spec, config=EcoLifeConfig(seed=1))
+        )
+
+    def test_runner_uses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        g = tiny_grid()
+        runner = ParallelRunner(n_workers=1, cache=cache)
+        first = runner.run_grid(g, ["new-only"])
+        assert cache.misses == 1 and cache.hits == 0
+        second = runner.run_grid(g, ["new-only"])
+        assert cache.hits == 1
+        assert (
+            first.summaries[0].deterministic_dict()
+            == second.summaries[0].deterministic_dict()
+        )
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = RunnerJob(
+            scheduler="new-only", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        cache.put(job, execute_job(job))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestGridResult:
+    def test_by_scenario_pivot(self):
+        g = tiny_grid(regions=("CAL", "TEN"))
+        result = ParallelRunner().run_grid(g, ["oracle", "new-only"])
+        pivot = result.by_scenario()
+        assert set(pivot) == set(result.scenario_labels)
+        for label, schemes in pivot.items():
+            assert set(schemes) == {"oracle", "new-only"}
+            assert schemes["oracle"].scenario_label == label
+
+
+class TestRunSuiteIntegration:
+    def test_registry_names_serial(self):
+        scenario = ScenarioSpec(n_functions=6, hours=0.5).build()
+        res = run_suite({"new-only": "new-only"}, scenario)
+        assert res["new-only"].total_carbon_g > 0.0
+
+    def test_parallel_requires_names(self):
+        scenario = ScenarioSpec(n_functions=6, hours=0.5).build()
+        with pytest.raises(ValueError, match="registry scheduler names"):
+            run_suite({"x": lambda: None}, scenario, n_workers=2)
+
+    def test_parallel_matches_serial_suite(self):
+        scenario = ScenarioSpec(n_functions=6, hours=0.5).build()
+        schedulers = {"oracle": "oracle", "new-only": "new-only"}
+        serial = run_suite(schedulers, scenario)
+        parallel = run_suite(schedulers, scenario, n_workers=2)
+        for name in schedulers:
+            assert parallel[name].total_carbon_g == serial[name].total_carbon_g
+            assert parallel[name].mean_service_s == serial[name].mean_service_s
