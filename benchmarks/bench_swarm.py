@@ -1,0 +1,226 @@
+"""Swarm-fleet benchmark: fused stepping vs per-function loops.
+
+Two measurements, both against the bit-identical sequential reference:
+
+1. **Step throughput** -- N live DPSO swarms advanced for one EcoLife
+   decision (perceive + refresh + iterations) as N independent
+   ``DynamicPSO`` objects vs one ``SwarmFleet`` call. This isolates the
+   fused-kernel win (the ISSUE's >=2x acceptance gate at 50 functions).
+2. **End-to-end replay** -- a tick-quantised multi-function trace through
+   the full engine with ``batch_swarms`` on vs off, exercising the
+   same-tick ``keepalive_batch`` grouping path.
+
+Run directly (no pytest-benchmark dependency, so CI can invoke it as a
+plain script)::
+
+    PYTHONPATH=src python benchmarks/bench_swarm.py --quick
+
+Results are printed and archived as JSON under
+``benchmarks/results/BENCH_swarm.json`` (uploaded as a CI artifact to
+accumulate the perf trajectory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.carbon import CarbonIntensityTrace
+from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.hardware import PAIR_A
+from repro.optimizers import DPSOParams, DynamicPSO, SwarmFleet
+from repro.simulator import SimulationConfig, SimulationEngine
+from repro.workloads import FunctionProfile, InvocationTrace
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+# ---------------------------------------------------------------------------
+# 1. Step throughput: fleet vs per-function loop.
+# ---------------------------------------------------------------------------
+
+
+def _solo_decision(opts, targets, iterations):
+    for i, opt in enumerate(opts):
+        opt.perceive(1.0, 5.0)
+        opt.step(lambda x, t=targets[i]: ((x - t) ** 2).sum(axis=1), iterations)
+
+
+def _fleet_decision(fleet, idx, batch_fit, iterations):
+    for i in idx:
+        fleet.perceive(int(i), 1.0, 5.0)
+    fleet.step(idx, batch_fit, iterations)
+
+
+def bench_step_throughput(
+    n_swarms: int, decisions: int, iterations: int, repeats: int
+) -> dict:
+    """Time `decisions` same-tick decision rounds for `n_swarms` functions."""
+    targets = np.linspace(0.05, 0.95, n_swarms)
+
+    def batch_fit(x):
+        return ((x - targets[: len(x), None, None]) ** 2).sum(axis=2)
+
+    def run_solo():
+        opts = [
+            DynamicPSO(dim=2, rng=np.random.default_rng(i), n_particles=15)
+            for i in range(n_swarms)
+        ]
+        t0 = time.perf_counter()
+        for _ in range(decisions):
+            _solo_decision(opts, targets, iterations)
+        return time.perf_counter() - t0, opts
+
+    def run_fleet():
+        fleet = SwarmFleet(dim=2, n_particles=15, params=DPSOParams())
+        for i in range(n_swarms):
+            fleet.add_swarm(np.random.default_rng(i))
+        idx = np.arange(n_swarms)
+        t0 = time.perf_counter()
+        for _ in range(decisions):
+            _fleet_decision(fleet, idx, batch_fit, iterations)
+        return time.perf_counter() - t0, fleet
+
+    solo_s = fleet_s = float("inf")
+    opts = fleet = None
+    for _ in range(repeats):
+        s, opts = run_solo()
+        f, fleet = run_fleet()
+        solo_s, fleet_s = min(solo_s, s), min(fleet_s, f)
+
+    # Equivalence guard: a fast-but-wrong kernel is not a result.
+    for i, opt in enumerate(opts):
+        assert np.array_equal(opt.positions, fleet.positions[i]), (
+            f"fleet diverged from sequential DPSO at swarm {i}"
+        )
+
+    steps = decisions * n_swarms
+    return {
+        "n_swarms": n_swarms,
+        "decisions": decisions,
+        "iterations_per_decision": iterations,
+        "loop_s": solo_s,
+        "fleet_s": fleet_s,
+        "loop_decisions_per_s": steps / solo_s,
+        "fleet_decisions_per_s": steps / fleet_s,
+        "speedup": solo_s / fleet_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 2. End-to-end replay: batch_swarms on vs off.
+# ---------------------------------------------------------------------------
+
+
+def _quantized_trace(n_funcs: int, n_ticks: int, tick_s: float) -> InvocationTrace:
+    funcs = [
+        FunctionProfile(
+            name=f"f{i}",
+            mem_gb=0.4 + 0.1 * (i % 4),
+            exec_ref_s=1.0 + 0.25 * (i % 8),
+            cold_ref_s=0.8,
+        )
+        for i in range(n_funcs)
+    ]
+    events = [(k * tick_s, f) for k in range(n_ticks) for f in funcs]
+    return InvocationTrace.from_events(events)
+
+
+def bench_replay(n_funcs: int, n_ticks: int, repeats: int) -> dict:
+    """Full engine replay of a tick-quantised trace, batching on vs off."""
+
+    def run(flag):
+        engine = SimulationEngine(
+            pair=PAIR_A,
+            trace=_quantized_trace(n_funcs, n_ticks, tick_s=60.0),
+            ci_trace=CarbonIntensityTrace.constant(250.0),
+            config=SimulationConfig(
+                pool_capacity_old_gb=0.5 * n_funcs,
+                pool_capacity_new_gb=0.5 * n_funcs,
+                measure_decision_overhead=False,
+            ),
+        )
+        t0 = time.perf_counter()
+        result = engine.run(EcoLifeScheduler(EcoLifeConfig(batch_swarms=flag)))
+        return time.perf_counter() - t0, result
+
+    on_s = off_s = float("inf")
+    on = off = None
+    for _ in range(repeats):
+        t, on = run(True)
+        on_s = min(on_s, t)
+        t, off = run(False)
+        off_s = min(off_s, t)
+    assert on.total_carbon_g == off.total_carbon_g, "batched replay diverged"
+
+    return {
+        "n_functions": n_funcs,
+        "n_invocations": len(off.records),
+        "batch_on_s": on_s,
+        "batch_off_s": off_s,
+        "speedup": off_s / on_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale run (fewer decisions/ticks, single repeat)",
+    )
+    parser.add_argument(
+        "--out", default=str(RESULTS_DIR / "BENCH_swarm.json"),
+        help="JSON output path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        step_kw = dict(n_swarms=50, decisions=20, iterations=8, repeats=1)
+        replay_kw = dict(n_funcs=50, n_ticks=20, repeats=1)
+    else:
+        step_kw = dict(n_swarms=50, decisions=100, iterations=8, repeats=3)
+        replay_kw = dict(n_funcs=50, n_ticks=60, repeats=3)
+
+    step = bench_step_throughput(**step_kw)
+    replay = bench_replay(**replay_kw)
+    payload = {
+        "bench": "swarm",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "step_throughput": step,
+        "replay": replay,
+    }
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"step throughput ({step['n_swarms']} swarms): "
+        f"loop {step['loop_decisions_per_s']:.0f} dec/s, "
+        f"fleet {step['fleet_decisions_per_s']:.0f} dec/s "
+        f"-> {step['speedup']:.2f}x"
+    )
+    print(
+        f"replay ({replay['n_functions']} funcs, "
+        f"{replay['n_invocations']} invocations): "
+        f"off {replay['batch_off_s']:.2f}s, on {replay['batch_on_s']:.2f}s "
+        f"-> {replay['speedup']:.2f}x"
+    )
+    print(f"archived -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,11 +60,10 @@ def _cmd_simulate(args) -> int:
     from repro.core import EcoLifeConfig, EcoLifeScheduler
     from repro.experiments import default_scenario, run_scheduler
 
+    config = EcoLifeConfig(seed=args.seed, batch_swarms=not args.no_batch_swarms)
     factories = {
-        "ecolife": lambda: EcoLifeScheduler(EcoLifeConfig(seed=args.seed)),
-        "ecolife-no-dpso": lambda: EcoLifeScheduler.without_dpso(
-            EcoLifeConfig(seed=args.seed)
-        ),
+        "ecolife": lambda: EcoLifeScheduler(config),
+        "ecolife-no-dpso": lambda: EcoLifeScheduler.without_dpso(config),
         "new-only": new_only,
         "old-only": old_only,
         "oracle": oracle,
@@ -221,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--region", default="CAL")
     sim_p.add_argument("--pair", default="A")
     sim_p.add_argument("--pool-gb", type=float, default=32.0)
+    sim_p.add_argument(
+        "--no-batch-swarms", action="store_true",
+        help="force the sequential per-function DPSO path "
+        "(bit-identical results; for debugging/benchmarks)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="run a scenario grid (regions x pairs x seeds x pools)"

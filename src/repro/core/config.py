@@ -72,6 +72,14 @@ class EcoLifeConfig:
     keepalive_expectation: KeepAliveExpectation = KeepAliveExpectation.FULL_K
     # KDM optimizer backend (GA/SA exist for the in-text comparison).
     optimizer: OptimizerKind = OptimizerKind.PSO
+    #: Step per-function swarms through the batched
+    #: :class:`~repro.optimizers.batch.SwarmFleet` (grouping same-tick
+    #: decisions into fused kernels) instead of one optimizer object per
+    #: function. Bit-identical to the per-function path by construction
+    #: (see ``docs/optimizers.md``); only applies to the PSO backends --
+    #: GA/SA always use the per-function path. Turn off to force the
+    #: sequential reference implementation.
+    batch_swarms: bool = True
     # Determinism.
     seed: int = 2024
 

@@ -11,13 +11,20 @@ of a serverless function, EcoLife assigns a PSO optimizer and preserves it
 3. advances the optimizer a few iterations against the current objective;
 4. decodes the swarm's best position into (location, keep-alive period).
 
+With ``config.batch_swarms`` (the default) the per-function swarms live
+in one :class:`~repro.optimizers.batch.SwarmFleet` and same-tick
+decisions for distinct functions step together through fused kernels
+(:meth:`KeepAliveDecisionMaker.decide_batch`) -- bit-identical to the
+per-function path, see ``docs/optimizers.md``.
+
 The GA/SA backends exist for the paper's in-text optimizer comparison and
-share the exact same objective.
+share the exact same objective; they always use the per-function path.
 """
 
 from __future__ import annotations
 
 import zlib
+from typing import Sequence
 
 import numpy as np
 
@@ -25,6 +32,7 @@ from repro.core.arrival import ArrivalRegistry
 from repro.core.config import EcoLifeConfig, OptimizerKind
 from repro.core.objective import ObjectiveBuilder
 from repro.optimizers.annealing import SimulatedAnnealing
+from repro.optimizers.batch import SwarmFleet
 from repro.optimizers.dynamic_pso import DynamicPSO
 from repro.optimizers.genetic import GeneticOptimizer
 from repro.optimizers.pso import ParticleSwarm
@@ -59,6 +67,11 @@ class KeepAliveDecisionMaker:
         self._last_rate: dict[str, float] = {}
         self.decisions = 0
         self.redistributions = 0
+        # Batched path: one SwarmFleet slot per function instead of one
+        # optimizer object. Only the PSO backends vectorise this way.
+        self.use_fleet = config.batch_swarms and config.optimizer is OptimizerKind.PSO
+        self._fleet: SwarmFleet | None = None
+        self._slots: dict[str, int] = {}
 
     # -- optimizer lifecycle -----------------------------------------------------
 
@@ -101,12 +114,49 @@ class KeepAliveDecisionMaker:
 
     @property
     def optimizer_count(self) -> int:
-        return len(self._optimizers)
+        return len(self._slots) if self.use_fleet else len(self._optimizers)
+
+    # -- fleet lifecycle ---------------------------------------------------------
+
+    def _fleet_for_config(self) -> SwarmFleet:
+        """The lazily-created fleet matching this KDM's PSO configuration."""
+        if self._fleet is None:
+            cfg = self.config
+            if cfg.use_dynamic_pso:
+                self._fleet = SwarmFleet(
+                    dim=2, n_particles=cfg.n_particles, params=cfg.dpso
+                )
+            else:
+                self._fleet = SwarmFleet(
+                    dim=2,
+                    n_particles=cfg.n_particles,
+                    omega=cfg.vanilla_omega,
+                    c1=cfg.vanilla_c,
+                    c2=cfg.vanilla_c,
+                )
+        return self._fleet
+
+    def _slot_for(self, name: str) -> int:
+        """The fleet slot of one function, seeding a new swarm on first use.
+
+        The swarm draws from the same stable per-function RNG stream the
+        per-function path seeds its optimizer with, which is what makes
+        the two paths bit-identical.
+        """
+        slot = self._slots.get(name)
+        if slot is None:
+            slot = self._fleet_for_config().add_swarm(
+                _stable_seed(self.config.seed, name)
+            )
+            self._slots[name] = slot
+        return slot
 
     # -- decision ------------------------------------------------------------------
 
     def decide(self, func: FunctionProfile, t: float) -> KeepAliveDecision:
         """Choose (keep-alive location, keep-alive period) for ``func`` at ``t``."""
+        if self.use_fleet:
+            return self._decide_fleet([(func, t)])[0]
         opt = self.optimizer_for(func.name)
 
         ci = self.env.ci_at(t)
@@ -132,6 +182,75 @@ class KeepAliveDecisionMaker:
         location, k_s = self.builder.decode_single(position)
         self.decisions += 1
         return KeepAliveDecision(location=location, duration_s=k_s)
+
+    def decide_batch(
+        self, items: Sequence[tuple[FunctionProfile, float]]
+    ) -> list[KeepAliveDecision]:
+        """Decide for several (function, decision time) pairs at once.
+
+        With the fleet enabled, runs of *distinct* functions step through
+        the batched swarm engine in fused kernels; a repeated function
+        splits the batch (its second decision depends on its first, so
+        the sub-batches run in order). Without the fleet (or for the
+        GA/SA backends) this degrades to sequential :meth:`decide` calls.
+        Either way the decisions are identical to calling :meth:`decide`
+        item by item.
+        """
+        if not self.use_fleet:
+            return [self.decide(func, t) for func, t in items]
+        out: list[KeepAliveDecision] = []
+        batch: list[tuple[FunctionProfile, float]] = []
+        seen: set[str] = set()
+        for func, t in items:
+            if func.name in seen:
+                out.extend(self._decide_fleet(batch))
+                batch, seen = [], set()
+            batch.append((func, t))
+            seen.add(func.name)
+        if batch:
+            out.extend(self._decide_fleet(batch))
+        return out
+
+    def _decide_fleet(
+        self, batch: Sequence[tuple[FunctionProfile, float]]
+    ) -> list[KeepAliveDecision]:
+        """Step distinct functions' swarms together through the fleet."""
+        fleet = self._fleet_for_config()
+        indices = [self._slot_for(func.name) for func, _ in batch]
+
+        dynamic = self.config.use_dynamic_pso
+        for (func, t), slot in zip(batch, indices):
+            ci = self.env.ci_at(t)
+            rate = self.env.rate_per_minute(t)
+            if dynamic:
+                delta_ci = abs(ci - self._last_ci.get(func.name, ci))
+                delta_f = abs(rate - self._last_rate.get(func.name, rate))
+                if fleet.perceive(slot, delta_f, delta_ci):
+                    self.redistributions += 1
+            self._last_ci[func.name] = ci
+            self._last_rate[func.name] = rate
+
+        iterations = self.config.iterations_per_invocation
+        if len(batch) == 1:
+            # Nothing to fuse: use the per-function closure and the
+            # fleet's view-based single-swarm kernel (no batch overhead).
+            func, t = batch[0]
+            fitness = self.builder.fitness(func, t, self.arrivals.get(func.name))
+            fleet.step_one(indices[0], fitness, iterations=iterations)
+        else:
+            fitness = self.builder.batch_fitness(
+                [func for func, _ in batch],
+                [t for _, t in batch],
+                [self.arrivals.get(func.name) for func, _ in batch],
+            )
+            fleet.step(indices, fitness, iterations=iterations)
+
+        decisions = []
+        for position in fleet.gbest_positions(indices):
+            location, k_s = self.builder.decode_single(position)
+            decisions.append(KeepAliveDecision(location=location, duration_s=k_s))
+        self.decisions += len(batch)
+        return decisions
 
     def _iterations_for(self, opt) -> int:
         """Roughly matched evaluation budgets across backends.

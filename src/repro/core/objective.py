@@ -22,6 +22,7 @@ simulator's exact accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from repro.core.arrival import ArrivalEstimator
 from repro.core.config import EcoLifeConfig, KeepAliveExpectation
 from repro.hardware.specs import Generation
 from repro.optimizers.base import FitnessFn
+from repro.optimizers.batch import BatchFitnessFn
 from repro.simulator.scheduler import SchedulerEnv
 from repro.workloads.functions import FunctionProfile
 
@@ -129,6 +131,33 @@ class CostModel:
             cold_emb_g=np.array(cold_emb),
             ka_power_w=np.array(ka_power),
             ka_emb_g_per_s=np.array(ka_emb),
+        )
+
+    def stacked_vectors(
+        self, funcs: Sequence[FunctionProfile]
+    ) -> FunctionCostVectors:
+        """Row-stacked cost vectors for a batch of functions.
+
+        Returns a :class:`FunctionCostVectors` whose arrays are
+        ``(n_funcs, n_locations)`` stacks of the per-function cached
+        vectors; the CI-dependent helpers (``sc_warm``/``sc_cold``/
+        ``ka_rate``) then broadcast against an ``(n_funcs, 1)`` intensity
+        column, which keeps every element's arithmetic identical to the
+        per-function scalar path. ``s_max`` is the batch-wide maximum and
+        only meaningful for the per-function vectors -- batch callers use
+        :meth:`normalisers` per function instead.
+        """
+        vs = [self.vectors(f) for f in funcs]
+        return FunctionCostVectors(
+            s_warm=np.stack([v.s_warm for v in vs]),
+            s_cold=np.stack([v.s_cold for v in vs]),
+            s_max=max(v.s_max for v in vs),
+            warm_energy_wh=np.stack([v.warm_energy_wh for v in vs]),
+            warm_emb_g=np.stack([v.warm_emb_g for v in vs]),
+            cold_energy_wh=np.stack([v.cold_energy_wh for v in vs]),
+            cold_emb_g=np.stack([v.cold_emb_g for v in vs]),
+            ka_power_w=np.stack([v.ka_power_w for v in vs]),
+            ka_emb_g_per_s=np.stack([v.ka_emb_g_per_s for v in vs]),
         )
 
     def normalisers(
@@ -302,3 +331,76 @@ class ObjectiveBuilder:
             )
 
         return fitness_fn
+
+    def batch_fitness(
+        self,
+        funcs: Sequence[FunctionProfile],
+        ts: Sequence[float],
+        arrivals: Sequence[ArrivalEstimator],
+    ) -> BatchFitnessFn:
+        """Build one objective scoring several functions' swarms at once.
+
+        Row ``i`` of the returned callable scores ``funcs[i]``'s particles
+        at decision time ``ts[i]`` -- input ``(n_funcs, rows, 2)``, output
+        ``(n_funcs, rows)``. Per-function scalars (CI, normalisers, the
+        EPDM's cold fallback) become column vectors broadcast along the
+        particle axis, and per-location vectors become row-stacked
+        gathers, so each element's float arithmetic is identical to the
+        per-function closure from :meth:`fitness` -- the bit-equivalence
+        the :class:`~repro.optimizers.batch.SwarmFleet` contract relies
+        on. Only the empirical arrival queries loop per function (each
+        estimator owns a differently-sized history).
+        """
+        cfg = self.config
+        s = len(funcs)
+        if not (s == len(ts) == len(arrivals)):
+            raise ValueError("funcs, ts and arrivals must have equal length")
+
+        ci = np.empty(s)
+        s_max = np.empty(s)
+        sc_max = np.empty(s)
+        kc_max = np.empty(s)
+        s_cold = np.empty(s)
+        sc_cold = np.empty(s)
+        for i, (func, t) in enumerate(zip(funcs, ts)):
+            ci[i] = self.env.ci_at(t)
+            ci_ref = max(self.env.ci_max_observed(t), 1e-9)
+            s_max[i], sc_max[i], kc_max[i] = self.costs.normalisers(func, ci_ref)
+            _, s_cold[i], sc_cold[i] = self.costs.best_cold(func, float(ci[i]))
+
+        vectors = self.costs.stacked_vectors(funcs)
+        ci_col = ci[:, None]
+        s_warm = vectors.s_warm  # (s, n_loc)
+        sc_warm = vectors.sc_warm(ci_col)
+        ka_rate = vectors.ka_rate(ci_col)
+        s_max = s_max[:, None]
+        sc_max = sc_max[:, None]
+        kc_max = kc_max[:, None]
+        s_cold = s_cold[:, None]
+        sc_cold = sc_cold[:, None]
+        expected_mode = cfg.keepalive_expectation is KeepAliveExpectation.EXPECTED_MIN
+        rows = np.arange(s)[:, None]
+
+        def batch_fn(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=float)
+            loc = self.decode_locations(x[..., 0])  # (s, r)
+            k = self.decode_k(x[..., 1])
+            p = np.empty_like(k)
+            ka_duration = np.empty_like(k)
+            for i, arrival in enumerate(arrivals):
+                p[i] = arrival.p_warm(k[i])
+                ka_duration[i] = (
+                    arrival.expected_keepalive_s(k[i]) if expected_mode else k[i]
+                )
+
+            e_s = p * s_warm[rows, loc] + (1.0 - p) * s_cold
+            e_sc = p * sc_warm[rows, loc] + (1.0 - p) * sc_cold
+            kc = ka_rate[rows, loc] * ka_duration
+
+            return (
+                cfg.lambda_s * e_s / s_max
+                + cfg.lambda_c * e_sc / sc_max
+                + cfg.lambda_c * kc / kc_max
+            )
+
+        return batch_fn

@@ -19,6 +19,8 @@ Named variants of the paper are exposed as small factory helpers:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.adjustment import WarmPoolAdjuster
 from repro.core.arrival import ArrivalRegistry
 from repro.core.config import EcoLifeConfig, OptimizerKind
@@ -46,6 +48,10 @@ class EcoLifeScheduler(BaseScheduler):
         super().__init__()
         self.config = config or EcoLifeConfig()
         self.allow_spill = self.config.use_warm_pool_adjustment
+        # Same-tick decision grouping only pays off on the fleet path.
+        self.supports_keepalive_batch = (
+            self.config.batch_swarms and self.config.optimizer is OptimizerKind.PSO
+        )
         # Components are created at bind() time (they need the env).
         self.arrivals: ArrivalRegistry | None = None
         self.kdm: KeepAliveDecisionMaker | None = None
@@ -91,6 +97,11 @@ class EcoLifeScheduler(BaseScheduler):
 
     def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
         return self.kdm.decide(req.func, req.t_end)
+
+    def keepalive_batch(
+        self, reqs: Sequence[KeepAliveRequest]
+    ) -> list[KeepAliveDecision]:
+        return self.kdm.decide_batch([(r.func, r.t_end) for r in reqs])
 
     def rank_keepalive_candidates(
         self, req: AdjustmentRequest

@@ -137,6 +137,7 @@ def run_suite(
     schedulers: dict[str, SchedulerFactory | str],
     scenario: Scenario,
     n_workers: int = 1,
+    config: EcoLifeConfig | None = None,
 ) -> dict[str, SimulationResult | "ResultSummary"]:
     """Run several schedulers over the same scenario.
 
@@ -146,6 +147,8 @@ def run_suite(
     then fans out over a process pool and returns
     :class:`~repro.experiments.runner.ResultSummary` aggregates (identical
     numbers to the serial path, but without per-invocation records).
+    ``config`` reaches registry-name schedulers (EcoLife variants) on both
+    paths; factories close over their own config.
     """
     if n_workers > 1:
         from repro.experiments.runner import ParallelRunner, RunnerJob
@@ -158,7 +161,8 @@ def run_suite(
                 "repro.experiments.runner.SCHEDULERS"
             )
         jobs = [
-            RunnerJob(scheduler=f, scenario=scenario) for f in schedulers.values()
+            RunnerJob(scheduler=f, scenario=scenario, config=config)
+            for f in schedulers.values()
         ]
         summaries = ParallelRunner(n_workers=n_workers).run(jobs)
         return dict(zip(schedulers, summaries))
@@ -169,7 +173,7 @@ def run_suite(
             from repro.experiments.runner import make_scheduler
 
             registry_name = f
-            f = lambda: make_scheduler(registry_name)  # noqa: E731
+            f = lambda: make_scheduler(registry_name, config)  # noqa: E731
         out[name] = run_scheduler(f, scenario)
     return out
 

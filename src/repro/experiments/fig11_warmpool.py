@@ -14,11 +14,12 @@ contending), moderate, and mild -- that the paper's 10/15/20 GiB covers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ascii_table
-from repro.core import EcoLifeConfig, EcoLifeScheduler
-from repro.experiments.common import Scenario, default_scenario, run_scheduler
+from repro.core import EcoLifeConfig
+from repro.experiments.common import Scenario, default_scenario
 
 #: (old GiB, new GiB) capacity combinations, as in the paper's x-axis
 #: (severe / moderate / mild pressure for the default trace).
@@ -93,30 +94,48 @@ class Fig11Result:
 
 
 def run_fig11(
-    scenario: Scenario | None = None, config: EcoLifeConfig | None = None
+    scenario: Scenario | None = None,
+    config: EcoLifeConfig | None = None,
+    n_workers: int = 1,
 ) -> Fig11Result:
-    """Sweep pool memory with and without warm-pool adjustment."""
+    """Sweep pool memory with and without warm-pool adjustment.
+
+    The (memory combo x adjustment) cross-product runs as
+    :class:`~repro.experiments.runner.ParallelRunner` jobs; ``n_workers``
+    fans the six replays out over a process pool with numbers identical
+    to the serial path.
+    """
+    from repro.experiments.runner import ParallelRunner, RunnerJob
+
     scenario = scenario or default_scenario()
-    points = []
+    cells = []
+    jobs = []
     for old_gb, new_gb in MEMORY_COMBOS:
         label = f"{old_gb:g}/{new_gb:g}"
-        tight = scenario.with_capacity(old_gb, new_gb)
+        tight = dataclasses.replace(
+            scenario.with_capacity(old_gb, new_gb),
+            label=f"{scenario.label}|mem{old_gb:g}-{new_gb:g}",
+        )
         for adjustment in (True, False):
-            sched = (
-                EcoLifeScheduler(config or EcoLifeConfig())
-                if adjustment
-                else EcoLifeScheduler.without_adjustment(config)
-            )
-            res = run_scheduler(sched, tight)
-            points.append(
-                Fig11Point(
-                    memory_label=label,
-                    adjustment=adjustment,
-                    mean_service_s=res.mean_service_s,
-                    total_carbon_g=res.total_carbon_g,
-                    evicted=res.evicted_count + res.dropped_count,
-                    dropped=res.dropped_count,
-                    warm_ratio=res.warm_ratio,
+            cells.append((label, adjustment))
+            jobs.append(
+                RunnerJob(
+                    scheduler="ecolife" if adjustment else "ecolife-no-adjust",
+                    scenario=tight,
+                    config=config,
                 )
             )
+    summaries = ParallelRunner(n_workers=n_workers).run(jobs)
+    points = [
+        Fig11Point(
+            memory_label=label,
+            adjustment=adjustment,
+            mean_service_s=res.mean_service_s,
+            total_carbon_g=res.total_carbon_g,
+            evicted=res.evicted_count + res.dropped_count,
+            dropped=res.dropped_count,
+            warm_ratio=res.warm_ratio,
+        )
+        for (label, adjustment), res in zip(cells, summaries)
+    ]
     return Fig11Result(points=points, scenario_label=scenario.label)

@@ -66,6 +66,18 @@ def _make_eco_new(config: EcoLifeConfig | None) -> BaseScheduler:
     return EcoLifeScheduler.single_generation(Generation.NEW, config)
 
 
+def _make_ecolife_ga(config: EcoLifeConfig | None) -> BaseScheduler:
+    from repro.baselines import ga_scheduler
+
+    return ga_scheduler(config)
+
+
+def _make_ecolife_sa(config: EcoLifeConfig | None) -> BaseScheduler:
+    from repro.baselines import sa_scheduler
+
+    return sa_scheduler(config)
+
+
 def _make_co2_opt(config):  # noqa: ARG001 - baselines ignore the config
     from repro.baselines import co2_opt
 
@@ -108,6 +120,8 @@ SCHEDULERS: dict[str, Callable[[EcoLifeConfig | None], BaseScheduler]] = {
     "ecolife": _make_ecolife,
     "ecolife-no-dpso": _make_ecolife_no_dpso,
     "ecolife-no-adjust": _make_ecolife_no_adjust,
+    "ecolife-ga": _make_ecolife_ga,
+    "ecolife-sa": _make_ecolife_sa,
     "eco-old": _make_eco_old,
     "eco-new": _make_eco_new,
     "co2-opt": _make_co2_opt,

@@ -19,13 +19,7 @@ from dataclasses import dataclass
 
 from repro.analysis.reporting import ascii_table
 from repro.analysis.stats import pct_increase
-from repro.baselines import oracle
-from repro.experiments.common import (
-    Scenario,
-    default_scenario,
-    ecolife_factory,
-    run_scheduler,
-)
+from repro.experiments.common import Scenario, default_scenario
 
 EMBODIED_SCALES: tuple[float, ...] = (0.9, 1.0, 1.1)
 #: Extra platform embodied carbon (storage + motherboard + PSU), kgCO2e per
@@ -77,40 +71,74 @@ class EmbodiedSensitivityResult:
         )
 
 
-def _measure(scenario: Scenario, label: str) -> SensitivityPoint:
-    orc = run_scheduler(oracle, scenario)
-    eco = run_scheduler(ecolife_factory(), scenario)
-    return SensitivityPoint(
-        label=label,
-        service_pct_vs_oracle=pct_increase(eco.mean_service_s, orc.mean_service_s),
-        carbon_pct_vs_oracle=pct_increase(eco.total_carbon_g, orc.total_carbon_g),
-    )
+def _measure_many(
+    variants: list[tuple[str, Scenario]], n_workers: int
+) -> list[SensitivityPoint]:
+    """One EcoLife-vs-ORACLE margin per labelled scenario variant.
+
+    All (variant, scheme) replays become one
+    :class:`~repro.experiments.runner.ParallelRunner` job list, so
+    ``n_workers`` parallelises across variants *and* schemes with numbers
+    identical to the serial path.
+    """
+    from repro.experiments.runner import ParallelRunner, RunnerJob
+
+    jobs = []
+    for _, scenario in variants:
+        jobs.append(RunnerJob(scheduler="oracle", scenario=scenario))
+        jobs.append(RunnerJob(scheduler="ecolife", scenario=scenario))
+    summaries = ParallelRunner(n_workers=n_workers).run(jobs)
+    points = []
+    for i, (label, _) in enumerate(variants):
+        orc, eco = summaries[2 * i], summaries[2 * i + 1]
+        points.append(
+            SensitivityPoint(
+                label=label,
+                service_pct_vs_oracle=pct_increase(
+                    eco.mean_service_s, orc.mean_service_s
+                ),
+                carbon_pct_vs_oracle=pct_increase(
+                    eco.total_carbon_g, orc.total_carbon_g
+                ),
+            )
+        )
+    return points
 
 
 def run_embodied_sensitivity(
-    scenario: Scenario | None = None,
+    scenario: Scenario | None = None, n_workers: int = 1
 ) -> EmbodiedSensitivityResult:
     """+/-10% embodied scaling (claim 1)."""
     scenario = scenario or default_scenario()
-    points = []
+    variants = []
     for scale in EMBODIED_SCALES:
         pair = scenario.pair.map_servers(lambda s: s.scaled_embodied(scale))
-        points.append(
-            _measure(scenario.with_pair(pair), label=f"embodied x{scale:g}")
+        variants.append(
+            (
+                f"embodied x{scale:g}",
+                scenario.with_pair(pair, label=f"{scenario.label}|emb{scale:g}"),
+            )
         )
-    return EmbodiedSensitivityResult(points=points, scenario_label=scenario.label)
+    return EmbodiedSensitivityResult(
+        points=_measure_many(variants, n_workers), scenario_label=scenario.label
+    )
 
 
 def run_component_sensitivity(
-    scenario: Scenario | None = None, extra_kg: float = PLATFORM_EXTRA_KG
+    scenario: Scenario | None = None,
+    extra_kg: float = PLATFORM_EXTRA_KG,
+    n_workers: int = 1,
 ) -> EmbodiedSensitivityResult:
     """Storage/motherboard/PSU embodied carbon (claim 2)."""
     scenario = scenario or default_scenario()
-    base = _measure(scenario, label="cpu+dram only")
     pair = scenario.pair.map_servers(lambda s: s.with_platform_overhead(extra_kg))
-    extended = _measure(
-        scenario.with_pair(pair), label=f"+platform {extra_kg:g} kg"
-    )
+    variants = [
+        ("cpu+dram only", scenario),
+        (
+            f"+platform {extra_kg:g} kg",
+            scenario.with_pair(pair, label=f"{scenario.label}|platform{extra_kg:g}"),
+        ),
+    ]
     return EmbodiedSensitivityResult(
-        points=[base, extended], scenario_label=scenario.label
+        points=_measure_many(variants, n_workers), scenario_label=scenario.label
     )

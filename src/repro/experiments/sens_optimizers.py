@@ -11,14 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ascii_table
-from repro.baselines import ga_scheduler, sa_scheduler
 from repro.core import EcoLifeConfig
-from repro.experiments.common import (
-    Scenario,
-    default_scenario,
-    ecolife_factory,
-    run_suite,
-)
+from repro.experiments.common import Scenario, default_scenario, run_suite
 
 
 @dataclass(frozen=True)
@@ -55,16 +49,23 @@ class OptimizerComparisonResult:
 
 
 def run_optimizer_comparison(
-    scenario: Scenario | None = None, config: EcoLifeConfig | None = None
+    scenario: Scenario | None = None,
+    config: EcoLifeConfig | None = None,
+    n_workers: int = 1,
 ) -> OptimizerComparisonResult:
-    """Run PSO-, GA- and SA-driven EcoLife on the same scenario."""
+    """Run PSO-, GA- and SA-driven EcoLife on the same scenario.
+
+    The three schemes are sweep-runner registry names, so ``n_workers``
+    fans them out over a process pool (identical numbers to the serial
+    path).
+    """
     scenario = scenario or default_scenario()
     schemes = {
-        "ecolife": ecolife_factory(config),
-        "ecolife-ga": lambda: ga_scheduler(config),
-        "ecolife-sa": lambda: sa_scheduler(config),
+        "ecolife": "ecolife",
+        "ecolife-ga": "ecolife-ga",
+        "ecolife-sa": "ecolife-sa",
     }
-    results = run_suite(schemes, scenario)
+    results = run_suite(schemes, scenario, n_workers=n_workers, config=config)
     return OptimizerComparisonResult(
         service_s={n: r.mean_service_s for n, r in results.items()},
         carbon_g={n: r.total_carbon_g for n, r in results.items()},

@@ -5,6 +5,10 @@ reports EcoLife's decision overhead at "less than 0.4% of service time, and
 1.2% of carbon footprint". We measure real wall-clock time spent inside
 EcoLife's decision methods during the trace replay, and convert it to
 carbon with a controller power model.
+
+Unlike the other multi-run drivers this one deliberately stays off the
+``ParallelRunner`` path: it is a single replay whose *measurement* is the
+wall clock itself, which process-pool scheduling would distort.
 """
 
 from __future__ import annotations

@@ -2,14 +2,17 @@
 
 from repro.optimizers.annealing import SimulatedAnnealing
 from repro.optimizers.base import ContinuousOptimizer, FitnessFn, clip_box
+from repro.optimizers.batch import BatchFitnessFn, SwarmFleet
 from repro.optimizers.dynamic_pso import DPSOParams, DynamicPSO
 from repro.optimizers.genetic import GeneticOptimizer
 from repro.optimizers.gridsearch import cartesian_grid, grid_best
 from repro.optimizers.pso import ParticleSwarm
 
 __all__ = [
+    "BatchFitnessFn",
     "ContinuousOptimizer",
     "FitnessFn",
+    "SwarmFleet",
     "clip_box",
     "ParticleSwarm",
     "DynamicPSO",

@@ -1,0 +1,422 @@
+"""Batched multi-function swarm engine.
+
+EcoLife's KDM runs one 15-particle DPSO per serverless function per
+invocation (paper Sec. IV-C). At trace scale that is thousands of tiny
+numpy calls per simulated second -- each individually too small to
+amortise numpy's per-call overhead. :class:`SwarmFleet` holds *every*
+function's swarm in stacked ``(n_swarms, n_particles, dim)`` arrays and
+steps any subset of them through a handful of fused kernels.
+
+**Equivalence contract** (enforced by ``tests/test_optimizers_batch.py``):
+a fleet seeded with per-swarm RNG streams is *bit-identical* to the same
+number of independent :class:`~repro.optimizers.pso.ParticleSwarm` /
+:class:`~repro.optimizers.dynamic_pso.DynamicPSO` instances seeded with
+the same streams -- positions, velocities, personal/global bests, and
+perception-response redistributions all match to the last ULP. Three
+rules make that hold:
+
+1. **Per-swarm RNG streams.** Each swarm keeps its own
+   ``np.random.Generator`` and draws exactly the shapes the sequential
+   implementation draws, in the same within-stream order (init positions,
+   init velocities, redistribution choices, then ``r1``/``r2`` per
+   iteration). Streams are independent, so the interleaving *across*
+   swarms is free while the draws *within* each stream stay aligned.
+2. **Identical expression shapes.** Every fused kernel computes the
+   sequential expression with the same associativity (for example
+   ``(c1 * r1) * (pbest - x)``), with per-swarm scalars broadcast along
+   the particle axis -- elementwise float64 arithmetic is then IEEE-
+   identical regardless of batch shape.
+3. **Per-swarm reductions.** ``argmin``/``max`` run along the particle
+   axis only, preserving the sequential tie-breaking (first index wins).
+
+The fitness callable is *batched*: it receives ``(n_active, rows, dim)``
+positions for the active subset and returns ``(n_active, rows)`` scores
+(see :meth:`repro.core.objective.ObjectiveBuilder.batch_fitness`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.optimizers.base import clip_box
+from repro.optimizers.dynamic_pso import DPSOParams
+
+#: Batched objective: (n_active, rows, dim) positions -> (n_active, rows)
+#: scores, lower is better. Row order follows the ``indices`` passed to
+#: :meth:`SwarmFleet.step`.
+BatchFitnessFn = Callable[[np.ndarray], np.ndarray]
+
+
+class SwarmFleet:
+    """A fleet of persistent particle swarms stepped in fused kernels.
+
+    One fleet serves one scheduler configuration: every member swarm
+    shares ``n_particles``, ``vmax``, the re-scoring mode, and (for the
+    dynamic variant) the :class:`DPSOParams` ranges, while positions,
+    velocities, bests, weights, perception maxima, and RNG streams are
+    per-swarm. Swarms are addressed by the integer slot returned from
+    :meth:`add_swarm`.
+
+    ``params=None`` gives the vanilla-PSO fleet (fixed weights, cached
+    best scores, no perception-response), mirroring
+    ``ParticleSwarm(rescore_bests=False)``; passing :class:`DPSOParams`
+    gives the DPSO fleet (re-scored bests, :meth:`perceive`).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_particles: int = 15,
+        vmax: float = 0.35,
+        params: DPSOParams | None = None,
+        omega: float = 0.7,
+        c1: float = 1.4,
+        c2: float = 1.4,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be > 0, got {dim}")
+        if n_particles < 2:
+            raise ValueError("need at least 2 particles")
+        if not 0.0 < vmax <= 1.0:
+            raise ValueError("vmax must be in (0, 1]")
+        self.dim = dim
+        self.n_particles = n_particles
+        self.vmax = vmax
+        self.params = params
+        self.dynamic = params is not None
+        self.rescore_bests = self.dynamic
+        # Initial weights: DPSO starts at the exploratory end of its
+        # ranges (DynamicPSO.__init__); vanilla uses the given constants.
+        if self.dynamic:
+            self._omega0 = params.omega_max
+            self._c0 = params.c_max
+        else:
+            self._omega0 = omega
+            self._c0 = c1
+            self._c20 = c2
+        self._rngs: list[np.random.Generator] = []
+        self._m = 0  # live swarm count
+        self._alloc(4)
+
+    # -- storage --------------------------------------------------------------
+
+    def _alloc(self, capacity: int) -> None:
+        """(Re)allocate stacked state for ``capacity`` swarms."""
+        n, d = self.n_particles, self.dim
+        shape3 = (capacity, n, d)
+
+        def grow(old: np.ndarray | None, new: np.ndarray) -> np.ndarray:
+            if old is not None:
+                new[: self._m] = old[: self._m]
+            return new
+
+        self.positions = grow(getattr(self, "positions", None), np.empty(shape3))
+        self.velocities = grow(getattr(self, "velocities", None), np.empty(shape3))
+        self.pbest_positions = grow(
+            getattr(self, "pbest_positions", None), np.empty(shape3)
+        )
+        self.pbest_scores = grow(
+            getattr(self, "pbest_scores", None), np.empty((capacity, n))
+        )
+        self.omega = grow(getattr(self, "omega", None), np.empty(capacity))
+        self.c1 = grow(getattr(self, "c1", None), np.empty(capacity))
+        self.c2 = grow(getattr(self, "c2", None), np.empty(capacity))
+        self.best_positions = grow(
+            getattr(self, "best_positions", None), np.zeros((capacity, d))
+        )
+        self.best_scores = grow(
+            getattr(self, "best_scores", None), np.empty(capacity)
+        )
+        self._has_best = grow(
+            getattr(self, "_has_best", None), np.zeros(capacity, dtype=bool)
+        )
+        self._df_max = grow(getattr(self, "_df_max", None), np.zeros(capacity))
+        self._dci_max = grow(getattr(self, "_dci_max", None), np.zeros(capacity))
+        self.last_perception = grow(
+            getattr(self, "last_perception", None), np.zeros(capacity)
+        )
+        self._capacity = capacity
+
+    def __len__(self) -> int:
+        return self._m
+
+    @property
+    def n_swarms(self) -> int:
+        return self._m
+
+    def rng_of(self, index: int) -> np.random.Generator:
+        return self._rngs[index]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def add_swarm(self, rng: np.random.Generator) -> int:
+        """Register a new swarm drawing its initial state from ``rng``.
+
+        Draw order matches ``ParticleSwarm.__init__`` exactly: uniform
+        positions over the unit box, then uniform velocities in
+        ``[-vmax, vmax]``.
+        """
+        if self._m == self._capacity:
+            self._alloc(self._capacity * 2)
+        i = self._m
+        self._m += 1
+        self._rngs.append(rng)
+        n, d = self.n_particles, self.dim
+        self.positions[i] = rng.uniform(0.0, 1.0, size=(n, d))
+        self.velocities[i] = rng.uniform(-self.vmax, self.vmax, size=(n, d))
+        self.pbest_positions[i] = self.positions[i]
+        self.pbest_scores[i] = np.inf
+        self.omega[i] = self._omega0
+        self.c1[i] = self._c0
+        self.c2[i] = self._c0 if self.dynamic else self._c20
+        self.best_scores[i] = np.inf
+        self._has_best[i] = False
+        self._df_max[i] = 0.0
+        self._dci_max[i] = 0.0
+        self.last_perception[i] = 0.0
+        return i
+
+    # -- perception-response (DPSO) -------------------------------------------
+
+    def perceive(self, index: int, delta_f: float, delta_ci: float) -> bool:
+        """Per-swarm DPSO perception; mirrors ``DynamicPSO.perceive``.
+
+        Scalar bookkeeping stays in Python floats so the weight values
+        (and any redistribution RNG draws) are bit-identical to the
+        sequential implementation.
+        """
+        if not self.dynamic:
+            raise RuntimeError("perceive() requires a DPSOParams-configured fleet")
+        p = self.params
+        df = abs(float(delta_f))
+        dci = abs(float(delta_ci))
+        df_max = max(float(self._df_max[index]), df)
+        dci_max = max(float(self._dci_max[index]), dci)
+        self._df_max[index] = df_max
+        self._dci_max[index] = dci_max
+
+        nf = df / df_max if df_max > 0.0 else 0.0
+        nci = dci / dci_max if dci_max > 0.0 else 0.0
+        change = nf + nci
+        self.last_perception[index] = change
+
+        self.omega[index] = float(
+            np.clip(p.omega_max * change, p.omega_min, p.omega_max)
+        )
+        c = float(np.clip(p.c_max * (1.0 - change), p.c_min, p.c_max))
+        self.c1[index] = c
+        self.c2[index] = c
+
+        if change > p.perception_threshold:
+            self.redistribute(index, p.redistribute_fraction)
+            return True
+        return False
+
+    def redistribute(self, index: int, fraction: float = 0.5) -> None:
+        """Re-place a fraction of one swarm; mirrors
+        ``ParticleSwarm.redistribute`` (same RNG draw order, including the
+        early return that skips all draws when the fraction rounds to 0)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        k = int(round(fraction * self.n_particles))
+        if k == 0:
+            return
+        rng = self._rngs[index]
+        idx = rng.choice(self.n_particles, size=k, replace=False)
+        self.positions[index, idx] = rng.uniform(0.0, 1.0, size=(k, self.dim))
+        self.velocities[index, idx] = rng.uniform(
+            -self.vmax, self.vmax, size=(k, self.dim)
+        )
+        self.pbest_positions[index, idx] = self.positions[index, idx]
+        self.pbest_scores[index, idx] = np.inf
+
+    # -- search ---------------------------------------------------------------
+
+    def step(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        fitness: BatchFitnessFn,
+        iterations: int = 1,
+    ) -> None:
+        """Advance the swarms at ``indices`` against a batched fitness.
+
+        ``fitness`` rows must align with ``indices`` (row ``j`` scores
+        swarm ``indices[j]``'s particles). Indices must be distinct --
+        stepping the same swarm twice in one call would race on the
+        scattered writes.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            return
+        if len(np.unique(idx)) != idx.size:
+            raise ValueError("step() indices must be distinct")
+        if self.rescore_bests:
+            self._refresh_bests(idx, fitness)
+        for _ in range(iterations):
+            self._iterate(idx, fitness)
+
+    def _refresh_bests(self, idx: np.ndarray, fitness: BatchFitnessFn) -> None:
+        """Re-score incumbents under the current landscape.
+
+        Mirrors ``ContinuousOptimizer._refresh_best``. Swarms that have
+        never been stepped hold a zero placeholder position; their row is
+        evaluated (the kernel is rectangular) but the result is discarded.
+        """
+        has = self._has_best[idx]
+        if not has.any():
+            return
+        scores = fitness(self.best_positions[idx][:, None, :])
+        self._check_scores(scores, idx.size, 1)
+        with_best = idx[has]
+        self.best_scores[with_best] = scores[has, 0]
+
+    def _iterate(self, idx: np.ndarray, fitness: BatchFitnessFn) -> None:
+        s, n = idx.size, self.n_particles
+        pos = self.positions[idx]  # (s, n, d) gathered copies
+        pb_pos = self.pbest_positions[idx]
+
+        if self.rescore_bests:
+            # Current positions and stale personal bests in one call.
+            batch = np.concatenate([pos, pb_pos], axis=1)
+            scores = fitness(batch)
+            self._check_scores(scores, s, 2 * n)
+            cur, pb = scores[:, :n], scores[:, n:]
+        else:
+            cur = fitness(pos)
+            self._check_scores(cur, s, n)
+            pb = self.pbest_scores[idx]
+
+        improved = cur <= pb
+        pb_pos = np.where(improved[..., None], pos, pb_pos)
+        pb_scores = np.where(improved, cur, pb)
+
+        rows = np.arange(s)
+        g = np.argmin(pb_scores, axis=1)  # first-index ties, as argmin()
+        gbest = pb_pos[rows, g]  # (s, d)
+
+        # _record_best: track the incumbent optimum per swarm.
+        g_scores = pb_scores[rows, g]
+        better = g_scores < self.best_scores[idx]
+        if better.any():
+            upd = idx[better]
+            self.best_scores[upd] = g_scores[better]
+            self.best_positions[upd] = gbest[better]
+            self._has_best[upd] = True
+
+        # Per-swarm streams: r1 fully drawn before r2, as in the
+        # sequential _iterate; cross-stream interleaving is immaterial.
+        r1 = np.empty((s, n, self.dim))
+        r2 = np.empty((s, n, self.dim))
+        for j, i in enumerate(idx):
+            rng = self._rngs[i]
+            r1[j] = rng.uniform(size=(n, self.dim))
+            r2[j] = rng.uniform(size=(n, self.dim))
+
+        om = self.omega[idx][:, None, None]
+        c1 = self.c1[idx][:, None, None]
+        c2 = self.c2[idx][:, None, None]
+        vel = (
+            om * self.velocities[idx]
+            + c1 * r1 * (pb_pos - pos)
+            + c2 * r2 * (gbest[:, None, :] - pos)
+        )
+        np.clip(vel, -self.vmax, self.vmax, out=vel)
+        pos = clip_box(pos + vel)
+
+        self.positions[idx] = pos
+        self.velocities[idx] = vel
+        self.pbest_positions[idx] = pb_pos
+        self.pbest_scores[idx] = pb_scores
+
+    # -- single-swarm fast path ------------------------------------------------
+
+    def step_one(
+        self,
+        index: int,
+        fitness: Callable[[np.ndarray], np.ndarray],
+        iterations: int = 1,
+    ) -> None:
+        """Advance one swarm against a plain ``(rows, dim) -> (rows,)``
+        fitness, operating on views into the stacked arrays.
+
+        This is the degenerate-batch escape hatch: a batch of one pays
+        the fused kernels' gather/scatter overhead for nothing, so
+        callers with a single active swarm (for example the KDM when an
+        invocation arrives alone at its tick) step it through this exact
+        mirror of ``ParticleSwarm.step`` instead. State and RNG stream
+        are shared with the batched path, so the two can interleave
+        freely and stay bit-identical to a sequential optimizer.
+        """
+        if self.rescore_bests and self._has_best[index]:
+            self.best_scores[index] = float(
+                fitness(self.best_positions[index][None, :])[0]
+            )
+        n = self.n_particles
+        rng = self._rngs[index]
+        for _ in range(iterations):
+            pos = self.positions[index]  # (n, d) views
+            pb_pos = self.pbest_positions[index]
+            pb_scores = self.pbest_scores[index]
+
+            if self.rescore_bests:
+                batch = np.concatenate([pos, pb_pos], axis=0)
+                scores = np.asarray(fitness(batch), dtype=float)
+                if scores.shape != (2 * n,):
+                    raise ValueError(
+                        f"fitness returned shape {scores.shape}, "
+                        f"expected {(2 * n,)}"
+                    )
+                cur, pb = scores[:n], scores[n:]
+            else:
+                cur = np.asarray(fitness(pos), dtype=float)
+                if cur.shape != (n,):
+                    raise ValueError(
+                        f"fitness returned shape {cur.shape}, expected {(n,)}"
+                    )
+                pb = pb_scores.copy()
+
+            improved = cur <= pb
+            pb_pos[improved] = pos[improved]
+            pb_scores[:] = np.where(improved, cur, pb)
+
+            g = int(np.argmin(pb_scores))
+            gbest = pb_pos[g]
+            if pb_scores[g] < self.best_scores[index]:
+                self.best_scores[index] = pb_scores[g]
+                self.best_positions[index] = gbest
+                self._has_best[index] = True
+
+            r1 = rng.uniform(size=(n, self.dim))
+            r2 = rng.uniform(size=(n, self.dim))
+            vel = (
+                self.omega[index] * self.velocities[index]
+                + self.c1[index] * r1 * (pb_pos - pos)
+                + self.c2[index] * r2 * (gbest[None, :] - pos)
+            )
+            np.clip(vel, -self.vmax, self.vmax, out=vel)
+            self.velocities[index] = vel
+            self.positions[index] = clip_box(pos + vel)
+
+    @staticmethod
+    def _check_scores(scores: np.ndarray, s: int, rows: int) -> None:
+        if np.shape(scores) != (s, rows):
+            raise ValueError(
+                f"batch fitness returned shape {np.shape(scores)}, "
+                f"expected {(s, rows)}"
+            )
+
+    # -- readout --------------------------------------------------------------
+
+    def gbest_positions(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Current swarm-best position per requested swarm, ``(s, dim)``."""
+        idx = np.asarray(indices, dtype=np.intp)
+        g = np.argmin(self.pbest_scores[idx], axis=1)
+        return self.pbest_positions[idx, g]
+
+    def gbest_position(self, index: int) -> np.ndarray:
+        """Current swarm-best of one swarm (matches
+        ``ParticleSwarm.gbest_position``)."""
+        g = int(np.argmin(self.pbest_scores[index]))
+        return self.pbest_positions[index, g]

@@ -151,11 +151,14 @@ class SimulationEngine:
         self._scheduler = scheduler
 
         wall_start = time.perf_counter()
-        horizon = 0.0
-        for inv in self.trace:
-            self._drain_events(until=inv.t)
-            t_end = self._process_invocation(scheduler, inv.t, inv.func)
-            horizon = max(horizon, t_end)
+        if scheduler.supports_keepalive_batch:
+            horizon = self._replay_grouped(scheduler)
+        else:
+            horizon = 0.0
+            for inv in self.trace:
+                self._drain_events(until=inv.t)
+                t_end = self._process_invocation(scheduler, inv.t, inv.func)
+                horizon = max(horizon, t_end)
         self._drain_events(until=float("inf"))
         if any(len(self.pools[g]) for g in GENERATIONS):  # pragma: no cover
             raise RuntimeError("pools not empty after final drain")
@@ -172,10 +175,70 @@ class SimulationEngine:
     # Invocation pipeline
     # ------------------------------------------------------------------
 
+    def _replay_grouped(self, scheduler: BaseScheduler) -> float:
+        """Trace replay that batches same-tick keep-alive decisions.
+
+        Consecutive invocations of *distinct* functions arriving at the
+        same instant are placed one by one (placements interact through
+        the warm pools) and then decided in a single
+        ``keepalive_batch`` call. This is behaviour-preserving: a
+        same-tick keep-alive decision reads only the environment at its
+        own ``t_end`` and its function's private state, never the pools
+        or another group member's outcome, and the containers the group
+        admits all activate strictly after the shared arrival instant. A
+        repeated function name closes the group (its second decision
+        depends on its first).
+        """
+        horizon = 0.0
+        group: list = []
+        names: set[str] = set()
+        for inv in self.trace:
+            if group and (inv.t != group[0].t or inv.func.name in names):
+                horizon = max(horizon, self._flush_group(scheduler, group))
+                group, names = [], set()
+            group.append(inv)
+            names.add(inv.func.name)
+        if group:
+            horizon = max(horizon, self._flush_group(scheduler, group))
+        return horizon
+
+    def _flush_group(self, scheduler: BaseScheduler, group: list) -> float:
+        self._drain_events(until=group[0].t)
+        if len(group) == 1:
+            return self._process_invocation(scheduler, group[0].t, group[0].func)
+        staged = [
+            self._place_and_record(scheduler, inv.t, inv.func) for inv in group
+        ]
+        decisions, wall = self._timed(scheduler.keepalive_batch, staged)
+        share = wall / len(staged)
+        t_last = 0.0
+        for req, decision in zip(staged, decisions):
+            req.record.decision_wall_s += share
+            req.record.keepalive_decision = decision
+            if decision.duration_s > 0.0:
+                self._admit_keepalive(
+                    scheduler, req.func, decision, req.t_end, req.record
+                )
+            t_last = max(t_last, req.t_end)
+        return t_last
+
     def _process_invocation(
         self, scheduler: BaseScheduler, t: float, func: FunctionProfile
     ) -> float:
         """Handle one invocation end-to-end; returns the execution end time."""
+        req = self._place_and_record(scheduler, t, func)
+        decision, wall_ka = self._timed(scheduler.keepalive, req)
+        req.record.decision_wall_s += wall_ka
+        req.record.keepalive_decision = decision
+
+        if decision.duration_s > 0.0:
+            self._admit_keepalive(scheduler, func, decision, req.t_end, req.record)
+        return req.t_end
+
+    def _place_and_record(
+        self, scheduler: BaseScheduler, t: float, func: FunctionProfile
+    ) -> KeepAliveRequest:
+        """Place one invocation, bill its service, and stage the KDM ask."""
         warm_locations = tuple(
             g for g in GENERATIONS if func.name in self.pools[g]
         )
@@ -219,24 +282,13 @@ class SimulationEngine:
             decision_wall_s=wall_place,
         )
         self.records.append(record)
-        t_end = t + record.service_s
-
-        decision, wall_ka = self._timed(
-            scheduler.keepalive,
-            KeepAliveRequest(
-                t_end=t_end,
-                func=func,
-                record=record,
-                executed_on=placement,
-                was_cold=cold,
-            ),
+        return KeepAliveRequest(
+            t_end=t + record.service_s,
+            func=func,
+            record=record,
+            executed_on=placement,
+            was_cold=cold,
         )
-        record.decision_wall_s += wall_ka
-        record.keepalive_decision = decision
-
-        if decision.duration_s > 0.0:
-            self._admit_keepalive(scheduler, func, decision, t_end, record)
-        return t_end
 
     def _admit_keepalive(
         self,

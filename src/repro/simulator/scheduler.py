@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -195,6 +196,10 @@ class BaseScheduler(abc.ABC):
     requires_lookahead: bool = False
     #: Whether adjustment may spill evicted containers to the other pool.
     allow_spill: bool = True
+    #: Schedulers that batch same-tick keep-alive decisions (see
+    #: :meth:`keepalive_batch`) set this True; the engine then groups
+    #: simultaneous arrivals of distinct functions into one call.
+    supports_keepalive_batch: bool = False
 
     def __init__(self) -> None:
         self.env: SchedulerEnv | None = None
@@ -212,6 +217,20 @@ class BaseScheduler(abc.ABC):
     @abc.abstractmethod
     def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
         """Choose keep-alive location and period (KDM)."""
+
+    def keepalive_batch(
+        self, reqs: Sequence[KeepAliveRequest]
+    ) -> list[KeepAliveDecision]:
+        """Batched keep-alive decisions for simultaneous arrivals.
+
+        The engine only calls this (and only for schedulers that declare
+        ``supports_keepalive_batch``) with requests from *distinct*
+        functions arriving at the same instant, whose decisions are
+        therefore order-independent. The default falls back to sequential
+        :meth:`keepalive` calls; EcoLife overrides it to step all the
+        functions' swarms through one batched fleet kernel.
+        """
+        return [self.keepalive(req) for req in reqs]
 
     def rank_keepalive_candidates(
         self, req: AdjustmentRequest

@@ -160,6 +160,44 @@ class TestDeterminism:
         assert a.deterministic_dict() == b.deterministic_dict()
 
 
+class TestBatchedSwarmEquivalence:
+    """Batched fleet replays must be indistinguishable from the
+    per-function DPSO path in every deterministic aggregate."""
+
+    def test_batch_on_off_identical_cached_summaries(self, tmp_path):
+        """A short two-function replay, batching on vs off, through the
+        full runner + ResultCache pipeline."""
+        g = tiny_grid(n_functions=2, hours=0.5)
+        results = {}
+        for flag in (True, False):
+            cache = ResultCache(tmp_path / f"batch-{flag}")
+            runner = ParallelRunner(n_workers=1, cache=cache)
+            config = EcoLifeConfig(batch_swarms=flag)
+            grid_result = runner.run_grid(
+                g, ["ecolife", "ecolife-no-dpso"], config=config
+            )
+            # What landed in the cache is what we compare.
+            cached = [cache.get(job) for job in grid_result.jobs]
+            assert all(c is not None for c in cached)
+            results[flag] = [c.deterministic_dict() for c in cached]
+        assert results[True] == results[False]
+
+    def test_batch_flag_changes_cache_key_not_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec(n_functions=2, hours=0.5)
+        on = RunnerJob(
+            scheduler="ecolife", spec=spec, config=EcoLifeConfig(batch_swarms=True)
+        )
+        off = RunnerJob(
+            scheduler="ecolife", spec=spec, config=EcoLifeConfig(batch_swarms=False)
+        )
+        assert cache.key(on) != cache.key(off)
+        assert (
+            execute_job(on).deterministic_dict()
+            == execute_job(off).deterministic_dict()
+        )
+
+
 class TestResultCache:
     def test_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -219,6 +257,55 @@ class TestGridResult:
         for label, schemes in pivot.items():
             assert set(schemes) == {"oracle", "new-only"}
             assert schemes["oracle"].scenario_label == label
+
+
+class TestDriverParallelWiring:
+    """fig11 / sens_* drivers through ParallelRunner: parallel == serial."""
+
+    @pytest.fixture(scope="class")
+    def tiny_scenario(self):
+        return ScenarioSpec(n_functions=6, hours=0.5, seed=3).build()
+
+    def test_fig11_parallel_matches_serial(self, tiny_scenario):
+        from repro.experiments.fig11_warmpool import run_fig11
+
+        serial = run_fig11(tiny_scenario, n_workers=1)
+        parallel = run_fig11(tiny_scenario, n_workers=2)
+        assert len(serial.points) == len(parallel.points) == 6
+        for a, b in zip(serial.points, parallel.points):
+            assert a == b
+
+    def test_optimizer_comparison_parallel_matches_serial(self, tiny_scenario):
+        from repro.experiments.sens_optimizers import run_optimizer_comparison
+
+        serial = run_optimizer_comparison(tiny_scenario, n_workers=1)
+        parallel = run_optimizer_comparison(tiny_scenario, n_workers=2)
+        assert serial.service_s == parallel.service_s
+        assert serial.carbon_g == parallel.carbon_g
+        assert set(serial.carbon_g) == {"ecolife", "ecolife-ga", "ecolife-sa"}
+
+    def test_embodied_sensitivity_parallel_matches_serial(self, tiny_scenario):
+        from repro.experiments.sens_embodied import run_embodied_sensitivity
+
+        serial = run_embodied_sensitivity(tiny_scenario, n_workers=1)
+        parallel = run_embodied_sensitivity(tiny_scenario, n_workers=3)
+        assert serial.points == parallel.points
+        assert len(serial.points) == 3
+
+    def test_component_sensitivity_parallel_matches_serial(self, tiny_scenario):
+        from repro.experiments.sens_embodied import run_component_sensitivity
+
+        serial = run_component_sensitivity(tiny_scenario, n_workers=1)
+        parallel = run_component_sensitivity(tiny_scenario, n_workers=2)
+        assert serial.points == parallel.points
+
+    def test_ga_sa_registry_names(self):
+        from repro.core.config import OptimizerKind
+
+        assert make_scheduler("ecolife-ga").config.optimizer is OptimizerKind.GENETIC
+        assert (
+            make_scheduler("ecolife-sa").config.optimizer is OptimizerKind.ANNEALING
+        )
 
 
 class TestRunSuiteIntegration:

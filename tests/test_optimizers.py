@@ -237,6 +237,107 @@ class TestGridSearch:
 
 @given(
     seed=st.integers(0, 2**31 - 1),
+    n_particles=st.integers(2, 20),
+    omega=st.floats(0.0, 1.2),
+    c=st.floats(0.0, 2.0),
+    vmax=st.floats(0.05, 1.0),
+    tx=st.floats(-0.5, 1.5),
+    ty=st.floats(-0.5, 1.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_positions_and_velocities_always_bounded(
+    seed, n_particles, omega, c, vmax, tx, ty
+):
+    """Invariant: positions live in the unit box and velocities within
+    +/-vmax, whatever the weights or the (possibly out-of-box) optimum."""
+    rng = np.random.default_rng(seed)
+    opt = ParticleSwarm(
+        dim=2, rng=rng, n_particles=n_particles, omega=omega, c1=c, c2=c,
+        vmax=vmax,
+    )
+    assert opt.velocities.min() >= -vmax and opt.velocities.max() <= vmax
+    opt.step(sphere([tx, ty]), iterations=8)
+    assert 0.0 <= opt.positions.min() and opt.positions.max() <= 1.0
+    assert opt.velocities.min() >= -vmax and opt.velocities.max() <= vmax
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    targets=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_pbest_scores_monotone_without_rescoring(seed, targets):
+    """With cached best scores (rescore_bests=False) the personal bests
+    can only improve, even when the landscape shifts under the swarm."""
+    rng = np.random.default_rng(seed)
+    opt = ParticleSwarm(dim=2, rng=rng)  # rescore_bests=False
+    prev = opt.pbest_scores.copy()
+    for target in targets:
+        opt.step(sphere([target, target]), iterations=3)
+        assert (opt.pbest_scores <= prev).all()
+        prev = opt.pbest_scores.copy()
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_particles=st.integers(2, 25),
+    fraction=st.floats(0.0, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_redistribute_resets_exactly_rounded_fraction(seed, n_particles, fraction):
+    """redistribute(f) forgets exactly round(f*n) personal bests."""
+    rng = np.random.default_rng(seed)
+    opt = ParticleSwarm(dim=2, rng=rng, n_particles=n_particles)
+    opt.step(sphere([0.5, 0.5]), iterations=1)  # all pbest scores finite
+    assert np.isfinite(opt.pbest_scores).all()
+    opt.redistribute(fraction)
+    assert np.isinf(opt.pbest_scores).sum() == round(fraction * n_particles)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    df=st.floats(0.0, 1e6),
+    dci=st.floats(0.0, 1e6),
+)
+@settings(max_examples=40, deadline=None)
+def test_perceive_weights_always_within_param_ranges(seed, df, dci):
+    """Dynamic weights are clamped into the DPSOParams ranges for any
+    observed deltas."""
+    rng = np.random.default_rng(seed)
+    opt = DynamicPSO(dim=2, rng=rng)
+    p = opt.params
+    for deltas in ((df, dci), (df / 2.0, dci * 2.0), (0.0, 0.0)):
+        opt.perceive(*deltas)
+        assert p.omega_min <= opt.omega <= p.omega_max
+        assert p.c_min <= opt.c1 <= p.c_max
+        assert opt.c1 == opt.c2
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_perceive_threshold_boundary_does_not_fire(seed):
+    """A change exactly at the perception threshold is not 'perceived'
+    (the response requires change > threshold), and zero deltas pin the
+    weights to the exploit end without touching the swarm."""
+    rng = np.random.default_rng(seed)
+    opt = DynamicPSO(dim=2, rng=rng)
+    p = opt.params
+    opt.perceive(1.0, 0.0)  # establishes df_max = 1.0
+    before = opt.positions.copy()
+    # nf = threshold / 1.0 == threshold exactly; strict > must not fire.
+    fired = opt.perceive(p.perception_threshold, 0.0)
+    assert not fired
+    assert opt.last_perception == p.perception_threshold
+    assert np.array_equal(opt.positions, before)
+    # Zero deltas: no perceived change, exploit-mode weights, no motion.
+    assert not opt.perceive(0.0, 0.0)
+    assert opt.omega == p.omega_min
+    assert opt.c1 == opt.c2 == p.c_max
+    assert np.array_equal(opt.positions, before)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
     tx=st.floats(0.05, 0.95),
     ty=st.floats(0.05, 0.95),
 )

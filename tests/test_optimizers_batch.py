@@ -1,0 +1,334 @@
+"""SwarmFleet equivalence: batched stepping must be bit-identical to
+independent per-function optimizers seeded with the same RNG streams.
+
+This is the contract that lets the KDM route decisions through the fleet
+(``EcoLifeConfig.batch_swarms``) without changing a single simulation
+number -- see ``docs/optimizers.md``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.carbon import CarbonIntensityTrace
+from repro.core import ArrivalEstimator, EcoLifeConfig, ObjectiveBuilder
+from repro.core.arrival import ArrivalRegistry
+from repro.core.kdm import KeepAliveDecisionMaker
+from repro.core.scheduler import EcoLifeScheduler
+from repro.hardware import PAIR_A
+from repro.optimizers import DPSOParams, DynamicPSO, ParticleSwarm, SwarmFleet
+from repro.simulator import SimulationConfig, SimulationEngine
+from repro.workloads import FunctionProfile, InvocationTrace
+from tests.test_core_objective import make_env
+
+N_SWARMS = 6
+N_PARTICLES = 15
+
+
+def sphere_at(target):
+    return lambda x: ((x - target) ** 2).sum(axis=1)
+
+
+def batch_spheres(targets):
+    """Batched landscape: row i is a sphere centred at targets[i]."""
+    targets = np.asarray(targets)
+
+    def fn(x):
+        return ((x - targets[: len(x), None, None]) ** 2).sum(axis=2)
+
+    return fn
+
+
+def seeded_rngs(n, base=77):
+    return [np.random.default_rng(base + i) for i in range(n)]
+
+
+def make_pairing(dynamic=True):
+    """N independent optimizers and a fleet sharing their seed streams."""
+    targets = np.linspace(0.05, 0.95, N_SWARMS)
+    if dynamic:
+        solos = [
+            DynamicPSO(dim=2, rng=rng, n_particles=N_PARTICLES)
+            for rng in seeded_rngs(N_SWARMS)
+        ]
+        fleet = SwarmFleet(dim=2, n_particles=N_PARTICLES, params=DPSOParams())
+    else:
+        solos = [
+            ParticleSwarm(dim=2, rng=rng, n_particles=N_PARTICLES)
+            for rng in seeded_rngs(N_SWARMS)
+        ]
+        fleet = SwarmFleet(dim=2, n_particles=N_PARTICLES)
+    for rng in seeded_rngs(N_SWARMS):
+        fleet.add_swarm(rng)
+    return solos, fleet, targets
+
+
+def assert_swarm_equal(solo, fleet, i):
+    assert np.array_equal(solo.positions, fleet.positions[i])
+    assert np.array_equal(solo.velocities, fleet.velocities[i])
+    assert np.array_equal(solo.pbest_positions, fleet.pbest_positions[i])
+    assert np.array_equal(solo.pbest_scores, fleet.pbest_scores[i])
+    assert np.array_equal(solo.gbest_position, fleet.gbest_position(i))
+    assert solo.best_fitness == fleet.best_scores[i]
+
+
+class TestFleetEquivalence:
+    def test_initial_state_matches(self):
+        solos, fleet, _ = make_pairing()
+        for i, solo in enumerate(solos):
+            assert_swarm_equal(solo, fleet, i)
+
+    def test_dynamic_stepping_bit_identical(self):
+        """N fleet-stepped DPSO swarms == N independent DynamicPSO
+        instances, including perceive-triggered redistribution."""
+        solos, fleet, targets = make_pairing(dynamic=True)
+        idx = np.arange(N_SWARMS)
+        # Deltas chosen so some rounds redistribute and some do not.
+        deltas = [(0.0, 0.0), (3.0, 40.0), (0.01, 0.1), (5.0, 10.0)]
+        for df, dci in deltas:
+            for i, solo in enumerate(solos):
+                solo.perceive(df, dci)
+                solo.step(sphere_at(targets[i]), iterations=3)
+            fired = [fleet.perceive(i, df, dci) for i in range(N_SWARMS)]
+            fleet.step(idx, batch_spheres(targets), iterations=3)
+            for i, solo in enumerate(solos):
+                assert_swarm_equal(solo, fleet, i)
+            assert fired == [
+                s.last_perception > s.params.perception_threshold for s in solos
+            ]
+
+    def test_vanilla_stepping_bit_identical(self):
+        solos, fleet, targets = make_pairing(dynamic=False)
+        assert not fleet.rescore_bests
+        idx = np.arange(N_SWARMS)
+        for _ in range(5):
+            for i, solo in enumerate(solos):
+                solo.step(sphere_at(targets[i]), iterations=2)
+            fleet.step(idx, batch_spheres(targets), iterations=2)
+        for i, solo in enumerate(solos):
+            assert_swarm_equal(solo, fleet, i)
+
+    def test_partial_subset_stepping(self):
+        """Stepping a masked subset advances exactly those swarms."""
+        solos, fleet, targets = make_pairing()
+        subset = np.array([0, 2, 5])
+        for i in subset:
+            solos[i].perceive(1.0, 1.0)
+            solos[i].step(sphere_at(targets[i]), iterations=4)
+            fleet.perceive(int(i), 1.0, 1.0)
+        fleet.step(subset, batch_spheres(targets[subset]), iterations=4)
+        for i, solo in enumerate(solos):
+            assert_swarm_equal(solo, fleet, i)  # untouched swarms too
+
+    def test_step_one_interleaves_with_batched_steps(self):
+        """The single-swarm fast path shares state and RNG streams with
+        the fused kernels, so mixing the two stays equivalent."""
+        solos, fleet, targets = make_pairing()
+        idx = np.arange(N_SWARMS)
+        for i, solo in enumerate(solos):
+            solo.step(sphere_at(targets[i]), iterations=2)
+        fleet.step(idx, batch_spheres(targets), iterations=2)
+        for i, solo in enumerate(solos):
+            solo.perceive(2.0, 9.0)
+            solo.step(sphere_at(targets[i]), iterations=3)
+            fleet.perceive(i, 2.0, 9.0)
+            fleet.step_one(i, sphere_at(targets[i]), iterations=3)
+        for i, solo in enumerate(solos):
+            assert_swarm_equal(solo, fleet, i)
+
+    def test_growth_preserves_state(self):
+        """Adding swarms past the initial capacity must not disturb the
+        stacked state of existing swarms."""
+        fleet = SwarmFleet(dim=2, n_particles=5, params=DPSOParams())
+        rngs = seeded_rngs(12, base=5)
+        first = fleet.add_swarm(rngs[0])
+        fleet.step_one(first, sphere_at(0.3), iterations=2)
+        snapshot = fleet.positions[first].copy()
+        for rng in rngs[1:]:
+            fleet.add_swarm(rng)
+        assert fleet.n_swarms == 12
+        assert np.array_equal(fleet.positions[first], snapshot)
+
+
+class TestFleetValidation:
+    def test_duplicate_indices_rejected(self):
+        _, fleet, targets = make_pairing()
+        with pytest.raises(ValueError, match="distinct"):
+            fleet.step(np.array([1, 1]), batch_spheres(targets), iterations=1)
+
+    def test_bad_fitness_shape_rejected(self):
+        _, fleet, _ = make_pairing()
+        with pytest.raises(ValueError, match="shape"):
+            fleet.step(np.array([0, 1]), lambda x: np.zeros((2, 3)))
+
+    def test_perceive_requires_dynamic(self):
+        fleet = SwarmFleet(dim=2, n_particles=5)
+        fleet.add_swarm(np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="DPSOParams"):
+            fleet.perceive(0, 1.0, 1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SwarmFleet(dim=0)
+        with pytest.raises(ValueError):
+            SwarmFleet(dim=2, n_particles=1)
+        with pytest.raises(ValueError):
+            SwarmFleet(dim=2, vmax=0.0)
+
+    def test_empty_step_is_noop(self):
+        _, fleet, _ = make_pairing()
+        before = fleet.positions.copy()
+        fleet.step(np.array([], dtype=int), lambda x: x.sum(axis=2))
+        assert np.array_equal(before, fleet.positions)
+
+
+class TestBatchFitness:
+    """ObjectiveBuilder.batch_fitness row i == the per-function closure."""
+
+    def _arrivals(self, n):
+        out = []
+        for i in range(n):
+            est = ArrivalEstimator(history=16)
+            for j in range(i + 2):
+                est.observe(60.0 * j * (i + 1))
+            out.append(est)
+        return out
+
+    def test_rows_match_per_function_closures(self):
+        env = make_env()
+        cfg = EcoLifeConfig()
+        builder = ObjectiveBuilder(env, cfg)
+        funcs = [
+            FunctionProfile(
+                name=f"f{i}",
+                mem_gb=0.3 + 0.2 * i,
+                exec_ref_s=1.0 + i,
+                cold_ref_s=0.5 + 0.3 * i,
+            )
+            for i in range(4)
+        ]
+        ts = [100.0, 260.0, 500.0, 771.0]
+        arrivals = self._arrivals(4)
+
+        rng = np.random.default_rng(11)
+        x = rng.uniform(size=(4, 30, 2))
+        batched = builder.batch_fitness(funcs, ts, arrivals)(x)
+        assert batched.shape == (4, 30)
+        for i, (func, t, arr) in enumerate(zip(funcs, ts, arrivals)):
+            solo = builder.fitness(func, t, arr)(x[i])
+            assert np.array_equal(batched[i], solo)
+
+    def test_length_mismatch_rejected(self):
+        env = make_env()
+        builder = ObjectiveBuilder(env, EcoLifeConfig())
+        func = FunctionProfile(name="f", mem_gb=0.5, exec_ref_s=1.0, cold_ref_s=0.5)
+        with pytest.raises(ValueError, match="equal length"):
+            builder.batch_fitness([func], [1.0, 2.0], [ArrivalEstimator()])
+
+
+class TestKDMBatchDecisions:
+    def _kdm(self, batch: bool, dynamic: bool = True):
+        env = make_env()
+        cfg = EcoLifeConfig(batch_swarms=batch, use_dynamic_pso=dynamic)
+        arrivals = ArrivalRegistry()
+        return KeepAliveDecisionMaker(env, cfg, arrivals), arrivals
+
+    def _funcs(self, n=4):
+        return [
+            FunctionProfile(
+                name=f"f{i}", mem_gb=0.5, exec_ref_s=1.5 + i, cold_ref_s=0.8
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("dynamic", [True, False])
+    def test_decide_batch_matches_sequential_decides(self, dynamic):
+        """Same-tick fleet decisions == per-function decisions, decoded."""
+        funcs = self._funcs()
+        fleet_kdm, fa = self._kdm(batch=True, dynamic=dynamic)
+        solo_kdm, fb = self._kdm(batch=False, dynamic=dynamic)
+        for t0 in (0.0, 120.0, 240.0):
+            for f in funcs:
+                fa.observe(f.name, t0)
+                fb.observe(f.name, t0)
+            batched = fleet_kdm.decide_batch([(f, t0 + 2.0) for f in funcs])
+            solo = [solo_kdm.decide(f, t0 + 2.0) for f in funcs]
+            assert batched == solo
+        assert fleet_kdm.decisions == solo_kdm.decisions
+        assert fleet_kdm.optimizer_count == solo_kdm.optimizer_count == len(funcs)
+        assert fleet_kdm.redistributions == solo_kdm.redistributions
+
+    def test_repeated_function_splits_batch(self):
+        """A duplicate name forces ordered sub-batches (its second
+        decision depends on its first)."""
+        f = self._funcs(1)[0]
+        fleet_kdm, fa = self._kdm(batch=True)
+        solo_kdm, fb = self._kdm(batch=False)
+        fa.observe(f.name, 0.0)
+        fb.observe(f.name, 0.0)
+        batched = fleet_kdm.decide_batch([(f, 1.0), (f, 1.0), (f, 1.0)])
+        solo = [solo_kdm.decide(f, 1.0) for _ in range(3)]
+        assert batched == solo
+
+    def test_ga_backend_falls_back_to_sequential(self):
+        from repro.core.config import OptimizerKind
+
+        env = make_env()
+        cfg = EcoLifeConfig(batch_swarms=True, optimizer=OptimizerKind.GENETIC)
+        kdm = KeepAliveDecisionMaker(env, cfg, ArrivalRegistry())
+        assert not kdm.use_fleet
+        funcs = self._funcs(2)
+        decisions = kdm.decide_batch([(f, 5.0) for f in funcs])
+        assert len(decisions) == 2
+        assert kdm.optimizer_count == 2
+
+
+class TestEngineGrouping:
+    """Same-tick grouped replay == sequential replay, bit for bit."""
+
+    def _quantized_events(self, n_funcs=8, n_ticks=12, tick=90.0):
+        funcs = [
+            FunctionProfile(
+                name=f"f{i}",
+                mem_gb=0.8 + 0.4 * (i % 3),
+                exec_ref_s=1.0 + 0.5 * i,
+                cold_ref_s=0.8,
+            )
+            for i in range(n_funcs)
+        ]
+        events = []
+        for k in range(n_ticks):
+            for f in funcs:
+                events.append((k * tick, f))
+        return events
+
+    def _run(self, batch: bool, **cfg_kw):
+        engine = SimulationEngine(
+            pair=PAIR_A,
+            trace=InvocationTrace.from_events(self._quantized_events()),
+            ci_trace=CarbonIntensityTrace.constant(250.0),
+            config=SimulationConfig(**cfg_kw),
+        )
+        sched = EcoLifeScheduler(EcoLifeConfig(batch_swarms=batch))
+        assert sched.supports_keepalive_batch is batch
+        return engine.run(sched)
+
+    def test_grouped_replay_bit_identical(self):
+        on, off = self._run(True), self._run(False)
+        assert on.total_carbon_g == off.total_carbon_g
+        assert on.total_service_s == off.total_service_s
+        for a, b in zip(on.records, off.records):
+            assert a.cold == b.cold
+            assert a.location is b.location
+            assert a.keepalive_decision == b.keepalive_decision
+            assert a.keepalive_s == b.keepalive_s
+            assert a.keepalive_carbon == b.keepalive_carbon
+
+    def test_grouped_replay_under_memory_pressure(self):
+        """Adjustment/spill/eviction bookkeeping survives grouping."""
+        on = self._run(True, pool_capacity_old_gb=2.0, pool_capacity_new_gb=2.0)
+        off = self._run(False, pool_capacity_old_gb=2.0, pool_capacity_new_gb=2.0)
+        assert on.evicted_count + on.spilled_count > 0  # pressure is real
+        assert on.total_carbon_g == off.total_carbon_g
+        assert on.evicted_count == off.evicted_count
+        assert on.spilled_count == off.spilled_count
+        assert on.dropped_count == off.dropped_count
