@@ -1,0 +1,144 @@
+"""Benchmark-regression gate: compare a bench JSON against a committed baseline.
+
+CI runs ``bench_swarm.py --quick`` and then this comparator against
+``benchmarks/baselines/BENCH_swarm.json``. The gated metrics are the
+*speedup ratios* (batched vs sequential swarm stepping, batched vs
+sequential replay) rather than absolute seconds -- ratios of two timings
+taken on the same host are stable across runner hardware, absolute wall
+times are not. A metric regresses when it drops more than ``--threshold``
+(default 25%) below the baseline value.
+
+Escape hatch: set ``BENCH_GATE_SKIP=1`` (CI wires this to the
+``skip-bench-gate`` PR label) to report the comparison without failing
+the job -- for PRs that intentionally trade speed for capability. Update
+the committed baseline in the same PR when a change legitimately moves
+the steady state.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current benchmarks/results/BENCH_swarm.json \
+        --baseline benchmarks/baselines/BENCH_swarm.json \
+        --out benchmarks/results/BENCH_swarm_compare.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+#: Gated metrics as dotted paths into the bench JSON. All are
+#: higher-is-better speedup ratios (machine-portable).
+GATED_METRICS: tuple[str, ...] = (
+    "step_throughput.speedup",
+    "replay.speedup",
+)
+#: Context metrics recorded in the comparison artifact but never gated
+#: (absolute wall times vary with runner hardware).
+INFO_METRICS: tuple[str, ...] = (
+    "step_throughput.loop_s",
+    "step_throughput.fleet_s",
+    "replay.batch_on_s",
+    "replay.batch_off_s",
+)
+
+
+def lookup(payload: dict, dotted: str) -> float | None:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node)
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> dict:
+    """Build the comparison report; ``report['failed']`` lists regressions."""
+    rows = []
+    failed = []
+    for metric in GATED_METRICS:
+        cur, base = lookup(current, metric), lookup(baseline, metric)
+        if cur is None or base is None:
+            failed.append(metric)
+            rows.append(
+                {"metric": metric, "current": cur, "baseline": base,
+                 "status": "missing"}
+            )
+            continue
+        ratio = cur / base if base else float("inf")
+        regressed = ratio < (1.0 - threshold)
+        if regressed:
+            failed.append(metric)
+        rows.append(
+            {
+                "metric": metric,
+                "current": cur,
+                "baseline": base,
+                "ratio_vs_baseline": ratio,
+                "status": "regressed" if regressed else "ok",
+            }
+        )
+    info = {
+        m: {"current": lookup(current, m), "baseline": lookup(baseline, m)}
+        for m in INFO_METRICS
+    }
+    return {
+        "threshold": threshold,
+        "gated": rows,
+        "info": info,
+        "failed": failed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--out", default=None, help="comparison JSON artifact")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional drop vs baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    report = compare(current, baseline, args.threshold)
+
+    skip = os.environ.get("BENCH_GATE_SKIP", "").strip().lower() in (
+        "1", "true", "yes",
+    )
+    report["skipped"] = skip
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for row in report["gated"]:
+        ratio = row.get("ratio_vs_baseline")
+        print(
+            f"{row['metric']:>24s}: current {row['current']!r} "
+            f"vs baseline {row['baseline']!r} "
+            f"({'n/a' if ratio is None else f'{ratio:.2f}x'}) "
+            f"[{row['status']}]"
+        )
+    if report["failed"]:
+        verdict = (
+            f"bench gate: {len(report['failed'])} metric(s) regressed "
+            f">{args.threshold * 100:.0f}% vs baseline: {report['failed']}"
+        )
+        if skip:
+            print(f"{verdict} -- BENCH_GATE_SKIP set, not failing the job")
+            return 0
+        print(verdict, file=sys.stderr)
+        return 1
+    print(f"bench gate: all {len(report['gated'])} gated metrics within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

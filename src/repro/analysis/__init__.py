@@ -13,12 +13,16 @@ from repro.analysis.comparison import (
     relative_to_oracle,
 )
 from repro.analysis.grid import (
+    RECORD_CDF_FIELDS,
     GridGapRow,
     grid_gap_rows,
     grid_gap_table,
     grid_points,
+    grid_record_cdfs,
     mean_margins,
     pairwise_gap,
+    record_cdf_table,
+    record_cdfs,
     worst_margins,
 )
 from repro.analysis.reporting import ascii_table, fmt, scatter_table
@@ -39,6 +43,10 @@ __all__ = [
     "mean_margins",
     "worst_margins",
     "pairwise_gap",
+    "RECORD_CDF_FIELDS",
+    "grid_record_cdfs",
+    "record_cdfs",
+    "record_cdf_table",
     "ascii_table",
     "scatter_table",
     "fmt",

@@ -6,16 +6,31 @@ is anything exposing ``total_carbon_g`` / ``mean_service_s`` /
 ``warm_ratio`` (a full ``SimulationResult`` or the runner's
 ``ResultSummary``). These helpers pivot such mappings into the paper's
 "% vs oracle" framing (Figs. 13/14 generalised to arbitrary grids).
+
+When the sweep ran with a record-persisting cache
+(``ResultCache(store_records=True)``), :func:`grid_record_cdfs` /
+:func:`record_cdfs` additionally rebuild Fig. 8-style per-invocation
+CDFs (service time, per-decision carbon) from the stored ``.npz``
+columns -- across the whole grid, without re-simulating anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from repro.analysis.comparison import SchemePoint, relative_to_oracle
 from repro.analysis.reporting import ascii_table
-from repro.analysis.stats import pct_increase
+from repro.analysis.stats import CDF, pct_increase
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import ResultCache, RunnerJob
+    from repro.simulator.records import RecordArrays
+
+#: The per-invocation columns the CDF helpers expose.
+RECORD_CDF_FIELDS: tuple[str, ...] = ("service_s", "carbon_g", "energy_wh")
 
 
 @dataclass(frozen=True)
@@ -116,4 +131,75 @@ def pairwise_gap(
     return (
         pct_increase(ra.mean_service_s, rb.mean_service_s),
         pct_increase(ra.total_carbon_g, rb.total_carbon_g),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-invocation CDFs from persisted record arrays.
+# ---------------------------------------------------------------------------
+
+
+def record_cdfs(records: "RecordArrays") -> dict[str, CDF]:
+    """Fig. 8-style CDFs of one run's per-invocation columns."""
+    return {
+        field: CDF.of(getattr(records, field)) for field in RECORD_CDF_FIELDS
+    }
+
+
+def grid_record_cdfs(
+    cache: "ResultCache", jobs: Sequence["RunnerJob"]
+) -> dict[str, dict[str, CDF]]:
+    """Pool persisted per-invocation records into per-scheduler CDFs.
+
+    ``{scheduler name: {column: CDF}}`` over *all* of a grid's scenarios,
+    loaded from a record-persisting :class:`ResultCache` (run the grid
+    with ``ResultCache(store_records=True)`` first). Jobs whose records
+    were never persisted raise -- a partial CDF would silently misstate
+    the distribution. Schedulers whose pooled records hold zero
+    invocations (a very-low-rate generated workload can legitimately
+    produce an empty trace) are omitted rather than crashing ``CDF.of``.
+    """
+    pooled: dict[str, dict[str, list[np.ndarray]]] = {}
+    for job in jobs:
+        records = cache.get_records(job)
+        if records is None:
+            raise KeyError(
+                f"no persisted records for job ({job.scheduler!r}, "
+                f"{job.scenario_label!r}); run the grid with "
+                "ResultCache(store_records=True) first"
+            )
+        per = pooled.setdefault(
+            job.scheduler, {field: [] for field in RECORD_CDF_FIELDS}
+        )
+        for field in RECORD_CDF_FIELDS:
+            per[field].append(getattr(records, field))
+    return {
+        scheduler: {
+            field: CDF.of(np.concatenate(chunks))
+            for field, chunks in columns.items()
+        }
+        for scheduler, columns in pooled.items()
+        if sum(c.size for c in columns[RECORD_CDF_FIELDS[0]]) > 0
+    }
+
+
+def record_cdf_table(
+    cdfs: Mapping[str, Mapping[str, CDF]], title: str | None = None
+) -> str:
+    """Render pooled per-invocation CDFs as p50/p95/p99 rows."""
+    rows = []
+    for scheduler, columns in cdfs.items():
+        svc, co2 = columns["service_s"], columns["carbon_g"]
+        rows.append(
+            [
+                scheduler,
+                svc.percentile(50), svc.percentile(95), svc.percentile(99),
+                co2.percentile(50) * 1000.0, co2.percentile(95) * 1000.0,
+            ]
+        )
+    return ascii_table(
+        ["scheme", "svc p50 (s)", "svc p95 (s)", "svc p99 (s)",
+         "co2 p50 (mg)", "co2 p95 (mg)"],
+        rows,
+        title=title or "per-invocation CDFs (pooled over grid)",
     )

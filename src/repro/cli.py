@@ -95,6 +95,11 @@ def _cmd_sweep(args) -> int:
         ResultCache,
         ScenarioGrid,
     )
+    from repro.workloads.generators import (
+        WorkloadSpec,
+        generator_names,
+        make_generator,
+    )
 
     from repro.carbon.regions import REGION_NAMES
     from repro.hardware import PAIRS
@@ -111,15 +116,38 @@ def _cmd_sweep(args) -> int:
     if bad_pairs:
         print(f"unknown pairs {bad_pairs}; options: {sorted(PAIRS)}")
         return 2
+    try:
+        workloads = tuple(WorkloadSpec.parse(w) for w in args.workloads)
+        # Construct every generator up front so name, parameter, and
+        # value errors exit cleanly here instead of as tracebacks from
+        # inside a pool worker mid-sweep.
+        for w in workloads:
+            make_generator(w)
+    # TypeError covers non-numeric parameter values reaching numeric
+    # validators (e.g. mmpp:on_duration_s=abc).
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"bad workload: {message}")
+        print(f"workload generator options: {list(generator_names())}")
+        return 2
+    if args.store_records and not args.cache_dir:
+        print("--store-records requires --cache-dir")
+        return 2
     grid = ScenarioGrid(
         regions=tuple(args.regions),
         pairs=tuple(args.pairs),
         seeds=tuple(args.seeds),
         pool_gbs=tuple(args.pool_gb),
-        n_functions=args.functions,
-        hours=args.hours,
+        workloads=workloads,
+        n_functions=tuple(args.functions),
+        hours=tuple(args.hours),
+        kmax_minutes=tuple(args.kmax),
     )
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    cache = (
+        ResultCache(args.cache_dir, store_records=args.store_records)
+        if args.cache_dir
+        else None
+    )
     runner = ParallelRunner(n_workers=args.workers, cache=cache)
     result = runner.run_grid(grid, args.schedulers)
     by_scenario = result.by_scenario()
@@ -155,8 +183,14 @@ def _cmd_sweep(args) -> int:
                 title=title,
             )
         )
+    if args.store_records:
+        from repro.analysis import grid_record_cdfs, record_cdf_table
+
+        print(record_cdf_table(grid_record_cdfs(cache, result.jobs)))
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({args.cache_dir})")
+        if args.store_records:
+            print(f"per-invocation records: {cache.record_count()} npz entries")
     return 0
 
 
@@ -234,11 +268,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", nargs="+", type=int, default=[7])
     sweep_p.add_argument("--pool-gb", nargs="+", type=float, default=[32.0])
     sweep_p.add_argument(
+        "--workloads", nargs="+", default=["azure"],
+        help="workload generator families, as `name` or `name:key=val,...` "
+        "(e.g. azure diurnal mmpp:burst_rate_mult=8 churn:inner=mmpp)",
+    )
+    sweep_p.add_argument(
         "--schedulers", nargs="+", default=["oracle", "ecolife"],
         help="sweep-runner registry names",
     )
-    sweep_p.add_argument("--functions", type=int, default=60)
-    sweep_p.add_argument("--hours", type=float, default=6.0)
+    sweep_p.add_argument("--functions", nargs="+", type=int, default=[60])
+    sweep_p.add_argument("--hours", nargs="+", type=float, default=[6.0])
+    sweep_p.add_argument(
+        "--kmax", nargs="+", type=float, default=[30.0],
+        help="maximum keep-alive period axis (minutes)",
+    )
     sweep_p.add_argument(
         "--workers", type=int, default=None,
         help="process-pool size (default: CPU count)",
@@ -246,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--cache-dir", default=None,
         help="directory for the on-disk result cache (reruns become free)",
+    )
+    sweep_p.add_argument(
+        "--store-records", action="store_true",
+        help="persist full per-invocation records as compressed .npz next "
+        "to the cached summaries and print pooled per-invocation CDFs "
+        "(requires --cache-dir)",
     )
     sweep_p.add_argument(
         "--relative-to", default="oracle",

@@ -11,10 +11,26 @@ GA/SA comparison).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.hardware.specs import GENERATIONS, Generation
 from repro.optimizers.dynamic_pso import DPSOParams
+
+
+def batch_swarms_default() -> bool:
+    """Default for :attr:`EcoLifeConfig.batch_swarms`.
+
+    Reads the ``ECOLIFE_BATCH_SWARMS`` environment variable (``0`` /
+    ``false`` / ``off`` disable batching) so the whole test/benchmark
+    suite can be driven down the sequential reference path without code
+    changes -- the CI matrix runs both settings. Unset means batched.
+    """
+    return os.environ.get("ECOLIFE_BATCH_SWARMS", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
 
 
 class OptimizerKind(enum.Enum):
@@ -78,8 +94,10 @@ class EcoLifeConfig:
     #: function. Bit-identical to the per-function path by construction
     #: (see ``docs/optimizers.md``); only applies to the PSO backends --
     #: GA/SA always use the per-function path. Turn off to force the
-    #: sequential reference implementation.
-    batch_swarms: bool = True
+    #: sequential reference implementation (default honours the
+    #: ``ECOLIFE_BATCH_SWARMS`` environment knob; see
+    #: :func:`batch_swarms_default`).
+    batch_swarms: bool = field(default_factory=batch_swarms_default)
     # Determinism.
     seed: int = 2024
 

@@ -14,6 +14,7 @@ from repro.experiments.common import (
     quick_scenario,
     run_scheduler,
     run_suite,
+    workload_scenario,
 )
 from repro.experiments.runner import (
     SCHEDULER_NAMES,
@@ -26,6 +27,7 @@ from repro.experiments.runner import (
     ScenarioGrid,
     ScenarioSpec,
     execute_job,
+    execute_job_with_records,
     make_scheduler,
 )
 from repro.experiments.fig01_motivation import run_fig01
@@ -46,6 +48,7 @@ from repro.experiments.sens_embodied import (
 )
 from repro.experiments.sens_optimizers import run_optimizer_comparison
 from repro.experiments.sens_overhead import run_overhead
+from repro.experiments.sens_workloads import run_workload_sensitivity
 
 #: Experiment id -> zero-config driver. Drivers also accept an explicit
 #: Scenario for scaled-down runs (used by the benchmark harness).
@@ -66,11 +69,13 @@ EXPERIMENTS = {
     "overhead": run_overhead,
     "embodied": run_embodied_sensitivity,
     "components": run_component_sensitivity,
+    "workloads": run_workload_sensitivity,
 }
 
 __all__ = [
     "Scenario",
     "default_scenario",
+    "workload_scenario",
     "quick_scenario",
     "run_scheduler",
     "run_suite",
@@ -88,6 +93,7 @@ __all__ = [
     "SCHEDULER_NAMES",
     "make_scheduler",
     "execute_job",
+    "execute_job_with_records",
     "run_fig01",
     "run_fig02",
     "run_fig03",
@@ -104,4 +110,5 @@ __all__ = [
     "run_overhead",
     "run_embodied_sensitivity",
     "run_component_sensitivity",
+    "run_workload_sensitivity",
 ]

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
     from repro.experiments.runner import ResultSummary
+    from repro.workloads.generators import WorkloadSpec
 
 from repro import units
 from repro.baselines import (
@@ -35,7 +36,6 @@ from repro.simulator import (
     SimulationEngine,
     SimulationResult,
 )
-from repro.workloads.azure import AzureTraceConfig, generate_azure_trace
 from repro.workloads.trace import InvocationTrace
 
 #: Anything that produces a fresh scheduler for one run.
@@ -69,7 +69,8 @@ class Scenario:
         return replace(self, sim_config=cfg)
 
 
-def default_scenario(
+def workload_scenario(
+    workload: "WorkloadSpec | str" = "azure",
     n_functions: int = 60,
     hours: float = 6.0,
     seed: int = 7,
@@ -78,15 +79,19 @@ def default_scenario(
     pool_gb: float = 32.0,
     kmax_minutes: float = 30.0,
     start_hour: float = 8.0,
+    label: str | None = None,
 ) -> Scenario:
-    """The paper's default evaluation setting (Sec. V).
+    """A scenario whose trace comes from any registered workload generator.
 
-    Pair A hardware, Azure-shaped trace, CISO (CAL) carbon intensity.
+    Everything except the invocation trace matches :func:`default_scenario`
+    (region CI trace, pool/kmax simulation config); the trace is built by
+    the :mod:`repro.workloads.generators` family named by ``workload``.
     """
+    from repro.workloads.generators import WorkloadSpec, build_trace
+
+    workload = WorkloadSpec.of(workload)
     duration_s = hours * units.SECONDS_PER_HOUR
-    trace, _ = generate_azure_trace(
-        AzureTraceConfig(n_functions=n_functions, duration_s=duration_s, seed=seed)
-    )
+    trace = build_trace(workload, n_functions, duration_s, seed)
     ci = region_trace_for(
         region, duration_s + units.SECONDS_PER_HOUR, seed=seed, start_hour=start_hour
     )
@@ -100,7 +105,37 @@ def default_scenario(
         trace=trace,
         ci_trace=ci,
         sim_config=cfg,
-        label=f"azure-n{n_functions}-h{hours:g}-s{seed}-{region}-pair{pair}",
+        label=label
+        or f"{workload.label}-n{n_functions}-h{hours:g}-s{seed}-{region}-pair{pair}",
+    )
+
+
+def default_scenario(
+    n_functions: int = 60,
+    hours: float = 6.0,
+    seed: int = 7,
+    region: str = "CAL",
+    pair: str = "A",
+    pool_gb: float = 32.0,
+    kmax_minutes: float = 30.0,
+    start_hour: float = 8.0,
+) -> Scenario:
+    """The paper's default evaluation setting (Sec. V).
+
+    Pair A hardware, Azure-shaped trace, CISO (CAL) carbon intensity.
+    The trace goes through the ``azure`` generator family, which is
+    bit-identical to :func:`repro.workloads.azure.generate_azure_trace`.
+    """
+    return workload_scenario(
+        workload="azure",
+        n_functions=n_functions,
+        hours=hours,
+        seed=seed,
+        region=region,
+        pair=pair,
+        pool_gb=pool_gb,
+        kmax_minutes=kmax_minutes,
+        start_hour=start_hour,
     )
 
 

@@ -37,9 +37,10 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core import EcoLifeConfig, EcoLifeScheduler
-from repro.experiments.common import Scenario, default_scenario, run_scheduler
+from repro.experiments.common import Scenario, run_scheduler, workload_scenario
 from repro.hardware.specs import Generation
-from repro.simulator import BaseScheduler, SimulationResult
+from repro.simulator import BaseScheduler, RecordArrays, SimulationResult
+from repro.workloads.generators import AZURE_WORKLOAD, WorkloadSpec
 
 # ---------------------------------------------------------------------------
 # Scheduler registry (names -> picklable factories).
@@ -155,8 +156,12 @@ def make_scheduler(name: str, config: EcoLifeConfig | None = None) -> BaseSchedu
 class ScenarioSpec:
     """A picklable recipe for one :class:`Scenario`.
 
-    Mirrors :func:`default_scenario`'s parameters; ``build()`` runs in the
-    worker so only these few scalars cross the process boundary.
+    Mirrors :func:`workload_scenario`'s parameters; ``build()`` runs in
+    the worker so only these few scalars (plus the workload handle)
+    cross the process boundary. ``workload`` selects the trace family
+    from the :mod:`repro.workloads.generators` registry; the default is
+    the paper's Azure-shaped synthesizer, whose label token is plain
+    ``azure`` so pre-existing cache identities stay valid.
     """
 
     n_functions: int = 60
@@ -167,19 +172,24 @@ class ScenarioSpec:
     pool_gb: float = 32.0
     kmax_minutes: float = 30.0
     start_hour: float = 8.0
+    workload: WorkloadSpec = AZURE_WORKLOAD
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", WorkloadSpec.of(self.workload))
 
     @property
     def label(self) -> str:
         # Every build parameter appears in the label -- it doubles as the
         # scenario's cache identity (see ResultCache).
         return (
-            f"azure-n{self.n_functions}-h{self.hours:g}-s{self.seed}"
-            f"-{self.region}-pair{self.pair}"
+            f"{self.workload.label}-n{self.n_functions}-h{self.hours:g}"
+            f"-s{self.seed}-{self.region}-pair{self.pair}"
             f"-p{self.pool_gb:g}-k{self.kmax_minutes:g}-sh{self.start_hour:g}"
         )
 
     def build(self) -> Scenario:
-        scenario = default_scenario(
+        return workload_scenario(
+            workload=self.workload,
             n_functions=self.n_functions,
             hours=self.hours,
             seed=self.seed,
@@ -188,55 +198,89 @@ class ScenarioSpec:
             pool_gb=self.pool_gb,
             kmax_minutes=self.kmax_minutes,
             start_hour=self.start_hour,
+            label=self.label,
         )
-        return dataclasses.replace(scenario, label=self.label)
 
 
 @dataclass(frozen=True)
 class ScenarioGrid:
     """Cross-product of scenario axes, expanded in deterministic order.
 
-    Axis order (outer to inner): region, pair, seed, pool capacity -- the
-    expansion order is part of the contract so cached and fresh runs line
-    up positionally.
+    Axis order (outer to inner): workload, region, pair, seed, pool
+    capacity, n_functions, hours, kmax -- the expansion order is part of
+    the contract so cached and fresh runs line up positionally. The
+    workload axis takes :class:`~repro.workloads.generators.WorkloadSpec`
+    values (or bare generator names / ``name:k=v,...`` strings); the
+    scalar axes (``n_functions``, ``hours``, ``kmax_minutes``) also
+    accept a single scalar, which is normalised to a one-element tuple.
     """
 
     regions: tuple[str, ...] = ("CAL",)
     pairs: tuple[str, ...] = ("A",)
     seeds: tuple[int, ...] = (7,)
     pool_gbs: tuple[float, ...] = (32.0,)
-    n_functions: int = 60
-    hours: float = 6.0
-    kmax_minutes: float = 30.0
+    workloads: tuple[WorkloadSpec | str, ...] = (AZURE_WORKLOAD,)
+    n_functions: tuple[int, ...] | int = (60,)
+    hours: tuple[float, ...] | float = (6.0,)
+    kmax_minutes: tuple[float, ...] | float = (30.0,)
     start_hour: float = 8.0
 
     def __post_init__(self) -> None:
-        for axis in ("regions", "pairs", "seeds", "pool_gbs"):
+        for axis in ("n_functions", "hours", "kmax_minutes"):
+            value = getattr(self, axis)
+            # Accept bare scalars and any sequence (a list would otherwise
+            # end up wrapped whole into a one-element tuple).
+            value = (value,) if isinstance(value, (int, float)) else tuple(value)
+            object.__setattr__(self, axis, value)
+        workloads = self.workloads
+        # A bare string/spec is one workload, not an iterable of its
+        # characters.
+        if isinstance(workloads, (str, WorkloadSpec)):
+            workloads = (workloads,)
+        object.__setattr__(
+            self, "workloads", tuple(WorkloadSpec.of(w) for w in workloads)
+        )
+        for axis in (
+            "regions", "pairs", "seeds", "pool_gbs", "workloads",
+            "n_functions", "hours", "kmax_minutes",
+        ):
             if not getattr(self, axis):
                 raise ValueError(f"grid axis {axis!r} must be non-empty")
 
     def __len__(self) -> int:
         return (
-            len(self.regions) * len(self.pairs) * len(self.seeds) * len(self.pool_gbs)
+            len(self.workloads)
+            * len(self.regions)
+            * len(self.pairs)
+            * len(self.seeds)
+            * len(self.pool_gbs)
+            * len(self.n_functions)
+            * len(self.hours)
+            * len(self.kmax_minutes)
         )
 
     def specs(self) -> tuple[ScenarioSpec, ...]:
         """Expand the grid into scenario specs."""
         return tuple(
             ScenarioSpec(
-                n_functions=self.n_functions,
-                hours=self.hours,
+                n_functions=n_funcs,
+                hours=hrs,
                 seed=seed,
                 region=region,
                 pair=pair,
                 pool_gb=pool_gb,
-                kmax_minutes=self.kmax_minutes,
+                kmax_minutes=kmax,
                 start_hour=self.start_hour,
+                workload=workload,
             )
+            for workload in self.workloads
             for region in self.regions
             for pair in self.pairs
             for seed in self.seeds
             for pool_gb in self.pool_gbs
+            for n_funcs in self.n_functions
+            for hrs in self.hours
+            for kmax in self.kmax_minutes
         )
 
     def jobs(
@@ -366,6 +410,16 @@ def execute_job(job: RunnerJob) -> ResultSummary:
     return ResultSummary.from_result(result, scenario_label=scenario.label)
 
 
+def execute_job_with_records(job: RunnerJob) -> tuple[ResultSummary, RecordArrays]:
+    """Like :func:`execute_job`, but also returns the per-invocation
+    records in columnar form (what the record-persisting cache stores as
+    compressed ``.npz``). The simulation itself is identical."""
+    scenario = job.build_scenario()
+    result = run_scheduler(lambda: make_scheduler(job.scheduler, job.config), scenario)
+    summary = ResultSummary.from_result(result, scenario_label=scenario.label)
+    return summary, result.record_arrays()
+
+
 # ---------------------------------------------------------------------------
 # On-disk result cache.
 # ---------------------------------------------------------------------------
@@ -379,13 +433,21 @@ class ResultCache:
     identify the scenario, which holds for :class:`ScenarioSpec` labels
     (every build parameter is in the label) -- for pre-built scenarios the
     digest additionally covers the simulation config.
+
+    With ``store_records=True`` each entry additionally persists the full
+    per-invocation record columns as a compressed ``<key>.npz`` next to
+    the JSON summary (see :class:`~repro.simulator.records.RecordArrays`),
+    enabling CDF-style analyses over whole grids without re-simulating.
     """
 
     VERSION = "v1"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self, directory: str | os.PathLike, store_records: bool = False
+    ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.store_records = store_records
         self.hits = 0
         self.misses = 0
 
@@ -403,29 +465,62 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.json"
 
+    def _records_path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.npz"
+
     def get(self, job: RunnerJob) -> ResultSummary | None:
-        path = self._path(self.key(job))
+        key = self.key(job)
+        path = self._path(key)
         if not path.exists():
+            self.misses += 1
+            return None
+        if self.store_records and not self._records_path(key).exists():
+            # A summary without its records does not satisfy a
+            # record-persisting cache; treat as a miss so the runner
+            # re-simulates and fills both files.
             self.misses += 1
             return None
         self.hits += 1
         return ResultSummary.from_json(path.read_text())
 
-    def put(self, job: RunnerJob, summary: ResultSummary) -> None:
-        path = self._path(self.key(job))
+    def put(
+        self,
+        job: RunnerJob,
+        summary: ResultSummary,
+        records: RecordArrays | None = None,
+    ) -> None:
+        key = self.key(job)
+        if records is not None:
+            records.to_npz(self._records_path(key))
+        path = self._path(key)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(summary.to_json())
         tmp.replace(path)
 
+    def get_records(self, job: RunnerJob) -> RecordArrays | None:
+        """Load one job's persisted per-invocation records (or None)."""
+        path = self._records_path(self.key(job))
+        if not path.exists():
+            return None
+        return RecordArrays.from_npz(path)
+
     def __len__(self) -> int:
         return len(list(self.directory.glob("*.json")))
 
+    def record_count(self) -> int:
+        """How many entries have persisted per-invocation records."""
+        return len(list(self.directory.glob("*.npz")))
+
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry (summaries and any persisted
+        records); returns the number of *entries* (summaries) removed --
+        a summary and its ``.npz`` records count as one entry."""
         removed = 0
         for path in self.directory.glob("*.json"):
             path.unlink()
             removed += 1
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
         return removed
 
 
@@ -499,16 +594,33 @@ class ParallelRunner:
                 pending.append(i)
 
         if pending:
+            # A record-persisting cache needs the per-invocation columns
+            # back from the worker; otherwise ship only the summary.
+            with_records = self.cache is not None and self.cache.store_records
+            entry = execute_job_with_records if with_records else execute_job
+
+            def consume(i: int, outcome) -> None:
+                # Write each result as it lands so record arrays are
+                # dropped immediately -- peak memory stays one in-flight
+                # result per worker, not the whole grid's records.
+                if with_records:
+                    summary, records = outcome
+                else:
+                    summary, records = outcome, None
+                results[i] = summary
+                if self.cache is not None:
+                    self.cache.put(jobs[i], summary, records=records)
+
             if self.n_workers == 1 or len(pending) == 1:
-                fresh = [execute_job(jobs[i]) for i in pending]
+                for i in pending:
+                    consume(i, entry(jobs[i]))
             else:
                 workers = min(self.n_workers, len(pending))
                 with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                    fresh = list(pool.map(execute_job, [jobs[i] for i in pending]))
-            for i, summary in zip(pending, fresh):
-                results[i] = summary
-                if self.cache is not None:
-                    self.cache.put(jobs[i], summary)
+                    for i, outcome in zip(
+                        pending, pool.map(entry, [jobs[i] for i in pending])
+                    ):
+                        consume(i, outcome)
 
         return list(results)  # type: ignore[arg-type]
 

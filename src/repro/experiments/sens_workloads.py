@@ -1,0 +1,175 @@
+"""Workload-shape sensitivity: EcoLife-vs-ORACLE margins across trace families.
+
+The paper evaluates on one Azure-shaped trace family, but carbon-aware
+keep-alive policies are known to reorder under diurnal and bursty load
+(GreenCourier, arXiv:2310.20375; "Green or Fast?", arXiv:2602.23935).
+This driver sweeps the :mod:`repro.workloads.generators` families as a
+grid axis through :class:`~repro.experiments.runner.ParallelRunner` and
+reports, per workload family, the same margins the paper's Figs. 13/14
+report per hardware pair / region -- plus Fig. 8-style per-invocation
+percentiles rebuilt from persisted records when a record-persisting
+cache is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ascii_table
+from repro.analysis.stats import pct_increase
+from repro.experiments.common import Scenario
+from repro.experiments.runner import (
+    ParallelRunner,
+    ResultCache,
+    ScenarioGrid,
+)
+from repro.workloads.generators import WorkloadSpec
+
+#: The default workload axis: the paper's family plus every new
+#: parametric family (churn wraps the bursty MMPP, so retirement and
+#: burstiness are exercised together).
+DEFAULT_WORKLOADS: tuple[str, ...] = (
+    "azure",
+    "poisson",
+    "diurnal",
+    "mmpp",
+    "pareto",
+    "churn:inner=mmpp",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """EcoLife-vs-ORACLE margins on one workload family."""
+
+    workload: str
+    n_invocations: int
+    service_pct_vs_oracle: float
+    carbon_pct_vs_oracle: float
+    warm_ratio: float
+    #: P95 per-invocation service time (s); None without record persistence.
+    p95_service_s: float | None = None
+
+
+@dataclass(frozen=True)
+class WorkloadSensitivityResult:
+    points: list[WorkloadPoint]
+    scenario_label: str
+
+    def get(self, workload: str | WorkloadSpec) -> WorkloadPoint:
+        """Look up one point by workload -- accepts the canonical label
+        (``churn[inner=mmpp]``), the CLI syntax (``churn:inner=mmpp``),
+        or a :class:`WorkloadSpec`."""
+        try:
+            canonical = WorkloadSpec.of(workload).label
+        except (ValueError, TypeError):
+            canonical = None
+        for p in self.points:
+            if p.workload == workload or p.workload == canonical:
+                return p
+        raise KeyError(workload)
+
+    @property
+    def max_carbon_margin_pct(self) -> float:
+        return max(p.carbon_pct_vs_oracle for p in self.points)
+
+    @property
+    def max_service_margin_pct(self) -> float:
+        return max(p.service_pct_vs_oracle for p in self.points)
+
+    def render(self) -> str:
+        with_p95 = any(p.p95_service_s is not None for p in self.points)
+        header = ["workload", "invocations", "svc +% vs oracle",
+                  "co2 +% vs oracle", "warm %"]
+        if with_p95:
+            header.append("svc p95 (s)")
+        rows = []
+        for p in self.points:
+            row = [
+                p.workload,
+                p.n_invocations,
+                p.service_pct_vs_oracle,
+                p.carbon_pct_vs_oracle,
+                p.warm_ratio * 100.0,
+            ]
+            if with_p95:
+                row.append(p.p95_service_s if p.p95_service_s is not None else "-")
+            rows.append(row)
+        table = ascii_table(
+            header,
+            rows,
+            title=f"Workload-shape sensitivity ({self.scenario_label})",
+        )
+        return (
+            f"{table}\nworst margins across workloads: "
+            f"{self.max_service_margin_pct:+.1f}% service, "
+            f"{self.max_carbon_margin_pct:+.1f}% carbon"
+        )
+
+
+def run_workload_sensitivity(
+    scenario: Scenario | None = None,
+    n_workers: int = 1,
+    workloads: tuple[str | WorkloadSpec, ...] = DEFAULT_WORKLOADS,
+    seed: int = 7,
+    cache: ResultCache | None = None,
+) -> WorkloadSensitivityResult:
+    """EcoLife-vs-ORACLE margins per workload family.
+
+    ``scenario`` only scales the grid (function count / trace hours are
+    taken from it so ``--quick`` works); the traces themselves come from
+    the workload generators. With a record-persisting ``cache`` the
+    result also carries per-invocation P95 service times from the stored
+    ``.npz`` columns.
+    """
+    if scenario is not None:
+        n_functions = len(scenario.trace.functions)
+        # duration_s ends at the last arrival; round up to a clean label.
+        hours = max(round(scenario.trace.duration_s / 3600.0, 2), 0.5)
+    else:
+        n_functions, hours = 60, 6.0
+
+    grid = ScenarioGrid(
+        workloads=tuple(workloads),
+        seeds=(seed,),
+        n_functions=n_functions,
+        hours=hours,
+    )
+    runner = ParallelRunner(n_workers=n_workers, cache=cache)
+    result = runner.run_grid(grid, ["oracle", "ecolife"])
+
+    store_records = cache is not None and cache.store_records
+    points: list[WorkloadPoint] = []
+    by_scenario = result.by_scenario()
+    for spec, workload in zip(grid.specs(), grid.workloads):
+        schemes = by_scenario[spec.label]
+        orc, eco = schemes["oracle"], schemes["ecolife"]
+        p95 = None
+        if store_records:
+            from repro.analysis.grid import record_cdfs
+
+            eco_job = next(
+                j for j in result.jobs
+                if j.scenario_label == spec.label and j.scheduler == "ecolife"
+            )
+            records = cache.get_records(eco_job)
+            if records is not None and len(records):
+                p95 = record_cdfs(records)["service_s"].percentile(95)
+        points.append(
+            WorkloadPoint(
+                workload=workload.label,
+                n_invocations=eco.n_invocations,
+                service_pct_vs_oracle=pct_increase(
+                    eco.mean_service_s, orc.mean_service_s
+                ),
+                carbon_pct_vs_oracle=pct_increase(
+                    eco.total_carbon_g, orc.total_carbon_g
+                ),
+                warm_ratio=eco.warm_ratio,
+                p95_service_s=p95,
+            )
+        )
+    label = (
+        f"n{n_functions}-h{hours:g}-s{seed}, {len(workloads)} workload families"
+    )
+    return WorkloadSensitivityResult(points=points, scenario_label=label)

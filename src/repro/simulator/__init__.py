@@ -5,6 +5,7 @@ from repro.simulator.engine import SimulationConfig, SimulationEngine
 from repro.simulator.records import (
     InvocationRecord,
     KeepAliveDecision,
+    RecordArrays,
     SimulationResult,
 )
 from repro.simulator.scheduler import (
@@ -23,6 +24,7 @@ __all__ = [
     "PoolFullError",
     "InvocationRecord",
     "KeepAliveDecision",
+    "RecordArrays",
     "SimulationResult",
     "SimulationConfig",
     "SimulationEngine",

@@ -9,7 +9,9 @@ and updated when their keep-alive segment closes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import pathlib
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -85,6 +87,66 @@ class InvocationRecord:
         self.keepalive_s += duration_s
 
 
+@dataclass(frozen=True)
+class RecordArrays:
+    """Per-invocation records as flat numpy arrays.
+
+    The compact columnar form of ``SimulationResult.records`` used for
+    persistence (compressed ``.npz`` next to the sweep runner's JSON
+    summaries) and for CDF-style analyses over scenario grids. All
+    arrays share one length (the invocation count); invocation *i* is
+    the same row in every array.
+    """
+
+    t: np.ndarray  # arrival time (s)
+    service_s: np.ndarray  # cold overhead + setup + execution
+    carbon_g: np.ndarray  # attributed carbon: service + decided keep-alive
+    energy_wh: np.ndarray
+    keepalive_s: np.ndarray  # accrued keep-alive of the decision
+    cold: np.ndarray  # bool: cold start?
+    location: np.ndarray  # unicode: Generation value ("old"/"new")
+    func_name: np.ndarray  # unicode
+
+    def __post_init__(self) -> None:
+        sizes = {f.name: getattr(self, f.name).shape for f in fields(self)}
+        if len(set(sizes.values())) > 1:
+            raise ValueError(f"record arrays must share one shape, got {sizes}")
+
+    def __len__(self) -> int:
+        return int(self.t.size)
+
+    @classmethod
+    def from_result(cls, result: "SimulationResult") -> "RecordArrays":
+        rs = result.records
+        return cls(
+            t=np.array([r.t for r in rs], dtype=float),
+            service_s=np.array([r.service_s for r in rs], dtype=float),
+            carbon_g=np.array([r.carbon_g for r in rs], dtype=float),
+            energy_wh=np.array([r.energy_wh for r in rs], dtype=float),
+            keepalive_s=np.array([r.keepalive_s for r in rs], dtype=float),
+            cold=np.array([r.cold for r in rs], dtype=bool),
+            location=np.array([r.location.value for r in rs], dtype=np.str_),
+            func_name=np.array([r.func_name for r in rs], dtype=np.str_),
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_npz(self, path: str | os.PathLike) -> None:
+        """Write all columns as one compressed ``.npz`` (atomic rename)."""
+        path = pathlib.Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh, **{f.name: getattr(self, f.name) for f in fields(self)}
+            )
+        tmp.replace(path)
+
+    @classmethod
+    def from_npz(cls, path: str | os.PathLike) -> "RecordArrays":
+        with np.load(path) as data:
+            return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+
 @dataclass
 class SimulationResult:
     """Aggregated outcome of one simulation run."""
@@ -108,6 +170,10 @@ class SimulationResult:
 
     def energy_per_invocation(self) -> np.ndarray:
         return np.array([r.energy_wh for r in self.records], dtype=float)
+
+    def record_arrays(self) -> RecordArrays:
+        """Columnar view of all records (persistence / CDF analyses)."""
+        return RecordArrays.from_result(self)
 
     # -- scalars ----------------------------------------------------------------
 

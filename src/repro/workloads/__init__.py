@@ -6,6 +6,16 @@ from repro.workloads.azure import (
     generate_azure_trace,
 )
 from repro.workloads.functions import FunctionProfile
+from repro.workloads.generators import (
+    AZURE_WORKLOAD,
+    GENERATORS,
+    GeneratedFunctionSpec,
+    TraceGenerator,
+    WorkloadSpec,
+    build_trace,
+    generator_names,
+    make_generator,
+)
 from repro.workloads.sebs import (
     MOTIVATION_FUNCTIONS,
     SEBS_FUNCTIONS,
@@ -23,4 +33,12 @@ __all__ = [
     "AzureTraceConfig",
     "SyntheticFunctionSpec",
     "generate_azure_trace",
+    "AZURE_WORKLOAD",
+    "GENERATORS",
+    "GeneratedFunctionSpec",
+    "TraceGenerator",
+    "WorkloadSpec",
+    "build_trace",
+    "generator_names",
+    "make_generator",
 ]

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro import units
 from repro.workloads.functions import FunctionProfile
-from repro.workloads.sebs import SEBS_FUNCTIONS
+from repro.workloads.sebs import sample_profile_clones
 from repro.workloads.trace import InvocationTrace
 
 
@@ -86,17 +86,9 @@ class SyntheticFunctionSpec:
 
 def _sample_profiles(cfg: AzureTraceConfig, rng: np.random.Generator):
     """Assign each synthetic app a perturbed SeBS profile, uniformly."""
-    base_names = sorted(SEBS_FUNCTIONS)
-    specs: list[tuple[FunctionProfile, str]] = []
-    for i in range(cfg.n_functions):
-        base = SEBS_FUNCTIONS[base_names[int(rng.integers(len(base_names)))]]
-        clone = base.clone(
-            name=f"app-{i:03d}:{base.name}",
-            mem_scale=float(rng.uniform(*cfg.mem_scale_range)),
-            exec_scale=float(rng.uniform(*cfg.exec_scale_range)),
-        )
-        specs.append((clone, base.name))
-    return specs
+    return sample_profile_clones(
+        rng, cfg.n_functions, cfg.mem_scale_range, cfg.exec_scale_range
+    )
 
 
 def _periodic_arrivals(

@@ -1,0 +1,584 @@
+"""Parametric workload-trace generators behind a common registry.
+
+The paper evaluates every claim on one Azure-shaped trace family, but the
+keep-alive/hardware trade-off is highly sensitive to arrival burstiness
+and inter-arrival shape (GreenCourier, arXiv:2310.20375; "Green or
+Fast?", arXiv:2602.23935). This module opens the workload axis: a
+registry of :class:`TraceGenerator` implementations that all synthesize
+an :class:`~repro.workloads.trace.InvocationTrace` from the same three
+scalars -- ``(n_functions, duration_s, seed)`` -- so the sweep runner can
+treat "which workload" as just another grid axis.
+
+Families (registry names):
+
+- ``azure``    -- the existing Azure-shaped synthesizer (delegation).
+- ``poisson``  -- constant-rate homogeneous Poisson arrivals.
+- ``diurnal``  -- sinusoidal-rate NHPP, sampled via thinning.
+- ``mmpp``     -- 2-state (on/off) Markov-modulated Poisson: bursty
+  episodes at a multiple of the base rate separated by quiet periods.
+- ``pareto``   -- heavy-tailed renewal process with Pareto inter-arrivals.
+- ``churn``    -- wrapper that phases function cohorts in and out over
+  the trace (multi-tenant arrival/retirement churn).
+
+Every generator shares the Azure synthesizer's popularity model (a
+log-normal over per-function mean inter-arrival time, clipped to
+configured bounds) and profile model (perturbed SeBS clones), and is
+fully deterministic given the seed: profiles are drawn first, then each
+function's arrivals, in registration order.
+
+:class:`WorkloadSpec` is the picklable, hashable handle the experiment
+layer uses -- a generator name plus a sorted tuple of scalar parameter
+overrides -- with a stable ``label`` that doubles as cache identity and a
+``parse`` for the CLI's ``name:key=value,key=value`` syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, ClassVar, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro import units
+from repro.workloads.functions import FunctionProfile
+from repro.workloads.sebs import sample_profile_clones
+from repro.workloads.trace import InvocationTrace
+
+#: Scalar parameter values a WorkloadSpec may carry (keeps labels stable).
+ParamValue = float | int | str | bool
+
+
+@dataclass(frozen=True)
+class GeneratedFunctionSpec:
+    """Bookkeeping for one synthesized function (exposed for tests/analysis)."""
+
+    profile: FunctionProfile
+    base_profile: str
+    mean_interarrival_s: float
+    #: Interval of the trace in which the function is live (churn wrapper);
+    #: ``None`` means the whole trace.
+    active_window_s: tuple[float, float] | None = None
+
+
+@runtime_checkable
+class TraceGenerator(Protocol):
+    """Common protocol of all workload generators.
+
+    Implementations are frozen dataclasses whose fields are the family's
+    tunable parameters; ``generate`` must be deterministic in ``seed``.
+    """
+
+    name: ClassVar[str]
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        """Synthesize a trace of ``n_functions`` over ``[0, duration_s]``."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+GENERATORS: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a generator family to the registry."""
+    name = cls.name
+    if name in GENERATORS:
+        raise ValueError(f"duplicate generator name {name!r}")
+    GENERATORS[name] = cls
+    return cls
+
+
+def generator_names() -> tuple[str, ...]:
+    return tuple(sorted(GENERATORS))
+
+
+def make_generator(spec: "WorkloadSpec | str") -> TraceGenerator:
+    """Instantiate a registered generator from a spec (or bare name)."""
+    spec = WorkloadSpec.of(spec)
+    try:
+        cls = GENERATORS[spec.generator]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload generator {spec.generator!r}; "
+            f"registered: {list(generator_names())}"
+        ) from None
+    valid = {f.name for f in fields(cls)}
+    unknown = [k for k, _ in spec.params if k not in valid]
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {unknown} for generator "
+            f"{spec.generator!r}; accepts: {sorted(valid)}"
+        )
+    return cls(**dict(spec.params))
+
+
+def build_trace(
+    spec: "WorkloadSpec | str", n_functions: int, duration_s: float, seed: int
+) -> InvocationTrace:
+    """One-call convenience: spec -> trace (specs metadata discarded)."""
+    trace, _ = make_generator(spec).generate(n_functions, duration_s, seed)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# WorkloadSpec: the picklable handle the experiment layer passes around.
+# ---------------------------------------------------------------------------
+
+
+def _coerce_scalar(text: str) -> ParamValue:
+    """CLI value -> int/float/bool/str (ints before floats: ``5`` stays int)."""
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            continue
+    return text
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A generator name plus sorted scalar parameter overrides.
+
+    Hashable and picklable by construction so it can ride inside
+    :class:`~repro.experiments.runner.ScenarioSpec`; :attr:`label` is a
+    deterministic function of its contents and is part of the scenario's
+    cache identity (an unparameterised ``azure`` spec labels as plain
+    ``"azure"``, keeping pre-existing cache keys valid).
+    """
+
+    generator: str = "azure"
+    params: tuple[tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.params))
+        if len({k for k, _ in ordered}) != len(ordered):
+            raise ValueError(f"duplicate parameter names in {self.params!r}")
+        object.__setattr__(self, "params", ordered)
+
+    @classmethod
+    def make(cls, generator: str, **params: ParamValue) -> "WorkloadSpec":
+        return cls(generator=generator, params=tuple(params.items()))
+
+    @classmethod
+    def of(cls, value: "WorkloadSpec | str") -> "WorkloadSpec":
+        """Accept a spec, a bare generator name, or ``name:k=v,...``."""
+        if isinstance(value, cls):
+            return value
+        return cls.parse(value)
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadSpec":
+        """Parse the CLI syntax ``name`` or ``name:key=val,key=val``."""
+        name, sep, rest = text.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"empty generator name in workload {text!r}")
+        params: dict[str, ParamValue] = {}
+        if sep and rest.strip():
+            for item in rest.split(","):
+                key, eq, val = item.partition("=")
+                if not eq or not key.strip():
+                    raise ValueError(
+                        f"malformed workload parameter {item!r} in {text!r}; "
+                        "expected key=value"
+                    )
+                params[key.strip()] = _coerce_scalar(val.strip())
+        return cls.make(name, **params)
+
+    @property
+    def label(self) -> str:
+        """Stable display/cache token, e.g. ``mmpp[burst_rate_mult=20]``."""
+        if not self.params:
+            return self.generator
+        inner = ",".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                         for k, v in self.params)
+        return f"{self.generator}[{inner}]"
+
+
+#: The default workload: the paper's Azure-shaped trace family.
+AZURE_WORKLOAD = WorkloadSpec("azure")
+
+
+# ---------------------------------------------------------------------------
+# Shared building blocks (popularity + profile models).
+# ---------------------------------------------------------------------------
+
+
+def _sample_mean_iats(
+    rng: np.random.Generator,
+    n: int,
+    median_s: float,
+    sigma: float,
+    lo_s: float,
+    hi_s: float,
+) -> np.ndarray:
+    """Heavy-tailed popularity: log-normal mean inter-arrival, clipped."""
+    return np.clip(
+        median_s * np.exp(rng.normal(0.0, sigma, size=n)), lo_s, hi_s
+    )
+
+
+def _assemble(
+    profiles: list[tuple[FunctionProfile, str]],
+    arrivals_of: Callable[[int, FunctionProfile], np.ndarray],
+    mean_iats: np.ndarray,
+    windows: Iterable[tuple[float, float] | None] | None = None,
+) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+    """Common tail of every generator: per-function arrivals -> trace."""
+    windows = list(windows) if windows is not None else [None] * len(profiles)
+    events: list[tuple[float, FunctionProfile]] = []
+    specs: list[GeneratedFunctionSpec] = []
+    for i, (profile, base_name) in enumerate(profiles):
+        arrivals = arrivals_of(i, profile)
+        events.extend((float(t), profile) for t in arrivals)
+        specs.append(
+            GeneratedFunctionSpec(
+                profile=profile,
+                base_profile=base_name,
+                mean_interarrival_s=float(mean_iats[i]),
+                active_window_s=windows[i],
+            )
+        )
+    trace = InvocationTrace.from_events(events, functions=[p for p, _ in profiles])
+    return trace, specs
+
+
+@dataclass(frozen=True)
+class _PopularityMixin:
+    """Fields shared by all non-Azure families (popularity + bounds)."""
+
+    median_interarrival_s: float = 450.0
+    interarrival_sigma: float = 1.1
+    min_interarrival_s: float = 15.0
+    max_interarrival_s: float = 2.0 * units.SECONDS_PER_HOUR
+
+    def __post_init__(self) -> None:
+        units.require_positive(self.median_interarrival_s, "median_interarrival_s")
+        units.require_positive(self.min_interarrival_s, "min_interarrival_s")
+        if self.max_interarrival_s < self.min_interarrival_s:
+            raise ValueError("max_interarrival_s must be >= min_interarrival_s")
+        if self.interarrival_sigma < 0.0:
+            raise ValueError("interarrival_sigma must be >= 0")
+
+    def _mean_iats(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return _sample_mean_iats(
+            rng,
+            n,
+            self.median_interarrival_s,
+            self.interarrival_sigma,
+            self.min_interarrival_s,
+            self.max_interarrival_s,
+        )
+
+
+def _homogeneous_poisson(
+    rng: np.random.Generator, rate: float, duration_s: float
+) -> np.ndarray:
+    """Exponential-gap arrivals at a constant rate over ``[0, duration)``."""
+    if rate <= 0.0 or duration_s <= 0.0:
+        return np.empty(0)
+    # Draw enough candidates in one vectorised shot (6 sigma of slack),
+    # topping up in the (rare) short-draw case.
+    n_expected = rate * duration_s
+    n = int(n_expected + 6.0 * np.sqrt(n_expected + 1.0)) + 8
+    t = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    while t.size and t[-1] < duration_s:
+        extra = np.cumsum(rng.exponential(1.0 / rate, size=n)) + t[-1]
+        t = np.concatenate([t, extra])
+    return t[t < duration_s]
+
+
+# ---------------------------------------------------------------------------
+# Families.
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class AzureGenerator:
+    """The Azure-shaped synthesizer behind the generator protocol.
+
+    Parameters mirror the scalar knobs of
+    :class:`~repro.workloads.azure.AzureTraceConfig`; with defaults the
+    produced trace is *identical* to ``generate_azure_trace`` (and hence to
+    ``default_scenario``) for the same ``(n_functions, duration_s, seed)``.
+    """
+
+    name: ClassVar[str] = "azure"
+
+    periodic_fraction: float = 0.4
+    diurnal_amplitude: float = 0.35
+    burst_probability: float = 0.15
+    burst_rate_multiplier: float = 15.0
+    median_interarrival_s: float = 450.0
+    interarrival_sigma: float = 1.1
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        from repro.workloads.azure import AzureTraceConfig, generate_azure_trace
+
+        trace, azure_specs = generate_azure_trace(
+            AzureTraceConfig(
+                n_functions=n_functions,
+                duration_s=duration_s,
+                seed=seed,
+                periodic_fraction=self.periodic_fraction,
+                diurnal_amplitude=self.diurnal_amplitude,
+                burst_probability=self.burst_probability,
+                burst_rate_multiplier=self.burst_rate_multiplier,
+                median_interarrival_s=self.median_interarrival_s,
+                interarrival_sigma=self.interarrival_sigma,
+            )
+        )
+        specs = [
+            GeneratedFunctionSpec(
+                profile=s.profile,
+                base_profile=s.base_profile,
+                mean_interarrival_s=s.mean_interarrival_s,
+            )
+            for s in azure_specs
+        ]
+        return trace, specs
+
+
+@register
+@dataclass(frozen=True)
+class PoissonGenerator(_PopularityMixin):
+    """Constant-rate Poisson arrivals (the memoryless reference family)."""
+
+    name: ClassVar[str] = "poisson"
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        rng = np.random.default_rng(seed)
+        profiles = sample_profile_clones(rng, n_functions)
+        mean_iats = self._mean_iats(rng, n_functions)
+
+        def arrivals(i: int, _profile: FunctionProfile) -> np.ndarray:
+            return _homogeneous_poisson(rng, 1.0 / mean_iats[i], duration_s)
+
+        return _assemble(profiles, arrivals, mean_iats)
+
+
+@register
+@dataclass(frozen=True)
+class DiurnalGenerator(_PopularityMixin):
+    """Sinusoidal-rate NHPP via thinning.
+
+    The intensity of function *i* is
+    ``lambda_i(t) = (1/iat_i) * (1 + A sin(2 pi (t/period + phase_i)))``
+    with ``A = amplitude`` in ``[0, 1)`` -- rates stay within
+    ``(1 +/- A)/iat_i`` by construction. ``phase`` aligns the global peak;
+    ``phase_jitter`` desynchronises functions slightly so the peak is not
+    a single spike.
+    """
+
+    name: ClassVar[str] = "diurnal"
+
+    amplitude: float = 0.6
+    period_s: float = units.SECONDS_PER_DAY
+    phase: float = 0.25
+    phase_jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        _PopularityMixin.__post_init__(self)
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        units.require_positive(self.period_s, "period_s")
+        if self.phase_jitter < 0.0:
+            raise ValueError("phase_jitter must be >= 0")
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        rng = np.random.default_rng(seed)
+        profiles = sample_profile_clones(rng, n_functions)
+        mean_iats = self._mean_iats(rng, n_functions)
+        phases = self.phase + rng.normal(0.0, self.phase_jitter, size=n_functions)
+
+        def arrivals(i: int, _profile: FunctionProfile) -> np.ndarray:
+            lam_max = (1.0 + self.amplitude) / mean_iats[i]
+            t = _homogeneous_poisson(rng, lam_max, duration_s)
+            if t.size == 0:
+                return t
+            intensity = 1.0 + self.amplitude * np.sin(
+                2.0 * np.pi * (t / self.period_s + phases[i])
+            )
+            keep = rng.uniform(size=t.size) < intensity / (1.0 + self.amplitude)
+            return t[keep]
+
+        return _assemble(profiles, arrivals, mean_iats)
+
+
+@register
+@dataclass(frozen=True)
+class MMPPGenerator(_PopularityMixin):
+    """2-state on/off Markov-modulated Poisson process (bursty).
+
+    Each function alternates exponential ON/OFF sojourns; arrivals are
+    Poisson at ``burst_rate_mult / iat_i`` while ON and
+    ``idle_rate_mult / iat_i`` while OFF. With the defaults the
+    *time-average* rate stays near ``1/iat_i`` while arrivals concentrate
+    in short bursts -- the regime where keep-alive policies reorder.
+    """
+
+    name: ClassVar[str] = "mmpp"
+
+    on_duration_s: float = 300.0
+    off_duration_s: float = 1500.0
+    burst_rate_mult: float = 5.0
+    idle_rate_mult: float = 0.2
+
+    def __post_init__(self) -> None:
+        _PopularityMixin.__post_init__(self)
+        units.require_positive(self.on_duration_s, "on_duration_s")
+        units.require_positive(self.off_duration_s, "off_duration_s")
+        units.require_positive(self.burst_rate_mult, "burst_rate_mult")
+        units.require_non_negative(self.idle_rate_mult, "idle_rate_mult")
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        rng = np.random.default_rng(seed)
+        profiles = sample_profile_clones(rng, n_functions)
+        mean_iats = self._mean_iats(rng, n_functions)
+
+        def arrivals(i: int, _profile: FunctionProfile) -> np.ndarray:
+            base = 1.0 / mean_iats[i]
+            chunks: list[np.ndarray] = []
+            t = 0.0
+            on = bool(rng.uniform() < 0.5)  # random initial state
+            while t < duration_s:
+                mean_stay = self.on_duration_s if on else self.off_duration_s
+                stay = float(rng.exponential(mean_stay))
+                end = min(t + stay, duration_s)
+                rate = base * (self.burst_rate_mult if on else self.idle_rate_mult)
+                seg = _homogeneous_poisson(rng, rate, end - t)
+                if seg.size:
+                    chunks.append(t + seg)
+                t = end
+                on = not on
+            if not chunks:
+                return np.empty(0)
+            return np.concatenate(chunks)
+
+        return _assemble(profiles, arrivals, mean_iats)
+
+
+@register
+@dataclass(frozen=True)
+class ParetoGenerator(_PopularityMixin):
+    """Heavy-tailed renewal arrivals: Pareto(Lomax) inter-arrival gaps.
+
+    Gaps are ``x_m * (1 + Pareto(alpha))`` scaled so the mean gap equals
+    the function's sampled ``iat_i`` (requires ``alpha > 1``); small
+    ``alpha`` gives occasional very long silences between arrival
+    clusters, the worst case for history-based arrival estimators.
+    """
+
+    name: ClassVar[str] = "pareto"
+
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        _PopularityMixin.__post_init__(self)
+        if self.alpha <= 1.0:
+            raise ValueError("alpha must be > 1 (finite mean inter-arrival)")
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        rng = np.random.default_rng(seed)
+        profiles = sample_profile_clones(rng, n_functions)
+        mean_iats = self._mean_iats(rng, n_functions)
+
+        def arrivals(i: int, _profile: FunctionProfile) -> np.ndarray:
+            # Mean of x_m * (1 + Pareto(alpha)) is x_m * alpha / (alpha - 1).
+            x_m = mean_iats[i] * (self.alpha - 1.0) / self.alpha
+            n_expected = duration_s / mean_iats[i]
+            n = int(n_expected + 6.0 * np.sqrt(n_expected + 1.0)) + 8
+            gaps = x_m * (1.0 + rng.pareto(self.alpha, size=n))
+            t = np.cumsum(gaps)
+            while t.size and t[-1] < duration_s:
+                extra = x_m * (1.0 + rng.pareto(self.alpha, size=n))
+                t = np.concatenate([t, t[-1] + np.cumsum(extra)])
+            return t[t < duration_s]
+
+        return _assemble(profiles, arrivals, mean_iats)
+
+
+@register
+@dataclass(frozen=True)
+class ChurnGenerator:
+    """Phases function cohorts in and out over the trace (tenant churn).
+
+    Wraps any registered inner family: the inner generator synthesizes the
+    full-duration trace, then each function is restricted to its cohort's
+    active window. Cohort *c* of ``cohorts`` covers
+    ``[c, c + 1 + overlap] * duration / cohorts`` (clipped), so functions
+    continuously retire while new ones appear -- the multi-tenant pattern
+    that exercises scheduler state for functions that stop arriving
+    (e.g. :class:`~repro.optimizers.batch.SwarmFleet` slots that go idle
+    and are never stepped again).
+    """
+
+    name: ClassVar[str] = "churn"
+
+    inner: str = "poisson"
+    cohorts: int = 4
+    overlap: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.cohorts < 1:
+            raise ValueError("cohorts must be >= 1")
+        if self.overlap < 0.0:
+            raise ValueError("overlap must be >= 0")
+        if self.inner == self.name:
+            raise ValueError("churn cannot wrap itself")
+        # Validate at construction so the CLI/grid layer rejects bad
+        # specs before any worker starts simulating.
+        if self.inner not in GENERATORS:
+            raise KeyError(
+                f"unknown inner generator {self.inner!r}; "
+                f"registered: {list(generator_names())}"
+            )
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        trace, specs = GENERATORS[self.inner]().generate(
+            n_functions, duration_s, seed
+        )
+        width = duration_s / self.cohorts
+        events: list[tuple[float, FunctionProfile]] = []
+        out_specs: list[GeneratedFunctionSpec] = []
+        for i, spec in enumerate(specs):
+            cohort = i % self.cohorts
+            lo = cohort * width
+            hi = min(duration_s, (cohort + 1.0 + self.overlap) * width)
+            name = spec.profile.name
+            ts = trace.times_of(name)
+            ts = ts[(ts >= lo) & (ts < hi)]
+            events.extend((float(t), spec.profile) for t in ts)
+            out_specs.append(
+                GeneratedFunctionSpec(
+                    profile=spec.profile,
+                    base_profile=spec.base_profile,
+                    mean_interarrival_s=spec.mean_interarrival_s,
+                    active_window_s=(lo, hi),
+                )
+            )
+        churned = InvocationTrace.from_events(
+            events, functions=[s.profile for s in specs]
+        )
+        return churned, out_specs

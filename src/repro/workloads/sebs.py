@@ -132,3 +132,30 @@ def get_function(name: str) -> FunctionProfile:
         raise KeyError(
             f"unknown SeBS function {name!r}; available: {sorted(SEBS_FUNCTIONS)}"
         ) from None
+
+
+def sample_profile_clones(
+    rng,
+    n: int,
+    mem_scale_range: tuple[float, float] = (0.7, 1.3),
+    exec_scale_range: tuple[float, float] = (0.85, 1.15),
+) -> list[tuple[FunctionProfile, str]]:
+    """Perturbed SeBS clones, uniformly over the catalog.
+
+    The paper's Azure mapping in reverse: every synthetic app is *near*
+    but not identical to its SeBS proxy. Returns ``(clone, base name)``
+    pairs; draw order per app is (base pick, mem scale, exec scale),
+    which both the Azure synthesizer and the parametric generators rely
+    on for seed-stable traces.
+    """
+    base_names = sorted(SEBS_FUNCTIONS)
+    out: list[tuple[FunctionProfile, str]] = []
+    for i in range(n):
+        base = SEBS_FUNCTIONS[base_names[int(rng.integers(len(base_names)))]]
+        clone = base.clone(
+            name=f"app-{i:03d}:{base.name}",
+            mem_scale=float(rng.uniform(*mem_scale_range)),
+            exec_scale=float(rng.uniform(*exec_scale_range)),
+        )
+        out.append((clone, base.name))
+    return out

@@ -39,7 +39,12 @@ class InvocationTrace:
     functions: dict[str, FunctionProfile]
     times_s: np.ndarray
     func_names: list[str]
-    _per_func_times: dict[str, list[float]] = field(default_factory=dict, repr=False)
+    #: Lazily-built per-function time index; rebuilding on first access
+    #: keeps constructions that never look it up (e.g. ``subset`` chains
+    #: over generated traces) O(n) instead of O(n + functions).
+    _per_func_times: dict[str, list[float]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         t = np.asarray(self.times_s, dtype=float)
@@ -51,10 +56,23 @@ class InvocationTrace:
         if missing:
             raise ValueError(f"trace references unknown functions: {sorted(missing)}")
         object.__setattr__(self, "times_s", t)
-        per: dict[str, list[float]] = {name: [] for name in self.functions}
-        for ts, name in zip(t, self.func_names):
-            per[name].append(float(ts))
-        self._per_func_times = per
+        self._per_func_times = None
+
+    @property
+    def _per_func(self) -> dict[str, list[float]]:
+        """The per-function index, built on first use.
+
+        Every function of the trace gets an entry -- functions with zero
+        invocations (produced e.g. by low-rate generators or churn
+        windows) map to an empty list, so lookups stay consistent across
+        ``subset`` round trips.
+        """
+        if self._per_func_times is None:
+            per: dict[str, list[float]] = {name: [] for name in self.functions}
+            for ts, name in zip(self.times_s, self.func_names):
+                per[name].append(float(ts))
+            self._per_func_times = per
+        return self._per_func_times
 
     # -- constructors -------------------------------------------------------
 
@@ -94,19 +112,24 @@ class InvocationTrace:
         return float(self.times_s[-1]) if len(self) else 0.0
 
     def invocation_counts(self) -> dict[str, int]:
-        """Number of invocations per function."""
-        return {name: len(ts) for name, ts in self._per_func_times.items()}
+        """Number of invocations per function (zero-invocation ones included)."""
+        return {name: len(ts) for name, ts in self._per_func.items()}
+
+    def times_of(self, name: str) -> np.ndarray:
+        """All invocation times of one function (empty if it never arrives)."""
+        if name not in self.functions:
+            raise KeyError(f"unknown function {name!r}")
+        return np.asarray(self._per_func[name], dtype=float)
 
     def interarrival_s(self, name: str) -> np.ndarray:
         """Observed inter-arrival times of one function (may be empty)."""
-        ts = self._per_func_times[name]
-        return np.diff(np.asarray(ts, dtype=float))
+        return np.diff(self.times_of(name))
 
     # -- lookahead (oracle) ----------------------------------------------------
 
     def next_arrival(self, name: str, after_t: float) -> float | None:
         """First invocation of ``name`` strictly after ``after_t`` (or None)."""
-        ts = self._per_func_times.get(name)
+        ts = self._per_func.get(name)
         if not ts:
             return None
         i = bisect.bisect_right(ts, after_t)

@@ -261,4 +261,6 @@ def test_service_carbon_nonnegative_and_cold_dominates(mem, busy, cold, ci):
     warm = model.service(server, mem, 0.0, busy).total
     coldb = model.service(server, mem, 0.0, busy, cold).total
     assert warm >= 0.0
-    assert coldb >= warm
+    # A sub-epsilon cold overhead can land one ULP below the warm total
+    # through the energy-sum round-off, so compare with a tiny tolerance.
+    assert coldb >= warm * (1.0 - 1e-12)

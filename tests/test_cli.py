@@ -62,6 +62,74 @@ class TestCommands:
     def test_sweep_unknown_scheduler(self, capsys):
         assert main(["sweep", "--schedulers", "nope"]) == 2
 
+    def test_sweep_unknown_workload(self, capsys):
+        assert main(["sweep", "--workloads", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().out
+
+    def test_sweep_malformed_workload_params(self, capsys):
+        assert main(["sweep", "--workloads", "mmpp:oops"]) == 2
+        assert "bad workload" in capsys.readouterr().out
+
+    def test_sweep_unknown_workload_param_rejected_up_front(self, capsys):
+        assert main(["sweep", "--workloads", "mmpp:bogus=1"]) == 2
+        assert "unknown parameter" in capsys.readouterr().out
+
+    def test_sweep_bad_workload_param_value_rejected_up_front(self, capsys):
+        assert main(["sweep", "--workloads", "mmpp:on_duration_s=-1"]) == 2
+        assert "bad workload" in capsys.readouterr().out
+
+    def test_sweep_non_numeric_workload_param_rejected_up_front(self, capsys):
+        assert main(["sweep", "--workloads", "mmpp:on_duration_s=abc"]) == 2
+        assert "bad workload" in capsys.readouterr().out
+
+    def test_sweep_unknown_churn_inner_rejected_up_front(self, capsys):
+        assert main(["sweep", "--workloads", "churn:inner=nope"]) == 2
+        assert "unknown inner" in capsys.readouterr().out
+
+    def test_sweep_store_records_survives_empty_trace(self, capsys, tmp_path):
+        """A workload so sparse it produces zero invocations must not
+        crash the post-sweep CDF rendering."""
+        argv = [
+            "sweep",
+            "--workloads",
+            "poisson:median_interarrival_s=7200,max_interarrival_s=7200,"
+            "interarrival_sigma=0",
+            "--schedulers", "new-only",
+            "--functions", "2",
+            "--hours", "0.1",
+            "--seeds", "3",
+            "--workers", "1",
+            "--cache-dir", str(tmp_path),
+            "--store-records",
+        ]
+        assert main(argv) == 0
+        assert "cache:" in capsys.readouterr().out
+
+    def test_sweep_store_records_requires_cache_dir(self, capsys):
+        assert main(["sweep", "--store-records"]) == 2
+        assert "--cache-dir" in capsys.readouterr().out
+
+    def test_sweep_workloads_with_records(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workloads", "azure", "mmpp",
+            "--schedulers", "oracle", "new-only",
+            "--functions", "6",
+            "--hours", "0.5",
+            "--seeds", "3",
+            "--workers", "1",
+            "--cache-dir", str(tmp_path),
+            "--store-records",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mmpp-n6" in out
+        assert "per-invocation CDFs" in out
+        assert "2 scenarios" in out
+        assert "npz entries" in out
+        assert main(argv) == 0  # warm: summaries and records round-trip
+        assert "4 hits, 0 misses" in capsys.readouterr().out
+
     def test_sweep_small_with_cache(self, capsys, tmp_path):
         argv = [
             "sweep",

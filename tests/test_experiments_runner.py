@@ -2,6 +2,7 @@
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.core import EcoLifeConfig, EcoLifeScheduler
@@ -15,8 +16,10 @@ from repro.experiments.runner import (
     ScenarioGrid,
     ScenarioSpec,
     execute_job,
+    execute_job_with_records,
     make_scheduler,
 )
+from repro.workloads.generators import WorkloadSpec
 
 
 def tiny_grid(**overrides):
@@ -306,6 +309,207 @@ class TestDriverParallelWiring:
         assert (
             make_scheduler("ecolife-sa").config.optimizer is OptimizerKind.ANNEALING
         )
+
+
+class TestWorkloadAxes:
+    def test_spec_workload_in_label(self):
+        spec = ScenarioSpec(n_functions=5, hours=0.5, workload="mmpp")
+        assert spec.label.startswith("mmpp-n5")
+        with_params = ScenarioSpec(
+            n_functions=5,
+            hours=0.5,
+            workload=WorkloadSpec.make("mmpp", burst_rate_mult=8),
+        )
+        assert with_params.label != spec.label
+
+    def test_spec_accepts_string_workload(self):
+        spec = ScenarioSpec(workload="churn:inner=mmpp")
+        assert spec.workload == WorkloadSpec.make("churn", inner="mmpp")
+
+    def test_default_labels_unchanged(self):
+        # Cache-identity compatibility: the default (azure) spec must
+        # produce the exact pre-workload-axis label format.
+        assert ScenarioSpec().label == "azure-n60-h6-s7-CAL-pairA-p32-k30-sh8"
+
+    def test_spec_build_uses_generator(self):
+        spec = ScenarioSpec(n_functions=5, hours=0.5, seed=3, workload="poisson")
+        scenario = spec.build()
+        assert scenario.label == spec.label
+        assert len(scenario.trace.functions) == 5
+
+    def test_grid_workload_axis_outermost(self):
+        g = tiny_grid(workloads=("azure", "mmpp"), pool_gbs=(16.0, 32.0))
+        specs = g.specs()
+        assert len(g) == len(specs) == 4
+        assert specs[0].workload.generator == "azure"
+        assert specs[1].pool_gb == 32.0
+        assert specs[2].workload.generator == "mmpp"
+
+    def test_grid_scalar_axes_normalised(self):
+        g = ScenarioGrid(n_functions=6, hours=0.5, kmax_minutes=20.0)
+        assert g.n_functions == (6,)
+        assert g.hours == (0.5,)
+        assert g.kmax_minutes == (20.0,)
+        assert len(g) == 1
+
+    def test_grid_list_axes_coerced_to_tuples(self):
+        # A list must expand as an axis, not be wrapped whole.
+        g = ScenarioGrid(n_functions=[4, 6], hours=[0.5], kmax_minutes=[20.0])
+        assert g.n_functions == (4, 6)
+        assert len(g) == 2
+
+    def test_grid_bare_string_workload_is_one_workload(self):
+        # Not four per-character specs ("m", "m", "p", "p").
+        g = ScenarioGrid(workloads="mmpp")
+        assert g.workloads == (WorkloadSpec("mmpp"),)
+        single = ScenarioGrid(workloads=WorkloadSpec("mmpp"))
+        assert single.workloads == g.workloads
+
+    def test_grid_new_scalar_axes_expand(self):
+        g = tiny_grid(n_functions=(4, 6), hours=(0.5, 1.0), kmax_minutes=(20.0,))
+        assert len(g) == 4
+        labels = [s.label for s in g.specs()]
+        assert len(set(labels)) == 4
+        # n_functions expands outside hours (axis-order contract).
+        assert "n4-h0.5" in labels[0] and "n4-h1" in labels[1]
+
+    def test_mixed_workload_grid_parallel_matches_serial(self):
+        """Acceptance: Azure + generated families through the pool, with
+        byte-identical serial/parallel aggregates."""
+        g = tiny_grid(workloads=("azure", "mmpp", "pareto"))
+        schedulers = ["oracle", "ecolife"]
+        serial = ParallelRunner(n_workers=1).run_grid(g, schedulers)
+        parallel = ParallelRunner(n_workers=2).run_grid(g, schedulers)
+        assert len(serial) == len(parallel) == 6
+        for a, b in zip(serial.summaries, parallel.summaries):
+            assert a.deterministic_dict() == b.deterministic_dict()
+
+
+class TestRecordPersistence:
+    def make_job(self, **spec_kw):
+        kw = dict(n_functions=6, hours=0.5, seed=3)
+        kw.update(spec_kw)
+        return RunnerJob(scheduler="new-only", spec=ScenarioSpec(**kw))
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path, store_records=True)
+        job = self.make_job()
+        summary, records = execute_job_with_records(job)
+        cache.put(job, summary, records=records)
+        loaded = cache.get_records(job)
+        assert loaded is not None and len(loaded) == summary.n_invocations
+        for field in ("t", "service_s", "carbon_g", "energy_wh",
+                      "keepalive_s", "cold", "location", "func_name"):
+            assert np.array_equal(getattr(loaded, field), getattr(records, field))
+
+    def test_arrays_consistent_with_summary(self):
+        job = self.make_job()
+        summary, records = execute_job_with_records(job)
+        assert np.isclose(records.carbon_g.sum(), summary.total_carbon_g)
+        assert np.isclose(records.service_s.mean(), summary.mean_service_s)
+        assert np.isclose(records.energy_wh.sum(), summary.total_energy_wh)
+        warm = 1.0 - records.cold.mean()
+        assert np.isclose(warm, summary.warm_ratio)
+
+    def test_runner_persists_records_serial_and_parallel(self, tmp_path):
+        g = tiny_grid(workloads=("mmpp",))
+        loaded = {}
+        for workers in (1, 2):
+            cache = ResultCache(tmp_path / str(workers), store_records=True)
+            runner = ParallelRunner(n_workers=workers, cache=cache)
+            result = runner.run_grid(g, ["oracle", "ecolife"])
+            recs = [cache.get_records(job) for job in result.jobs]
+            assert all(r is not None for r in recs)
+            loaded[workers] = recs
+        for a, b in zip(loaded[1], loaded[2]):
+            assert np.array_equal(a.service_s, b.service_s)
+            assert np.array_equal(a.carbon_g, b.carbon_g)
+
+    def test_summary_without_records_is_a_miss_for_recording_cache(
+        self, tmp_path
+    ):
+        plain = ResultCache(tmp_path)
+        job = self.make_job()
+        plain.put(job, execute_job(job))
+        recording = ResultCache(tmp_path, store_records=True)
+        assert recording.get(job) is None  # summary alone is not enough
+        assert plain.get(job) is not None
+
+    def test_record_count_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, store_records=True)
+        job = self.make_job()
+        summary, records = execute_job_with_records(job)
+        cache.put(job, summary, records=records)
+        assert cache.record_count() == 1
+        assert cache.clear() == 1
+        assert cache.record_count() == 0
+
+    def test_grid_record_cdfs(self, tmp_path):
+        from repro.analysis import grid_record_cdfs, record_cdf_table
+
+        g = tiny_grid(workloads=("azure", "mmpp"))
+        cache = ResultCache(tmp_path, store_records=True)
+        result = ParallelRunner(n_workers=1, cache=cache).run_grid(
+            g, ["oracle", "ecolife"]
+        )
+        cdfs = grid_record_cdfs(cache, result.jobs)
+        assert set(cdfs) == {"oracle", "ecolife"}
+        total = sum(s.n_invocations for s in result.summaries) // 2
+        assert cdfs["ecolife"]["service_s"].values.size == total
+        assert cdfs["ecolife"]["service_s"].percentile(95) > 0.0
+        table = record_cdf_table(cdfs)
+        assert "svc p95" in table and "ecolife" in table
+
+    def test_grid_record_cdfs_omits_empty_schedulers(self, tmp_path):
+        from repro.analysis import grid_record_cdfs
+
+        cache = ResultCache(tmp_path, store_records=True)
+        # A workload so sparse the trace is (almost surely) empty.
+        spec = ScenarioSpec(
+            n_functions=2,
+            hours=0.1,
+            seed=3,
+            workload=WorkloadSpec.make(
+                "poisson",
+                median_interarrival_s=7200.0,
+                max_interarrival_s=7200.0,
+                interarrival_sigma=0.0,
+            ),
+        )
+        job = RunnerJob(scheduler="new-only", spec=spec)
+        summary, records = execute_job_with_records(job)
+        cache.put(job, summary, records=records)
+        cdfs = grid_record_cdfs(cache, [job])
+        if summary.n_invocations == 0:
+            assert cdfs == {}
+        else:  # pragma: no cover - seed-dependent fallback
+            assert "new-only" in cdfs
+
+    def test_grid_record_cdfs_missing_records_raise(self, tmp_path):
+        from repro.analysis import grid_record_cdfs
+
+        cache = ResultCache(tmp_path)  # summaries only
+        job = self.make_job()
+        cache.put(job, execute_job(job))
+        with pytest.raises(KeyError, match="no persisted records"):
+            grid_record_cdfs(cache, [job])
+
+
+class TestBatchSwarmsEnvKnob:
+    def test_default_reads_env(self, monkeypatch):
+        from repro.core.config import batch_swarms_default
+
+        monkeypatch.delenv("ECOLIFE_BATCH_SWARMS", raising=False)
+        assert batch_swarms_default() is True
+        for off in ("0", "false", "OFF", " False "):
+            monkeypatch.setenv("ECOLIFE_BATCH_SWARMS", off)
+            assert batch_swarms_default() is False
+            assert EcoLifeConfig().batch_swarms is False
+        monkeypatch.setenv("ECOLIFE_BATCH_SWARMS", "1")
+        assert EcoLifeConfig().batch_swarms is True
+
+    def test_fixture_reflects_knob(self, batch_swarms_default):
+        assert batch_swarms_default == EcoLifeConfig().batch_swarms
 
 
 class TestRunSuiteIntegration:

@@ -1,0 +1,84 @@
+"""Workload-shape sensitivity driver: grid wiring, records, rendering."""
+
+import pytest
+
+from repro.experiments.runner import ResultCache
+from repro.experiments.sens_workloads import (
+    DEFAULT_WORKLOADS,
+    run_workload_sensitivity,
+)
+
+WORKLOADS = ("azure", "mmpp", "churn:inner=mmpp")
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    # Scale down through a tiny pre-built scenario (the --quick path).
+    from repro.experiments.runner import ScenarioSpec
+
+    scenario = ScenarioSpec(n_functions=6, hours=0.5, seed=3).build()
+    return run_workload_sensitivity(
+        scenario, workloads=WORKLOADS, seed=3, n_workers=1
+    )
+
+
+class TestDriver:
+    def test_default_axis_mixes_families(self):
+        assert "azure" in DEFAULT_WORKLOADS
+        assert any(w.startswith("churn") for w in DEFAULT_WORKLOADS)
+        assert len(DEFAULT_WORKLOADS) >= 4
+
+    def test_one_point_per_workload(self, quick_result):
+        assert [p.workload for p in quick_result.points] == [
+            "azure", "mmpp", "churn[inner=mmpp]",
+        ]
+        for p in quick_result.points:
+            assert p.n_invocations > 0
+            assert 0.0 <= p.warm_ratio <= 1.0
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments.runner import ScenarioSpec
+
+        scenario = ScenarioSpec(n_functions=6, hours=0.5, seed=3).build()
+        serial = run_workload_sensitivity(
+            scenario, workloads=WORKLOADS, seed=3, n_workers=1
+        )
+        parallel = run_workload_sensitivity(
+            scenario, workloads=WORKLOADS, seed=3, n_workers=2
+        )
+        assert serial.points == parallel.points
+
+    def test_render(self, quick_result):
+        text = quick_result.render()
+        assert "Workload-shape sensitivity" in text
+        assert "churn[inner=mmpp]" in text
+        assert "worst margins" in text
+
+    def test_get_and_margins(self, quick_result):
+        point = quick_result.get("mmpp")
+        assert point.workload == "mmpp"
+        assert quick_result.max_carbon_margin_pct >= point.carbon_pct_vs_oracle
+        with pytest.raises(KeyError):
+            quick_result.get("nope")
+
+    def test_get_accepts_cli_syntax_and_specs(self, quick_result):
+        from repro.workloads.generators import WorkloadSpec
+
+        # The exact string callers passed in (CLI syntax), the canonical
+        # label, and the spec must all resolve to the same point.
+        by_cli = quick_result.get("churn:inner=mmpp")
+        by_label = quick_result.get("churn[inner=mmpp]")
+        by_spec = quick_result.get(WorkloadSpec.make("churn", inner="mmpp"))
+        assert by_cli == by_label == by_spec
+
+    def test_record_persisting_cache_adds_p95(self, tmp_path):
+        from repro.experiments.runner import ScenarioSpec
+
+        scenario = ScenarioSpec(n_functions=6, hours=0.5, seed=3).build()
+        cache = ResultCache(tmp_path, store_records=True)
+        result = run_workload_sensitivity(
+            scenario, workloads=("azure", "mmpp"), seed=3, cache=cache
+        )
+        assert all(p.p95_service_s is not None for p in result.points)
+        assert all(p.p95_service_s > 0.0 for p in result.points)
+        assert "svc p95" in result.render()

@@ -95,6 +95,75 @@ class TestQueries:
         assert set(sub.functions) == {"a"}
         assert sub.times_s.tolist() == [10.0, 20.0, 25.0]
 
+    def test_times_of(self, trace):
+        assert trace.times_of("a").tolist() == [10.0, 20.0, 25.0]
+        with pytest.raises(KeyError, match="unknown function"):
+            trace.times_of("zzz")
+
+
+class TestEmptyFunctionSubsets:
+    """Regression: functions with zero invocations (low-rate generators,
+    churn windows) must stay consistent through the lazily rebuilt
+    per-function index -- in the original trace and across subset()."""
+
+    @pytest.fixture
+    def sparse(self, fa, fb):
+        # "b" is declared but never invoked, as a low-rate generator
+        # produces when no arrival lands within the horizon.
+        return InvocationTrace.from_events(
+            [(10.0, fa), (20.0, fa)], functions=[fa, fb]
+        )
+
+    def test_zero_invocation_function_is_indexed(self, sparse):
+        assert sparse.invocation_counts() == {"a": 2, "b": 0}
+        assert sparse.times_of("b").size == 0
+        assert sparse.interarrival_s("b").size == 0
+        assert sparse.next_arrival("b", 0.0) is None
+
+    def test_subset_keeps_empty_function(self, sparse):
+        sub = sparse.subset(["b"])
+        assert len(sub) == 0
+        assert set(sub.functions) == {"b"}
+        assert sub.invocation_counts() == {"b": 0}
+        assert sub.next_arrival("b", 0.0) is None
+        assert sub.interarrival_s("b").size == 0
+
+    def test_subset_mixed_live_and_empty(self, sparse):
+        sub = sparse.subset(["a", "b"])
+        assert len(sub) == 2
+        assert sub.invocation_counts() == {"a": 2, "b": 0}
+        assert sub.next_arrival("a", 10.0) == 20.0
+        assert sub.next_arrival("b", 0.0) is None
+
+    def test_lookahead_before_and_after_index_build(self, sparse):
+        # next_arrival on a fresh object (index not yet built) and after
+        # a counts() call (index built) must agree.
+        fresh = sparse.subset(["a", "b"])
+        assert fresh.next_arrival("a", 0.0) == 10.0
+        fresh.invocation_counts()
+        assert fresh.next_arrival("a", 0.0) == 10.0
+
+    def test_generated_low_rate_trace_round_trips(self):
+        """A real low-rate generator run: every declared function must be
+        subsettable even when it never arrived."""
+        from repro.workloads.generators import make_generator, WorkloadSpec
+
+        gen = make_generator(
+            WorkloadSpec.make(
+                "poisson",
+                median_interarrival_s=7200.0,
+                interarrival_sigma=0.0,
+                max_interarrival_s=7200.0,
+            )
+        )
+        trace, specs = gen.generate(6, 600.0, seed=0)
+        counts = trace.invocation_counts()
+        assert set(counts) == {s.profile.name for s in specs}
+        for name in counts:
+            sub = trace.subset([name])
+            assert sub.invocation_counts()[name] == counts[name]
+            assert len(sub) == counts[name]
+
 
 # -- property-based: the lookahead index is consistent with the raw stream ----
 
