@@ -1,12 +1,22 @@
 """Benchmark-regression gate: compare a bench JSON against a committed baseline.
 
-CI runs ``bench_swarm.py --quick`` and then this comparator against
-``benchmarks/baselines/BENCH_swarm.json``. The gated metrics are the
-*speedup ratios* (batched vs sequential swarm stepping, batched vs
-sequential replay) rather than absolute seconds -- ratios of two timings
-taken on the same host are stable across runner hardware, absolute wall
-times are not. A metric regresses when it drops more than ``--threshold``
-(default 25%) below the baseline value.
+CI runs each quick benchmark and then this comparator against its
+committed baseline under ``benchmarks/baselines/``. Which metrics are
+gated is per **suite** (``--suite``, default ``swarm``):
+
+- ``swarm``      -- the batched-vs-sequential *speedup ratios* from
+  ``bench_swarm.py`` (ratios of two timings on one host are stable
+  across runner hardware).
+- ``workloads``  -- trace-generator synthesis throughput and end-to-end
+  replay throughput from ``bench_workloads.py``. These are absolute
+  events/second numbers, so the default threshold is looser (CI runners
+  vary); update the committed baseline when the steady state moves.
+- ``retirement`` -- the retirement-on vs retirement-off replay ratio
+  from ``bench_retirement.py`` (machine-portable; guards the
+  state-retirement sweep against slowing replays down).
+
+A metric regresses when it drops more than ``--threshold`` below the
+baseline value (higher is better for every gated metric).
 
 Escape hatch: set ``BENCH_GATE_SKIP=1`` (CI wires this to the
 ``skip-bench-gate`` PR label) to report the comparison without failing
@@ -17,6 +27,7 @@ the steady state.
 Usage::
 
     python benchmarks/check_regression.py \
+        --suite swarm \
         --current benchmarks/results/BENCH_swarm.json \
         --baseline benchmarks/baselines/BENCH_swarm.json \
         --out benchmarks/results/BENCH_swarm_compare.json
@@ -28,38 +39,101 @@ import argparse
 import json
 import os
 import pathlib
+import re
 import sys
 
-#: Gated metrics as dotted paths into the bench JSON. All are
-#: higher-is-better speedup ratios (machine-portable).
-GATED_METRICS: tuple[str, ...] = (
-    "step_throughput.speedup",
-    "replay.speedup",
-)
-#: Context metrics recorded in the comparison artifact but never gated
-#: (absolute wall times vary with runner hardware).
-INFO_METRICS: tuple[str, ...] = (
-    "step_throughput.loop_s",
-    "step_throughput.fleet_s",
-    "replay.batch_on_s",
-    "replay.batch_off_s",
-)
+#: Per-suite metric sets. ``gated`` entries are dotted paths into the
+#: bench JSON (all higher-is-better); ``info`` entries are recorded in
+#: the comparison artifact but never gated; ``threshold`` is the default
+#: allowed fractional drop for the suite.
+SUITES: dict[str, dict] = {
+    "swarm": {
+        "gated": (
+            "step_throughput.speedup",
+            "replay.speedup",
+        ),
+        "info": (
+            "step_throughput.loop_s",
+            "step_throughput.fleet_s",
+            "replay.batch_on_s",
+            "replay.batch_off_s",
+        ),
+        "threshold": 0.25,
+    },
+    "workloads": {
+        "gated": (
+            "generators[azure].events_per_s",
+            "generators[churn].events_per_s",
+            "generators[diurnal].events_per_s",
+            "generators[mmpp].events_per_s",
+            "generators[pareto].events_per_s",
+            "generators[poisson].events_per_s",
+            "replay.invocations_per_s",
+        ),
+        "info": (
+            "record_persistence.bytes_per_invocation",
+            "record_persistence.read_s",
+        ),
+        # Absolute throughputs vary with runner hardware: allow a wider
+        # band than the ratio-based suites.
+        "threshold": 0.5,
+    },
+    "retirement": {
+        "gated": ("replay.ratio_on_vs_off",),
+        "info": (
+            "replay.off_s",
+            "replay.on_s",
+            "memory.peak_live_on",
+            "memory.peak_live_off",
+            "memory.plateau_ratio",
+        ),
+        "threshold": 0.25,
+    },
+}
+
+#: Dotted-path segment with an optional list selector: ``name[key]``
+#: finds the element of list ``name`` whose identifying field equals
+#: ``key`` (e.g. ``generators[mmpp]`` -> the row with generator "mmpp").
+_SEGMENT = re.compile(r"^(?P<name>[^\[\]]+)(?:\[(?P<key>[^\[\]]+)\])?$")
+_ID_FIELDS = ("generator", "name", "metric")
 
 
 def lookup(payload: dict, dotted: str) -> float | None:
     node = payload
     for part in dotted.split("."):
-        if not isinstance(node, dict) or part not in node:
+        match = _SEGMENT.match(part)
+        if match is None:
             return None
-        node = node[part]
-    return float(node)
+        name, key = match.group("name"), match.group("key")
+        if not isinstance(node, dict) or name not in node:
+            return None
+        node = node[name]
+        if key is not None:
+            if not isinstance(node, list):
+                return None
+            node = next(
+                (
+                    el
+                    for el in node
+                    if isinstance(el, dict)
+                    and any(el.get(f) == key for f in _ID_FIELDS)
+                ),
+                None,
+            )
+            if node is None:
+                return None
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
 
 
-def compare(current: dict, baseline: dict, threshold: float) -> dict:
+def compare(current: dict, baseline: dict, threshold: float, suite: str) -> dict:
     """Build the comparison report; ``report['failed']`` lists regressions."""
+    spec = SUITES[suite]
     rows = []
     failed = []
-    for metric in GATED_METRICS:
+    for metric in spec["gated"]:
         cur, base = lookup(current, metric), lookup(baseline, metric)
         if cur is None or base is None:
             failed.append(metric)
@@ -83,9 +157,10 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
         )
     info = {
         m: {"current": lookup(current, m), "baseline": lookup(baseline, m)}
-        for m in INFO_METRICS
+        for m in spec["info"]
     }
     return {
+        "suite": suite,
         "threshold": threshold,
         "gated": rows,
         "info": info,
@@ -99,14 +174,24 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--out", default=None, help="comparison JSON artifact")
     parser.add_argument(
-        "--threshold", type=float, default=0.25,
-        help="allowed fractional drop vs baseline (default 0.25)",
+        "--suite", choices=sorted(SUITES), default="swarm",
+        help="which benchmark's metric set to gate (default: swarm)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="allowed fractional drop vs baseline "
+        "(default: the suite's own, e.g. 0.25 for swarm)",
     )
     args = parser.parse_args(argv)
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else SUITES[args.suite]["threshold"]
+    )
 
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
-    report = compare(current, baseline, args.threshold)
+    report = compare(current, baseline, threshold, args.suite)
 
     skip = os.environ.get("BENCH_GATE_SKIP", "").strip().lower() in (
         "1", "true", "yes",
@@ -120,23 +205,26 @@ def main(argv=None) -> int:
     for row in report["gated"]:
         ratio = row.get("ratio_vs_baseline")
         print(
-            f"{row['metric']:>24s}: current {row['current']!r} "
+            f"{row['metric']:>36s}: current {row['current']!r} "
             f"vs baseline {row['baseline']!r} "
             f"({'n/a' if ratio is None else f'{ratio:.2f}x'}) "
             f"[{row['status']}]"
         )
     if report["failed"]:
         verdict = (
-            f"bench gate: {len(report['failed'])} metric(s) regressed "
-            f">{args.threshold * 100:.0f}% vs baseline: {report['failed']}"
+            f"bench gate [{args.suite}]: {len(report['failed'])} metric(s) "
+            f"regressed >{threshold * 100:.0f}% vs baseline: "
+            f"{report['failed']}"
         )
         if skip:
             print(f"{verdict} -- BENCH_GATE_SKIP set, not failing the job")
             return 0
         print(verdict, file=sys.stderr)
         return 1
-    print(f"bench gate: all {len(report['gated'])} gated metrics within "
-          f"{args.threshold * 100:.0f}% of baseline")
+    print(
+        f"bench gate [{args.suite}]: all {len(report['gated'])} gated "
+        f"metrics within {threshold * 100:.0f}% of baseline"
+    )
     return 0
 
 

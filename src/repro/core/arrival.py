@@ -109,7 +109,17 @@ class ArrivalEstimator:
 
 
 class ArrivalRegistry:
-    """One :class:`ArrivalEstimator` per function."""
+    """One :class:`ArrivalEstimator` per function, with a retirement shelf.
+
+    The KDM's state-retirement sweep moves idle functions' estimators to
+    an internal archive (:meth:`retire`) and brings them back when the
+    function reappears (:meth:`revive`). :meth:`get` *peeks* at archived
+    estimators without reviving them: readers that consult a retired
+    function's history -- e.g. the warm-pool adjuster ranking a container
+    that outlived its function's last decision -- see exactly the data a
+    never-retired run would, which keeps overflow rankings bit-identical,
+    without promoting the function back to the live ledger.
+    """
 
     def __init__(
         self,
@@ -123,12 +133,17 @@ class ArrivalRegistry:
             prior_strength=prior_strength,
         )
         self._by_name: dict[str, ArrivalEstimator] = {}
+        self._archived: dict[str, ArrivalEstimator] = {}
 
     def get(self, name: str) -> ArrivalEstimator:
         est = self._by_name.get(name)
         if est is None:
-            est = ArrivalEstimator(**self._kw)
-            self._by_name[name] = est
+            # Read-only peek at archived history; revival is the KDM's
+            # call (on the function's next arrival/decision).
+            est = self._archived.get(name)
+            if est is None:
+                est = ArrivalEstimator(**self._kw)
+                self._by_name[name] = est
         return est
 
     def observe(self, name: str, t: float) -> ArrivalEstimator:
@@ -136,5 +151,26 @@ class ArrivalRegistry:
         est.observe(t)
         return est
 
+    def retire(self, name: str) -> None:
+        """Shelve one function's estimator (state-retirement sweep).
+
+        No-op if the function was never observed. The estimator object
+        and its history survive untouched; only the live ledger shrinks.
+        """
+        est = self._by_name.pop(name, None)
+        if est is not None:
+            self._archived[name] = est
+
+    def revive(self, name: str) -> None:
+        """Promote a shelved estimator back to the live ledger
+        (rehydration). No-op if nothing is archived under ``name``."""
+        est = self._archived.pop(name, None)
+        if est is not None:
+            self._by_name[name] = est
+
     def __len__(self) -> int:
         return len(self._by_name)
+
+    @property
+    def archived_count(self) -> int:
+        return len(self._archived)

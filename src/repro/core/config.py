@@ -98,6 +98,23 @@ class EcoLifeConfig:
     #: ``ECOLIFE_BATCH_SWARMS`` environment knob; see
     #: :func:`batch_swarms_default`).
     batch_swarms: bool = field(default_factory=batch_swarms_default)
+    # State retirement under function churn (both default off = today's
+    # unbounded per-function state). Retirement archives a function's
+    # optimizer/swarm state (including its RNG stream state), arrival
+    # estimator, and perception scalars, and rehydrates them on the
+    # function's next appearance -- decisions are bit-identical either
+    # way; the knobs only bound live memory.
+    #: Retire a function's scheduler state once it has made no decision
+    #: for this many seconds. ``None`` disables idle retirement.
+    retire_after_s: float | None = None
+    #: Soft cap on live per-function optimizer states: the idle sweep
+    #: retires the longest-idle functions past it (new same-tick
+    #: functions may transiently overshoot by one batch). Size it above
+    #: the expected *active* working set: a cap below it stays
+    #: bit-identical but degenerates into archive/rehydrate thrashing on
+    #: every decision round (classic LRU behaviour when capacity <
+    #: working set), costing replay throughput. ``None`` = uncapped.
+    max_live_swarms: int | None = None
     # Determinism.
     seed: int = 2024
 
@@ -116,6 +133,15 @@ class EcoLifeConfig:
             raise ValueError("arrival_history must be >= 2")
         if self.prior_mean_iat_s <= 0.0:
             raise ValueError("prior_mean_iat_s must be > 0")
+        if self.retire_after_s is not None and self.retire_after_s <= 0.0:
+            raise ValueError("retire_after_s must be > 0 (or None)")
+        if self.max_live_swarms is not None and self.max_live_swarms < 1:
+            raise ValueError("max_live_swarms must be >= 1 (or None)")
+
+    @property
+    def retirement_enabled(self) -> bool:
+        """Whether any state-retirement knob is active."""
+        return self.retire_after_s is not None or self.max_live_swarms is not None
 
     # -- variant constructors (the paper's named schemes) -------------------
 
@@ -134,3 +160,16 @@ class EcoLifeConfig:
     def with_optimizer(self, kind: OptimizerKind) -> "EcoLifeConfig":
         """GA-/SA-driven KDM for the in-text optimizer comparison."""
         return replace(self, optimizer=kind)
+
+    def with_retirement(
+        self,
+        retire_after_s: float | None = None,
+        max_live_swarms: int | None = None,
+    ) -> "EcoLifeConfig":
+        """Bounded-state EcoLife: idle-sweep retirement of per-function
+        scheduler state (bit-identical to the unbounded default)."""
+        return replace(
+            self,
+            retire_after_s=retire_after_s,
+            max_live_swarms=max_live_swarms,
+        )

@@ -19,11 +19,21 @@ per-function path, see ``docs/optimizers.md``.
 
 The GA/SA backends exist for the paper's in-text optimizer comparison and
 share the exact same objective; they always use the per-function path.
+
+Under function churn the per-function state (slots/optimizers, arrival
+estimators, perception scalars) grows without bound, so the KDM also
+runs an optional **state-retirement sweep** (``config.retire_after_s`` /
+``config.max_live_swarms``): idle functions are archived into compact
+:class:`RetiredFunction` records -- swarm rows plus RNG stream state --
+and rehydrated bit-identically when they reappear. Sweeps trigger on
+decision traffic and on the engine's container-expiry notifications;
+they bound memory without changing a single decision.
 """
 
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -32,7 +42,7 @@ from repro.core.arrival import ArrivalRegistry
 from repro.core.config import EcoLifeConfig, OptimizerKind
 from repro.core.objective import ObjectiveBuilder
 from repro.optimizers.annealing import SimulatedAnnealing
-from repro.optimizers.batch import SwarmFleet
+from repro.optimizers.batch import SwarmArchive, SwarmFleet
 from repro.optimizers.dynamic_pso import DynamicPSO
 from repro.optimizers.genetic import GeneticOptimizer
 from repro.optimizers.pso import ParticleSwarm
@@ -46,6 +56,28 @@ def _stable_seed(root_seed: int, name: str) -> np.random.Generator:
     return np.random.default_rng(
         np.random.SeedSequence([root_seed, zlib.crc32(name.encode("utf-8"))])
     )
+
+
+@dataclass
+class RetiredFunction:
+    """Archived per-function scheduler state (state-retirement sweep).
+
+    Everything the KDM must restore for the function's next decision to
+    be bit-identical to a never-retired run: the swarm archive (fleet
+    path) *or* the optimizer object (sequential/GA/SA path) and the
+    perception scalars. The arrival estimator is shelved inside the
+    :class:`~repro.core.arrival.ArrivalRegistry` by the same sweep --
+    readers such as the warm-pool adjuster may still need its history
+    while the function is retired (a container can outlive its
+    function's last decision). ``None`` fields simply never existed at
+    retirement time.
+    """
+
+    swarm: SwarmArchive | None
+    optimizer: object | None
+    last_ci: float | None
+    last_rate: float | None
+    last_seen: float
 
 
 class KeepAliveDecisionMaker:
@@ -72,6 +104,16 @@ class KeepAliveDecisionMaker:
         self.use_fleet = config.batch_swarms and config.optimizer is OptimizerKind.PSO
         self._fleet: SwarmFleet | None = None
         self._slots: dict[str, int] = {}
+        # State retirement (config.retire_after_s / max_live_swarms):
+        # idle functions are swept into compact archives and rehydrated
+        # bit-identically on their next appearance.
+        self._retirement = config.retirement_enabled
+        self._archives: dict[str, RetiredFunction] = {}
+        self._last_seen: dict[str, float] = {}
+        self._next_sweep_t = float("-inf")
+        self.retired = 0
+        self.rehydrated = 0
+        self.peak_live = 0
 
     # -- optimizer lifecycle -----------------------------------------------------
 
@@ -108,12 +150,17 @@ class KeepAliveDecisionMaker:
     def optimizer_for(self, name: str):
         opt = self._optimizers.get(name)
         if opt is None:
-            opt = self._new_optimizer(name)
-            self._optimizers[name] = opt
+            if name in self._archives:
+                self._rehydrate(name)
+                opt = self._optimizers.get(name)
+            if opt is None:
+                opt = self._new_optimizer(name)
+                self._optimizers[name] = opt
         return opt
 
     @property
     def optimizer_count(self) -> int:
+        """Live per-function optimizer states (archived ones excluded)."""
         return len(self._slots) if self.use_fleet else len(self._optimizers)
 
     # -- fleet lifecycle ---------------------------------------------------------
@@ -145,16 +192,145 @@ class KeepAliveDecisionMaker:
         """
         slot = self._slots.get(name)
         if slot is None:
-            slot = self._fleet_for_config().add_swarm(
-                _stable_seed(self.config.seed, name)
-            )
-            self._slots[name] = slot
+            if name in self._archives:
+                self._rehydrate(name)
+                slot = self._slots.get(name)
+            if slot is None:
+                slot = self._fleet_for_config().add_swarm(
+                    _stable_seed(self.config.seed, name)
+                )
+                self._slots[name] = slot
         return slot
+
+    # -- state retirement --------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Functions with live (non-archived) scheduler state."""
+        return len(self._last_seen) if self._retirement else self.optimizer_count
+
+    @property
+    def archived_count(self) -> int:
+        return len(self._archives)
+
+    @property
+    def fleet_capacity(self) -> int:
+        """Allocated fleet slots (0 when the fleet was never created)."""
+        return self._fleet.capacity if self._fleet is not None else 0
+
+    def on_arrival(self, name: str, t: float) -> None:
+        """Note an invocation arrival (the scheduler's place-time hook).
+
+        Must run before the arrival estimator is updated: it rehydrates
+        any archived state so a retired-then-returning function's
+        estimator keeps its history and its decisions stay bit-identical
+        to a never-retired run.
+        """
+        if not self._retirement:
+            return
+        if name in self._archives:
+            self._rehydrate(name)
+        self._touch(name, t)
+
+    def maybe_sweep(self, now: float) -> None:
+        """Opportunistic retirement sweep (decision and expiry hooks).
+
+        The O(live) idle scan is throttled to a few times per
+        ``retire_after_s`` window; the ``max_live_swarms`` cap check is
+        O(1) and runs every call. Sweeping never changes decisions --
+        retire/rehydrate is an identity -- so the trigger cadence only
+        shapes memory, not results.
+        """
+        if not self._retirement:
+            return
+        cfg = self.config
+        over = (
+            cfg.max_live_swarms is not None
+            and len(self._last_seen) > cfg.max_live_swarms
+        )
+        idle_due = cfg.retire_after_s is not None and now >= self._next_sweep_t
+        if idle_due:
+            self._next_sweep_t = now + cfg.retire_after_s / 4.0
+        if idle_due or over:
+            self.sweep(now)
+
+    def sweep(self, now: float) -> int:
+        """Retire idle functions; returns how many were archived.
+
+        Policy: everything idle longer than ``retire_after_s`` goes;
+        then, if still above ``max_live_swarms``, the longest-idle
+        functions go until the cap holds. The fleet is compacted after a
+        non-empty sweep (slot remaps are applied to the registry).
+        """
+        cfg = self.config
+        victims: list[str] = []
+        chosen: set[str] = set()
+        if cfg.retire_after_s is not None:
+            cutoff = now - cfg.retire_after_s
+            victims = [n for n, t in self._last_seen.items() if t <= cutoff]
+            chosen = set(victims)
+        if cfg.max_live_swarms is not None:
+            excess = len(self._last_seen) - len(victims) - cfg.max_live_swarms
+            if excess > 0:
+                idle_order = sorted(
+                    (t, n) for n, t in self._last_seen.items() if n not in chosen
+                )
+                victims.extend(n for _, n in idle_order[:excess])
+        for name in victims:
+            self._retire(name)
+        if victims and self._fleet is not None:
+            remap = self._fleet.compact()
+            if remap:
+                self._slots = {
+                    n: remap.get(s, s) for n, s in self._slots.items()
+                }
+        return len(victims)
+
+    def _retire(self, name: str) -> None:
+        swarm = None
+        slot = self._slots.pop(name, None)
+        if slot is not None:
+            swarm = self._fleet.retire(slot)
+        self.arrivals.retire(name)
+        # Cost caches are pure functions of the profile; rebuilds are
+        # bit-identical, so eviction only bounds memory.
+        self.builder.costs.evict(name)
+        self._archives[name] = RetiredFunction(
+            swarm=swarm,
+            optimizer=self._optimizers.pop(name, None),
+            last_ci=self._last_ci.pop(name, None),
+            last_rate=self._last_rate.pop(name, None),
+            last_seen=self._last_seen.pop(name),
+        )
+        self.retired += 1
+
+    def _rehydrate(self, name: str) -> None:
+        arch = self._archives.pop(name)
+        self.arrivals.revive(name)
+        if arch.last_ci is not None:
+            self._last_ci[name] = arch.last_ci
+        if arch.last_rate is not None:
+            self._last_rate[name] = arch.last_rate
+        if arch.optimizer is not None:
+            self._optimizers[name] = arch.optimizer
+        if arch.swarm is not None:
+            self._slots[name] = self._fleet_for_config().rehydrate(arch.swarm)
+        self._touch(name, arch.last_seen)
+        self.rehydrated += 1
+
+    def _touch(self, name: str, t: float) -> None:
+        """Record activity for the idle sweep (and the peak-live gauge)."""
+        prev = self._last_seen.get(name)
+        self._last_seen[name] = t if prev is None else max(prev, t)
+        live = len(self._last_seen)
+        if live > self.peak_live:
+            self.peak_live = live
 
     # -- decision ------------------------------------------------------------------
 
     def decide(self, func: FunctionProfile, t: float) -> KeepAliveDecision:
         """Choose (keep-alive location, keep-alive period) for ``func`` at ``t``."""
+        self.maybe_sweep(t)
         if self.use_fleet:
             return self._decide_fleet([(func, t)])[0]
         opt = self.optimizer_for(func.name)
@@ -181,6 +357,7 @@ class KeepAliveDecisionMaker:
         )
         location, k_s = self.builder.decode_single(position)
         self.decisions += 1
+        self._touch(func.name, t)
         return KeepAliveDecision(location=location, duration_s=k_s)
 
     def decide_batch(
@@ -198,6 +375,8 @@ class KeepAliveDecisionMaker:
         """
         if not self.use_fleet:
             return [self.decide(func, t) for func, t in items]
+        if items:
+            self.maybe_sweep(items[0][1])
         out: list[KeepAliveDecision] = []
         batch: list[tuple[FunctionProfile, float]] = []
         seen: set[str] = set()
@@ -250,6 +429,8 @@ class KeepAliveDecisionMaker:
             location, k_s = self.builder.decode_single(position)
             decisions.append(KeepAliveDecision(location=location, duration_s=k_s))
         self.decisions += len(batch)
+        for func, t in batch:
+            self._touch(func.name, t)
         return decisions
 
     def _iterations_for(self, opt) -> int:

@@ -89,7 +89,8 @@ class CostModel:
         self.env = env
         self.config = config
         self._vectors: dict[str, FunctionCostVectors] = {}
-        self._normalisers: dict[tuple[str, float], tuple[float, float, float]] = {}
+        #: Per-function: reference CI -> guarded normaliser triple.
+        self._normalisers: dict[str, dict[float, tuple[float, float, float]]] = {}
 
     # -- cache -----------------------------------------------------------------
 
@@ -164,8 +165,8 @@ class CostModel:
         self, func: FunctionProfile, ci_ref: float
     ) -> tuple[float, float, float]:
         """Guarded ``(s_max, sc_max, kc_max)`` at the reference intensity."""
-        key = (func.name, ci_ref)
-        cached = self._normalisers.get(key)
+        per_ci = self._normalisers.setdefault(func.name, {})
+        cached = per_ci.get(ci_ref)
         if cached is None:
             v = self.vectors(func)
             cached = (
@@ -173,8 +174,26 @@ class CostModel:
                 max(float(v.sc_cold(ci_ref).max()), 1e-12),
                 max(float(v.ka_rate(ci_ref).max()) * self.env.kmax_s, 1e-12),
             )
-            self._normalisers[key] = cached
+            per_ci[ci_ref] = cached
         return cached
+
+    def evict(self, name: str) -> None:
+        """Drop one function's cached cost state (state-retirement sweep).
+
+        Without eviction the vector cache grows with the *ever-seen*
+        cohort and the normaliser cache with ever-seen functions times
+        distinct reference intensities. Both caches are pure functions of
+        the profile, the config, and static hardware data, so a later
+        rebuild -- including an adjuster peek at a retired-but-still-warm
+        container -- is bit-identical.
+        """
+        self._vectors.pop(name, None)
+        self._normalisers.pop(name, None)
+
+    @property
+    def cached_function_count(self) -> int:
+        """Functions with live cache entries (memory-bounds telemetry)."""
+        return len(self._vectors.keys() | self._normalisers.keys())
 
     # -- primitives ------------------------------------------------------------
 

@@ -52,6 +52,9 @@ class EcoLifeScheduler(BaseScheduler):
         self.supports_keepalive_batch = (
             self.config.batch_swarms and self.config.optimizer is OptimizerKind.PSO
         )
+        # Expiry notifications drive KDM retirement sweeps during quiet
+        # periods (no decision traffic); pointless without retirement.
+        self.wants_expiry_events = self.config.retirement_enabled
         # Components are created at bind() time (they need the env).
         self.arrivals: ArrivalRegistry | None = None
         self.kdm: KeepAliveDecisionMaker | None = None
@@ -92,6 +95,9 @@ class EcoLifeScheduler(BaseScheduler):
         self.adjuster = WarmPoolAdjuster(env, cfg, self._builder.costs, self.arrivals)
 
     def place(self, req: PlacementRequest) -> Generation:
+        # Rehydrate any retired state for this function *before* the
+        # estimator observes the arrival (keeps histories bit-identical).
+        self.kdm.on_arrival(req.func.name, req.t)
         self.arrivals.observe(req.func.name, req.t)
         return self.epdm.choose(req.func, req.t, req.warm_locations)
 
@@ -102,6 +108,9 @@ class EcoLifeScheduler(BaseScheduler):
         self, reqs: Sequence[KeepAliveRequest]
     ) -> list[KeepAliveDecision]:
         return self.kdm.decide_batch([(r.func, r.t_end) for r in reqs])
+
+    def on_container_expired(self, name, generation, t: float) -> None:
+        self.kdm.maybe_sweep(t)
 
     def rank_keepalive_candidates(
         self, req: AdjustmentRequest

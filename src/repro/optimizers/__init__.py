@@ -2,7 +2,7 @@
 
 from repro.optimizers.annealing import SimulatedAnnealing
 from repro.optimizers.base import ContinuousOptimizer, FitnessFn, clip_box
-from repro.optimizers.batch import BatchFitnessFn, SwarmFleet
+from repro.optimizers.batch import BatchFitnessFn, SwarmArchive, SwarmFleet
 from repro.optimizers.dynamic_pso import DPSOParams, DynamicPSO
 from repro.optimizers.genetic import GeneticOptimizer
 from repro.optimizers.gridsearch import cartesian_grid, grid_best
@@ -12,6 +12,7 @@ __all__ = [
     "BatchFitnessFn",
     "ContinuousOptimizer",
     "FitnessFn",
+    "SwarmArchive",
     "SwarmFleet",
     "clip_box",
     "ParticleSwarm",

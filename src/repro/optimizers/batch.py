@@ -32,10 +32,20 @@ rules make that hold:
 The fitness callable is *batched*: it receives ``(n_active, rows, dim)``
 positions for the active subset and returns ``(n_active, rows)`` scores
 (see :meth:`repro.core.objective.ObjectiveBuilder.batch_fitness`).
+
+Under function churn the set of ever-seen functions is unbounded, so the
+fleet also supports **slot retirement**: :meth:`SwarmFleet.retire`
+snapshots a swarm (rows + RNG bit-generator state) into a
+:class:`SwarmArchive` and frees its slot for reuse,
+:meth:`SwarmFleet.rehydrate` restores it bit-identically, and
+:meth:`SwarmFleet.compact` swap-with-last-packs live slots and shrinks
+the backing arrays when occupancy drops below a watermark. The
+equivalence contract extends across retire/rehydrate round trips.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -47,6 +57,36 @@ from repro.optimizers.dynamic_pso import DPSOParams
 #: scores, lower is better. Row order follows the ``indices`` passed to
 #: :meth:`SwarmFleet.step`.
 BatchFitnessFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SwarmArchive:
+    """Compact snapshot of one retired swarm (:meth:`SwarmFleet.retire`).
+
+    Holds copies of the swarm's stacked rows plus the serialised state of
+    its ``np.random.Generator`` bit generator, which is what lets
+    :meth:`SwarmFleet.rehydrate` resume the swarm's private random stream
+    *bit-identically* -- a retired-then-returning function continues
+    exactly where a never-retired one would be. Archives are plain data
+    (arrays + scalars + one state dict), so they are picklable and cheap
+    to hold for millions of dormant functions.
+    """
+
+    positions: np.ndarray  # (n_particles, dim)
+    velocities: np.ndarray  # (n_particles, dim)
+    pbest_positions: np.ndarray  # (n_particles, dim)
+    pbest_scores: np.ndarray  # (n_particles,)
+    omega: float
+    c1: float
+    c2: float
+    best_position: np.ndarray  # (dim,)
+    best_score: float
+    has_best: bool
+    df_max: float
+    dci_max: float
+    last_perception: float
+    #: ``rng.bit_generator.state`` -- includes the bit-generator class name.
+    bit_generator_state: dict
 
 
 class SwarmFleet:
@@ -96,73 +136,100 @@ class SwarmFleet:
             self._omega0 = omega
             self._c0 = c1
             self._c20 = c2
-        self._rngs: list[np.random.Generator] = []
-        self._m = 0  # live swarm count
+        #: Per-slot RNG streams; ``None`` marks a retired (free) slot.
+        self._rngs: list[np.random.Generator | None] = []
+        self._m = 0  # allocation tail: slots [0, _m) have ever been used
+        self._free: list[int] = []  # retired slots available for reuse (LIFO)
         self._alloc(4)
 
     # -- storage --------------------------------------------------------------
 
+    #: Every stacked per-swarm array: attribute -> allocator over
+    #: ``(capacity, n_particles, dim)``. Single source of truth walked by
+    #: both :meth:`_alloc` and :meth:`_move_slot`, so a new per-swarm
+    #: field cannot be allocated yet silently skipped by compaction moves
+    #: (which would corrupt it only on churned runs). The retire/
+    #: rehydrate mirrors live next to :class:`SwarmArchive`, whose typed
+    #: fields a new entry must extend anyway.
+    _STACKED_STATE: dict[str, Callable[[int, int, int], np.ndarray]] = {
+        "positions": lambda c, n, d: np.empty((c, n, d)),
+        "velocities": lambda c, n, d: np.empty((c, n, d)),
+        "pbest_positions": lambda c, n, d: np.empty((c, n, d)),
+        "pbest_scores": lambda c, n, d: np.empty((c, n)),
+        "omega": lambda c, n, d: np.empty(c),
+        "c1": lambda c, n, d: np.empty(c),
+        "c2": lambda c, n, d: np.empty(c),
+        "best_positions": lambda c, n, d: np.zeros((c, d)),
+        "best_scores": lambda c, n, d: np.empty(c),
+        "_has_best": lambda c, n, d: np.zeros(c, dtype=bool),
+        "_df_max": lambda c, n, d: np.zeros(c),
+        "_dci_max": lambda c, n, d: np.zeros(c),
+        "last_perception": lambda c, n, d: np.zeros(c),
+        "_live": lambda c, n, d: np.zeros(c, dtype=bool),
+    }
+
     def _alloc(self, capacity: int) -> None:
         """(Re)allocate stacked state for ``capacity`` swarms."""
         n, d = self.n_particles, self.dim
-        shape3 = (capacity, n, d)
-
-        def grow(old: np.ndarray | None, new: np.ndarray) -> np.ndarray:
+        for name, make in self._STACKED_STATE.items():
+            new = make(capacity, n, d)
+            old = getattr(self, name, None)
             if old is not None:
                 new[: self._m] = old[: self._m]
-            return new
-
-        self.positions = grow(getattr(self, "positions", None), np.empty(shape3))
-        self.velocities = grow(getattr(self, "velocities", None), np.empty(shape3))
-        self.pbest_positions = grow(
-            getattr(self, "pbest_positions", None), np.empty(shape3)
-        )
-        self.pbest_scores = grow(
-            getattr(self, "pbest_scores", None), np.empty((capacity, n))
-        )
-        self.omega = grow(getattr(self, "omega", None), np.empty(capacity))
-        self.c1 = grow(getattr(self, "c1", None), np.empty(capacity))
-        self.c2 = grow(getattr(self, "c2", None), np.empty(capacity))
-        self.best_positions = grow(
-            getattr(self, "best_positions", None), np.zeros((capacity, d))
-        )
-        self.best_scores = grow(
-            getattr(self, "best_scores", None), np.empty(capacity)
-        )
-        self._has_best = grow(
-            getattr(self, "_has_best", None), np.zeros(capacity, dtype=bool)
-        )
-        self._df_max = grow(getattr(self, "_df_max", None), np.zeros(capacity))
-        self._dci_max = grow(getattr(self, "_dci_max", None), np.zeros(capacity))
-        self.last_perception = grow(
-            getattr(self, "last_perception", None), np.zeros(capacity)
-        )
+            setattr(self, name, new)
         self._capacity = capacity
 
     def __len__(self) -> int:
-        return self._m
+        return self.n_swarms
 
     @property
     def n_swarms(self) -> int:
-        return self._m
+        """Number of *live* swarms (retired slots excluded)."""
+        return self._m - len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slot capacity of the stacked arrays."""
+        return self._capacity
+
+    def is_live(self, index: int) -> bool:
+        return 0 <= index < self._m and bool(self._live[index])
+
+    def live_indices(self) -> np.ndarray:
+        """Slot indices of all live swarms, ascending."""
+        return np.flatnonzero(self._live[: self._m])
 
     def rng_of(self, index: int) -> np.random.Generator:
+        self._require_live(index)
         return self._rngs[index]
 
+    def _require_live(self, index: int) -> None:
+        if not self.is_live(index):
+            raise IndexError(f"swarm slot {index} is not live")
+
     # -- lifecycle ------------------------------------------------------------
+
+    def _take_slot(self) -> int:
+        """Claim a slot: reuse the free list, else extend the tail."""
+        if self._free:
+            return self._free.pop()
+        if self._m == self._capacity:
+            self._alloc(self._capacity * 2)
+        self._rngs.append(None)
+        i = self._m
+        self._m += 1
+        return i
 
     def add_swarm(self, rng: np.random.Generator) -> int:
         """Register a new swarm drawing its initial state from ``rng``.
 
         Draw order matches ``ParticleSwarm.__init__`` exactly: uniform
         positions over the unit box, then uniform velocities in
-        ``[-vmax, vmax]``.
+        ``[-vmax, vmax]``. Retired slots are reused before the arrays
+        grow.
         """
-        if self._m == self._capacity:
-            self._alloc(self._capacity * 2)
-        i = self._m
-        self._m += 1
-        self._rngs.append(rng)
+        i = self._take_slot()
+        self._rngs[i] = rng
         n, d = self.n_particles, self.dim
         self.positions[i] = rng.uniform(0.0, 1.0, size=(n, d))
         self.velocities[i] = rng.uniform(-self.vmax, self.vmax, size=(n, d))
@@ -176,7 +243,118 @@ class SwarmFleet:
         self._df_max[i] = 0.0
         self._dci_max[i] = 0.0
         self.last_perception[i] = 0.0
+        self._live[i] = True
         return i
+
+    # -- retirement / compaction ----------------------------------------------
+
+    def retire(self, index: int) -> SwarmArchive:
+        """Snapshot one swarm into a :class:`SwarmArchive` and free its slot.
+
+        The archive captures the swarm's stacked rows *and* its RNG
+        bit-generator state, so a later :meth:`rehydrate` resumes the
+        swarm bit-identically. The freed slot goes on the free list and
+        is reused by the next :meth:`add_swarm`/:meth:`rehydrate`;
+        :meth:`compact` reclaims the backing memory when occupancy drops.
+        """
+        self._require_live(index)
+        rng = self._rngs[index]
+        archive = SwarmArchive(
+            positions=self.positions[index].copy(),
+            velocities=self.velocities[index].copy(),
+            pbest_positions=self.pbest_positions[index].copy(),
+            pbest_scores=self.pbest_scores[index].copy(),
+            omega=float(self.omega[index]),
+            c1=float(self.c1[index]),
+            c2=float(self.c2[index]),
+            best_position=self.best_positions[index].copy(),
+            best_score=float(self.best_scores[index]),
+            has_best=bool(self._has_best[index]),
+            df_max=float(self._df_max[index]),
+            dci_max=float(self._dci_max[index]),
+            last_perception=float(self.last_perception[index]),
+            bit_generator_state=rng.bit_generator.state,
+        )
+        self._rngs[index] = None
+        self._live[index] = False
+        self._free.append(index)
+        return archive
+
+    def rehydrate(self, archive: SwarmArchive) -> int:
+        """Restore a retired swarm into a (possibly different) slot.
+
+        Reconstructs the RNG from the archived bit-generator state, so
+        the swarm's stream continues exactly where :meth:`retire` froze
+        it -- the equivalence contract extends across a
+        retire/rehydrate round trip. Returns the new slot index.
+        """
+        n, d = self.n_particles, self.dim
+        if archive.positions.shape != (n, d):
+            raise ValueError(
+                f"archive shape {archive.positions.shape} does not match "
+                f"fleet particles {(n, d)}"
+            )
+        state = archive.bit_generator_state
+        bit_gen = getattr(np.random, state["bit_generator"])()
+        bit_gen.state = state
+        i = self._take_slot()
+        self._rngs[i] = np.random.Generator(bit_gen)
+        self.positions[i] = archive.positions
+        self.velocities[i] = archive.velocities
+        self.pbest_positions[i] = archive.pbest_positions
+        self.pbest_scores[i] = archive.pbest_scores
+        self.omega[i] = archive.omega
+        self.c1[i] = archive.c1
+        self.c2[i] = archive.c2
+        self.best_positions[i] = archive.best_position
+        self.best_scores[i] = archive.best_score
+        self._has_best[i] = archive.has_best
+        self._df_max[i] = archive.df_max
+        self._dci_max[i] = archive.dci_max
+        self.last_perception[i] = archive.last_perception
+        self._live[i] = True
+        return i
+
+    def _move_slot(self, src: int, dst: int) -> None:
+        for name in self._STACKED_STATE:
+            arr = getattr(self, name)
+            arr[dst] = arr[src]
+        self._rngs[dst] = self._rngs[src]
+        self._rngs[src] = None
+        self._live[dst] = True
+        self._live[src] = False
+
+    def compact(
+        self, shrink_watermark: float = 0.25, min_capacity: int = 4
+    ) -> dict[int, int]:
+        """Densify live slots into ``[0, n_swarms)`` and shrink capacity.
+
+        Swap-with-last compaction: live swarms above the dense bound move
+        into free holes below it, then the backing arrays shrink (halving)
+        while occupancy stays at or below ``shrink_watermark``. Returns
+        ``{old_slot: new_slot}`` for every moved swarm -- callers holding
+        slot indices MUST apply the remap. Slot moves never touch swarm
+        state or RNG streams, so compaction is invisible to the
+        equivalence contract.
+        """
+        remap: dict[int, int] = {}
+        if self._free:
+            live = self._m - len(self._free)
+            holes = sorted(h for h in self._free if h < live)
+            tail = [i for i in range(live, self._m) if self._live[i]]
+            for hole, src in zip(holes, tail):
+                self._move_slot(src, hole)
+                remap[src] = hole
+            self._m = live
+            del self._rngs[live:]
+            self._free.clear()
+        new_cap = self._capacity
+        while new_cap > min_capacity and self._m <= int(new_cap * shrink_watermark):
+            new_cap //= 2
+        new_cap = max(new_cap, min_capacity, self._m)
+        if new_cap < self._capacity:
+            self._alloc(new_cap)
+        return remap
 
     # -- perception-response (DPSO) -------------------------------------------
 
@@ -189,6 +367,7 @@ class SwarmFleet:
         """
         if not self.dynamic:
             raise RuntimeError("perceive() requires a DPSOParams-configured fleet")
+        self._require_live(index)
         p = self.params
         df = abs(float(delta_f))
         dci = abs(float(delta_ci))
@@ -220,6 +399,7 @@ class SwarmFleet:
         early return that skips all draws when the fraction rounds to 0)."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
+        self._require_live(index)
         k = int(round(fraction * self.n_particles))
         if k == 0:
             return
@@ -252,6 +432,8 @@ class SwarmFleet:
             return
         if len(np.unique(idx)) != idx.size:
             raise ValueError("step() indices must be distinct")
+        if not self._live[idx].all():
+            raise IndexError("step() indices must address live slots")
         if self.rescore_bests:
             self._refresh_bests(idx, fitness)
         for _ in range(iterations):
@@ -349,6 +531,7 @@ class SwarmFleet:
         are shared with the batched path, so the two can interleave
         freely and stay bit-identical to a sequential optimizer.
         """
+        self._require_live(index)
         if self.rescore_bests and self._has_best[index]:
             self.best_scores[index] = float(
                 fitness(self.best_positions[index][None, :])[0]
@@ -412,11 +595,14 @@ class SwarmFleet:
     def gbest_positions(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
         """Current swarm-best position per requested swarm, ``(s, dim)``."""
         idx = np.asarray(indices, dtype=np.intp)
+        if not self._live[idx].all():
+            raise IndexError("gbest_positions() indices must address live slots")
         g = np.argmin(self.pbest_scores[idx], axis=1)
         return self.pbest_positions[idx, g]
 
     def gbest_position(self, index: int) -> np.ndarray:
         """Current swarm-best of one swarm (matches
         ``ParticleSwarm.gbest_position``)."""
+        self._require_live(index)
         g = int(np.argmin(self.pbest_scores[index]))
         return self.pbest_positions[index, g]

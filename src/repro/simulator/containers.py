@@ -109,12 +109,22 @@ class WarmPool:
                 f"({self._used_gb:.2f}/{self.capacity_gb:.2f} GB used)"
             )
         self._containers[container.name] = container
-        self._used_gb += container.mem_gb
+        self._recount()
 
     def remove(self, name: str) -> WarmContainer:
         """Remove and return a container (KeyError if absent)."""
         container = self._containers.pop(name)
-        self._used_gb -= container.mem_gb
-        if self._used_gb < 1e-9:
-            self._used_gb = 0.0
+        self._recount()
         return container
+
+    def _recount(self) -> None:
+        """Recompute the memory ledger from the membership map.
+
+        A running ``+=``/``-=`` ledger accumulates floating-point error
+        over long insert/remove churn (each op rounds once, and the
+        errors never cancel exactly), eventually mis-answering
+        :meth:`fits` near capacity. Recomputing with :func:`math.fsum`
+        keeps ``used_gb`` the correctly-rounded sum of the *current*
+        members -- exactly ``0.0`` for an empty pool, no clamp needed.
+        """
+        self._used_gb = math.fsum(c.mem_gb for c in self._containers.values())

@@ -442,6 +442,8 @@ class SimulationEngine:
                 continue  # stale event: warm hit, move, or replacement
             self.pools[gen].remove(name)
             self._close_segment(container, t)
+            if self._scheduler is not None and self._scheduler.wants_expiry_events:
+                self._scheduler.on_container_expired(name, gen, t)
 
     def _close_segment(self, container: WarmContainer, t_close: float) -> None:
         """Accrue one finished keep-alive segment onto its deciding record."""

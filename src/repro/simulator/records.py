@@ -87,6 +87,21 @@ class InvocationRecord:
         self.keepalive_s += duration_s
 
 
+def _unicode_column(values) -> np.ndarray:
+    """Build a unicode column with a non-degenerate dtype.
+
+    A zero-invocation scenario yields an empty string column whose
+    natural dtype is ``<U0`` (itemsize 0, numpy-version dependent); such
+    arrays do not survive an ``.npz`` round trip with dtype equality, so
+    persistence of empty traces would break cache comparisons. Normalise
+    to ``<U1`` -- the values are unchanged (there are none).
+    """
+    arr = np.asarray(values, dtype=np.str_)
+    if arr.dtype.itemsize == 0:
+        arr = arr.astype("<U1")
+    return arr
+
+
 @dataclass(frozen=True)
 class RecordArrays:
     """Per-invocation records as flat numpy arrays.
@@ -125,8 +140,8 @@ class RecordArrays:
             energy_wh=np.array([r.energy_wh for r in rs], dtype=float),
             keepalive_s=np.array([r.keepalive_s for r in rs], dtype=float),
             cold=np.array([r.cold for r in rs], dtype=bool),
-            location=np.array([r.location.value for r in rs], dtype=np.str_),
-            func_name=np.array([r.func_name for r in rs], dtype=np.str_),
+            location=_unicode_column([r.location.value for r in rs]),
+            func_name=_unicode_column([r.func_name for r in rs]),
         )
 
     # -- persistence ---------------------------------------------------------
@@ -144,7 +159,12 @@ class RecordArrays:
     @classmethod
     def from_npz(cls, path: str | os.PathLike) -> "RecordArrays":
         with np.load(path) as data:
-            return cls(**{f.name: data[f.name] for f in fields(cls)})
+            cols = {f.name: data[f.name] for f in fields(cls)}
+        # Normalise degenerate unicode dtypes written by older numpy so a
+        # loaded empty trace compares dtype-equal to a freshly-built one.
+        for key in ("location", "func_name"):
+            cols[key] = _unicode_column(cols[key])
+        return cls(**cols)
 
 
 @dataclass
@@ -275,6 +295,7 @@ class SimulationResult:
             f"total energy        : {self.total_energy_wh:.2f} Wh",
             f"executions old/new  : {locs[Generation.OLD]}/{locs[Generation.NEW]}",
             f"evicted / spilled   : {self.evicted_count} / {self.spilled_count}",
+            f"dropped keep-alives : {self.dropped_count}",
             f"decision overhead   : {self.total_decision_wall_s * 1000.0:.1f} ms wall",
         ]
         return "\n".join(lines)

@@ -200,6 +200,10 @@ class BaseScheduler(abc.ABC):
     #: :meth:`keepalive_batch`) set this True; the engine then groups
     #: simultaneous arrivals of distinct functions into one call.
     supports_keepalive_batch: bool = False
+    #: Schedulers that want :meth:`on_container_expired` notifications
+    #: (e.g. to drive state-retirement sweeps without depending on
+    #: decision traffic) set this True.
+    wants_expiry_events: bool = False
 
     def __init__(self) -> None:
         self.env: SchedulerEnv | None = None
@@ -231,6 +235,19 @@ class BaseScheduler(abc.ABC):
         functions' swarms through one batched fleet kernel.
         """
         return [self.keepalive(req) for req in reqs]
+
+    def on_container_expired(
+        self, name: str, generation: Generation, t: float
+    ) -> None:
+        """Notification: a warm container reached its expiry untouched.
+
+        Delivered only when :attr:`wants_expiry_events` is set, and only
+        for genuine expiries (not warm hits, moves, or evictions). This
+        is bookkeeping, not a decision point: implementations must not
+        change any scheduling outcome from here -- EcoLife uses it to
+        trigger bit-identical state-retirement sweeps during quiet
+        periods when no decisions arrive.
+        """
 
     def rank_keepalive_candidates(
         self, req: AdjustmentRequest

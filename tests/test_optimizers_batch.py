@@ -149,6 +149,140 @@ class TestFleetEquivalence:
         assert np.array_equal(fleet.positions[first], snapshot)
 
 
+class TestRetirement:
+    """Slot retirement/compaction extends the equivalence contract: a
+    retired-then-rehydrated swarm continues its stream bit-identically
+    to a never-retired one, across slot reuse and compaction remaps."""
+
+    def test_retire_rehydrate_bit_identical(self):
+        solos, fleet, targets = make_pairing()
+        slot = {i: i for i in range(N_SWARMS)}
+
+        def step_all(df, dci, iters):
+            order = sorted(range(N_SWARMS), key=lambda i: slot[i])
+            for i, solo in enumerate(solos):
+                solo.perceive(df, dci)
+                solo.step(sphere_at(targets[i]), iterations=iters)
+            for i in order:
+                fleet.perceive(slot[i], df, dci)
+            fleet.step(
+                [slot[i] for i in order],
+                batch_spheres(targets[order]),
+                iterations=iters,
+            )
+
+        step_all(1.0, 5.0, 3)
+        archives = {i: fleet.retire(slot.pop(i)) for i in (1, 4)}
+        assert fleet.n_swarms == N_SWARMS - 2
+
+        # Survivors keep stepping while 1 and 4 sit archived (their solo
+        # twins idle too -- a retired function receives no decisions).
+        rest = sorted(slot)
+        for i in rest:
+            solos[i].perceive(0.2, 0.4)
+            solos[i].step(sphere_at(targets[i]), iterations=2)
+            fleet.perceive(slot[i], 0.2, 0.4)
+        fleet.step(
+            [slot[i] for i in rest], batch_spheres(targets[rest]), iterations=2
+        )
+
+        for i in (1, 4):
+            slot[i] = fleet.rehydrate(archives[i])
+        assert fleet.n_swarms == N_SWARMS
+        for i in (1, 4):
+            assert_swarm_equal(solos[i], fleet, slot[i])
+
+        step_all(3.0, 40.0, 3)  # redistribution round after rehydration
+        for i, solo in enumerate(solos):
+            assert_swarm_equal(solo, fleet, slot[i])
+
+    def test_retire_frees_slot_for_reuse(self):
+        _, fleet, _ = make_pairing()
+        cap = fleet.capacity
+        fleet.retire(2)
+        assert fleet.n_swarms == N_SWARMS - 1
+        assert not fleet.is_live(2)
+        new = fleet.add_swarm(np.random.default_rng(123))
+        assert new == 2  # freed slot reused, no growth
+        assert fleet.capacity == cap
+        assert fleet.n_swarms == N_SWARMS
+
+    def test_compact_remaps_and_shrinks(self):
+        rngs = seeded_rngs(16, base=9)
+        solos = [
+            DynamicPSO(dim=2, rng=rng, n_particles=N_PARTICLES) for rng in rngs
+        ]
+        fleet = SwarmFleet(dim=2, n_particles=N_PARTICLES, params=DPSOParams())
+        for rng in seeded_rngs(16, base=9):
+            fleet.add_swarm(rng)
+        targets = np.linspace(0.1, 0.9, 16)
+        for i, solo in enumerate(solos):
+            solo.step(sphere_at(targets[i]), iterations=2)
+        fleet.step(np.arange(16), batch_spheres(targets), iterations=2)
+        assert fleet.capacity == 16
+
+        keep = [12, 13, 14, 15]
+        for i in range(12):
+            fleet.retire(i)
+        remap = fleet.compact()
+        slot = {i: remap.get(i, i) for i in keep}
+        assert sorted(slot.values()) == [0, 1, 2, 3]
+        assert fleet.capacity < 16  # occupancy watermark shrank the arrays
+        assert fleet.n_swarms == 4
+        for i in keep:
+            assert_swarm_equal(solos[i], fleet, slot[i])
+        # Moved swarms keep stepping bit-identically after the remap.
+        for i in keep:
+            solos[i].perceive(2.0, 9.0)
+            solos[i].step(sphere_at(targets[i]), iterations=3)
+            fleet.perceive(slot[i], 2.0, 9.0)
+        fleet.step(
+            [slot[i] for i in keep],
+            batch_spheres(targets[keep]),
+            iterations=3,
+        )
+        for i in keep:
+            assert_swarm_equal(solos[i], fleet, slot[i])
+
+    def test_compact_without_free_slots_is_noop(self):
+        _, fleet, _ = make_pairing()
+        assert fleet.compact() == {}
+        assert fleet.n_swarms == N_SWARMS
+
+    def test_archive_is_a_snapshot(self):
+        """Stepping other swarms (or reusing the slot) must not leak into
+        an existing archive."""
+        solos, fleet, targets = make_pairing()
+        archive = fleet.retire(0)
+        frozen = archive.positions.copy()
+        fleet.add_swarm(np.random.default_rng(999))  # reuses slot 0
+        fleet.step_one(0, sphere_at(0.5), iterations=2)
+        assert np.array_equal(archive.positions, frozen)
+
+    def test_retired_slot_guards(self):
+        _, fleet, targets = make_pairing()
+        fleet.retire(3)
+        with pytest.raises(IndexError, match="live"):
+            fleet.retire(3)
+        with pytest.raises(IndexError, match="live"):
+            fleet.perceive(3, 1.0, 1.0)
+        with pytest.raises(IndexError, match="live"):
+            fleet.step_one(3, sphere_at(0.5))
+        with pytest.raises(IndexError, match="live"):
+            fleet.step(np.array([0, 3]), batch_spheres(targets))
+        with pytest.raises(IndexError, match="live"):
+            fleet.gbest_position(3)
+        with pytest.raises(IndexError, match="live"):
+            fleet.rng_of(3)
+
+    def test_rehydrate_shape_mismatch_rejected(self):
+        _, fleet, _ = make_pairing()
+        archive = fleet.retire(0)
+        other = SwarmFleet(dim=2, n_particles=5, params=DPSOParams())
+        with pytest.raises(ValueError, match="does not match"):
+            other.rehydrate(archive)
+
+
 class TestFleetValidation:
     def test_duplicate_indices_rejected(self):
         _, fleet, targets = make_pairing()

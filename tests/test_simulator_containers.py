@@ -74,6 +74,43 @@ class TestWarmPool:
         with pytest.raises(ValueError):
             WarmPool(generation=Generation.NEW, capacity_gb=-1.0)
 
+    def test_ledger_exact_under_long_churn(self):
+        """The memory ledger must not drift: a running +=/-= ledger
+        accumulates rounding error over insert/remove churn (0.1, 0.3,
+        ... are not representable), which the old near-zero clamp only
+        hid. ``used_gb`` must equal the exact (fsum) sum of the current
+        members at every step, and exactly 0.0 whenever empty."""
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=64.0)
+        sizes = [0.1, 0.3, 0.7, 1.1, 0.9, 0.2]
+        live = {}
+        for step in range(5000):
+            name = f"f{step % 23}"
+            if name in live:
+                pool.remove(name)
+                del live[name]
+            else:
+                mem = sizes[step % len(sizes)]
+                pool.insert(_container(name, mem=mem))
+                live[name] = mem
+            assert pool.used_gb == math.fsum(live.values())
+            assert pool.free_gb == pool.capacity_gb - pool.used_gb
+        for name in list(live):
+            pool.remove(name)
+        assert pool.used_gb == 0.0
+        assert len(pool) == 0
+
+    def test_ledger_exact_at_capacity_boundary(self):
+        """Ten 0.1 GB inserts then removes: the drifting ledger answered
+        ``fits(0.5)`` wrong near the boundary; the exact one must accept
+        a container that exactly fills remaining capacity."""
+        pool = WarmPool(generation=Generation.NEW, capacity_gb=1.0)
+        for i in range(10):
+            pool.insert(_container(f"f{i}", mem=0.1))
+        for i in range(9):
+            pool.remove(f"f{i}")
+        assert pool.used_gb == 0.1
+        assert pool.fits(0.9)
+
 
 class TestWarmContainer:
     def test_remaining(self):

@@ -1,10 +1,12 @@
 """Record and result aggregation."""
 
+import numpy as np
 import pytest
 
 from repro.carbon.footprint import CarbonBreakdown
 from repro.hardware import Generation
 from repro.simulator import InvocationRecord, KeepAliveDecision, SimulationResult
+from repro.simulator.records import RecordArrays
 
 
 def _record(i=0, exec_s=1.0, cold=False, op=1.0, emb=0.5, location=Generation.NEW):
@@ -98,3 +100,71 @@ class TestSimulationResult:
         assert res.mean_service_s == 0.0
         assert res.warm_ratio == 0.0
         assert res.p95_service_s == 0.0
+
+    def test_summary_reports_dropped(self):
+        """Drops are charged ``evicted`` + ``dropped``; the report must
+        show the dropped count, not fold it into evicted."""
+        res = self._result()
+        text = res.summary()
+        assert "evicted / spilled   : 2 / 1" in text
+        assert "dropped keep-alives : 1" in text
+
+
+class TestRecordArrays:
+    def _columns(self, ra):
+        return {
+            f: getattr(ra, f)
+            for f in (
+                "t",
+                "service_s",
+                "carbon_g",
+                "energy_wh",
+                "keepalive_s",
+                "cold",
+                "location",
+                "func_name",
+            )
+        }
+
+    def test_empty_round_trip_preserves_dtype_and_shape(self, tmp_path):
+        """Zero-invocation scenarios produce degenerate (itemsize-0)
+        unicode columns on some numpy versions; persistence must
+        normalise them so the npz round trip is dtype/shape-equal."""
+        empty = SimulationResult(scheduler_name="e", records=[], horizon_s=0.0)
+        ra = RecordArrays.from_result(empty)
+        assert len(ra) == 0
+        assert ra.location.dtype.itemsize > 0
+        assert ra.func_name.dtype.itemsize > 0
+        path = tmp_path / "empty.npz"
+        ra.to_npz(path)
+        back = RecordArrays.from_npz(path)
+        for name, col in self._columns(ra).items():
+            loaded = getattr(back, name)
+            assert loaded.dtype == col.dtype, name
+            assert loaded.shape == col.shape, name
+            assert np.array_equal(loaded, col), name
+
+    def test_round_trip_nonempty(self, tmp_path):
+        records = [
+            InvocationRecord(
+                index=i,
+                t=float(i),
+                func_name=f"fn{i}",
+                mem_gb=0.5,
+                location=Generation.NEW if i % 2 else Generation.OLD,
+                cold=bool(i % 2),
+                setup_s=0.05,
+                cold_overhead_s=0.0,
+                exec_s=1.0 + i,
+                service_carbon=CarbonBreakdown(op_cpu=1.0),
+                service_energy_wh=2.0,
+            )
+            for i in range(3)
+        ]
+        res = SimulationResult(scheduler_name="t", records=records, horizon_s=9.0)
+        ra = res.record_arrays()
+        path = tmp_path / "r.npz"
+        ra.to_npz(path)
+        back = RecordArrays.from_npz(path)
+        for name, col in self._columns(ra).items():
+            assert np.array_equal(getattr(back, name), col), name
