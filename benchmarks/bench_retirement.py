@@ -40,11 +40,60 @@ import time
 
 from repro.carbon import CarbonIntensityTrace
 from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.core.arrival import ArrivalRegistry
+from repro.core.kdm import KeepAliveDecisionMaker
 from repro.hardware import PAIR_A
 from repro.simulator import SimulationConfig, SimulationEngine
 from repro.workloads.generators import WorkloadSpec, build_trace
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_sweep(n_live: int, repeats: int) -> dict:
+    """Micro-bench the KDM idle sweep's victim selection.
+
+    The ``max_live_swarms`` cap used to sort the whole live set by idle
+    time on every enforcing sweep (O(live log live)); the LRU-ordered
+    ``_last_seen`` index reads victims off the front instead. Two
+    measurements over a synthetic ledger of ``n_live`` touched
+    functions (no env/decisions involved -- the sweep only walks KDM
+    bookkeeping):
+
+    - ``scan``: a no-victim sweep (the steady-state case -- pure
+      O(live) idle filter);
+    - ``cap``: a cap-enforcing sweep retiring half the ledger (victim
+      selection + archival).
+    """
+    def fresh_kdm(**cfg_kw):
+        kdm = KeepAliveDecisionMaker(
+            None, EcoLifeConfig(**cfg_kw), ArrivalRegistry()
+        )
+        for i in range(n_live):
+            kdm._touch(f"fn-{i:06d}", float(i))
+        return kdm
+
+    scan_s = float("inf")
+    kdm = fresh_kdm(retire_after_s=1e9)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(50):
+            assert kdm.sweep(float(n_live)) == 0
+        scan_s = min(scan_s, (time.perf_counter() - t0) / 50)
+
+    cap_s = float("inf")
+    for _ in range(repeats):
+        kdm = fresh_kdm(max_live_swarms=n_live // 2)
+        t0 = time.perf_counter()
+        retired = kdm.sweep(float(n_live))
+        cap_s = min(cap_s, time.perf_counter() - t0)
+        assert retired == n_live // 2
+    return {
+        "n_live": n_live,
+        "scan_sweep_s": scan_s,
+        "scan_sweeps_per_s": 1.0 / scan_s if scan_s > 0 else float("inf"),
+        "cap_sweep_s": cap_s,
+        "cap_retired": n_live // 2,
+    }
 
 
 def replay(trace, config: EcoLifeConfig, repeats: int):
@@ -157,11 +206,13 @@ def main(argv=None) -> int:
             n_functions=80, hours=3.0, cohorts=4, retire_after_s=600.0,
             repeats=1,
         )
+        sweep_kw = dict(n_live=5_000, repeats=1)
     else:
         kw = dict(
             n_functions=240, hours=12.0, cohorts=6, retire_after_s=900.0,
             repeats=3,
         )
+        sweep_kw = dict(n_live=50_000, repeats=3)
 
     payload = {
         "bench": "retirement",
@@ -169,6 +220,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         **bench(**kw),
+        "sweep": bench_sweep(**sweep_kw),
     }
 
     out = pathlib.Path(args.out)
@@ -191,6 +243,13 @@ def main(argv=None) -> int:
         f"fleet slots end {m['fleet_capacity_end_on']} vs "
         f"{m['fleet_capacity_end_off']}, "
         f"{m['retired']} retired / {m['rehydrated']} rehydrated"
+    )
+    sw = payload["sweep"]
+    print(
+        f"sweep micro ({sw['n_live']} live): no-victim scan "
+        f"{sw['scan_sweep_s'] * 1e3:.2f} ms "
+        f"({sw['scan_sweeps_per_s']:.0f}/s), cap sweep retiring "
+        f"{sw['cap_retired']} in {sw['cap_sweep_s'] * 1e3:.1f} ms"
     )
     print(f"archived -> {out}")
 

@@ -1,14 +1,26 @@
 """Swarm-fleet benchmark: fused stepping vs per-function loops.
 
-Two measurements, both against the bit-identical sequential reference:
+Four measurements:
 
 1. **Step throughput** -- N live DPSO swarms advanced for one EcoLife
    decision (perceive + refresh + iterations) as N independent
-   ``DynamicPSO`` objects vs one ``SwarmFleet`` call. This isolates the
-   fused-kernel win (the ISSUE's >=2x acceptance gate at 50 functions).
-2. **End-to-end replay** -- a tick-quantised multi-function trace through
-   the full engine with ``batch_swarms`` on vs off, exercising the
-   same-tick ``keepalive_batch`` grouping path.
+   ``DynamicPSO`` objects vs one ``SwarmFleet`` call, against the
+   bit-identical sequential reference. This isolates the PR 2
+   fused-kernel win (>=2x acceptance gate at 50 functions).
+2. **Fully-fused step** -- 256 swarms against the *real* batched
+   objective (cost vectors + empirical arrivals): the PR 4 fused path
+   (stream RNG + per-function ``p_warm`` loop) vs the fully-fused path
+   (counter-based batched RNG + vectorised ``ArrivalBatch`` queries).
+   This isolates this PR's win: the last per-function Python loops
+   inside the fused step (>=2x additional gate at 256 swarms).
+3. **End-to-end replay** -- a tick-quantised multi-function trace
+   through the full engine with ``batch_swarms`` on vs off, exercising
+   the same-tick ``keepalive_batch`` grouping path (bit-identical).
+4. **Continuous-trace replay** -- a Poisson (non-quantised) trace with
+   ``decision_quantum_s`` on vs off. Decisions previously serialised on
+   such traces; the quantum groups nearby instants while the
+   completion-bounded flush keeps the replay bit-identical, so the
+   measured objective error must be exactly zero (asserted).
 
 Run directly (no pytest-benchmark dependency, so CI can invoke it as a
 plain script)::
@@ -16,8 +28,9 @@ plain script)::
     PYTHONPATH=src python benchmarks/bench_swarm.py --quick
 
 Results are printed and archived as JSON under
-``benchmarks/results/BENCH_swarm.json`` (uploaded as a CI artifact to
-accumulate the perf trajectory).
+``benchmarks/results/BENCH_swarm.json`` (plus the continuous-trace
+section standalone as ``BENCH_continuous.json``); both are uploaded as
+CI artifacts to accumulate the perf trajectory.
 """
 
 from __future__ import annotations
@@ -30,11 +43,17 @@ import time
 
 import numpy as np
 
-from repro.carbon import CarbonIntensityTrace
-from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.carbon import CarbonIntensityTrace, CarbonModel
+from repro.core import (
+    ArrivalEstimator,
+    EcoLifeConfig,
+    EcoLifeScheduler,
+    ObjectiveBuilder,
+)
 from repro.hardware import PAIR_A
 from repro.optimizers import DPSOParams, DynamicPSO, SwarmFleet
-from repro.simulator import SimulationConfig, SimulationEngine
+from repro.simulator import SimulationConfig, SimulationEngine, WarmPool
+from repro.simulator.scheduler import SchedulerEnv
 from repro.workloads import FunctionProfile, InvocationTrace
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -113,7 +132,111 @@ def bench_step_throughput(
 
 
 # ---------------------------------------------------------------------------
-# 2. End-to-end replay: batch_swarms on vs off.
+# 2. Fully-fused step: counter RNG + vectorised p_warm vs the PR 4 path.
+# ---------------------------------------------------------------------------
+
+
+def _bench_env() -> SchedulerEnv:
+    """A standalone SchedulerEnv (no engine) for objective construction."""
+    from repro.hardware.specs import GENERATIONS
+
+    sim = SimulationConfig()
+    trace = InvocationTrace.from_events([])
+    pools = {
+        g: WarmPool(generation=g, capacity_gb=sim.capacity(g))
+        for g in GENERATIONS
+    }
+    model = CarbonModel(trace=CarbonIntensityTrace.constant(250.0))
+    return SchedulerEnv(
+        pair=PAIR_A,
+        carbon_model=model,
+        energy_model=model.energy_model,
+        pools=pools,
+        trace=trace,
+        setup_delay_s=sim.setup_delay_s,
+        kmax_s=sim.kmax_s,
+        k_step_s=sim.k_step_s,
+    )
+
+
+def bench_fused_step(
+    n_swarms: int, decisions: int, iterations: int, repeats: int
+) -> dict:
+    """Fused decision rounds against the real batched objective.
+
+    The PR 4 leg is the fused step exactly as it shipped: stream-mode
+    per-swarm RNG draws (a Python loop over ``Generator.uniform``) and
+    the per-function ``p_warm``/``E[min(IAT, k)]`` query loop inside
+    ``batch_fitness``. The fused leg replaces both with batched kernels
+    (``rng_mode="counter"`` + ``ArrivalBatch``). Each round rebuilds the
+    fitness closure, as the KDM does per decision batch.
+    """
+    env = _bench_env()
+    builder = ObjectiveBuilder(env, EcoLifeConfig())
+    funcs = [
+        FunctionProfile(
+            name=f"f{i}",
+            mem_gb=0.3 + 0.05 * (i % 8),
+            exec_ref_s=0.8 + 0.1 * (i % 12),
+            cold_ref_s=0.6 + 0.05 * (i % 5),
+        )
+        for i in range(n_swarms)
+    ]
+    arrival_rng = np.random.default_rng(42)
+    arrivals = []
+    for i in range(n_swarms):
+        est = ArrivalEstimator()
+        t = 0.0
+        for gap in arrival_rng.exponential(60.0 + 5.0 * (i % 9), size=40):
+            t += float(gap)
+            est.observe(t)
+        arrivals.append(est)
+    ts = [3600.0 + float(i) for i in range(n_swarms)]
+
+    deltas = np.full(n_swarms, 1.0), np.full(n_swarms, 5.0)
+
+    def run(rng_mode: str, vectorise: bool) -> float:
+        fleet = SwarmFleet(
+            dim=2, n_particles=15, params=DPSOParams(), rng_mode=rng_mode
+        )
+        for i in range(n_swarms):
+            fleet.add_swarm(np.random.default_rng(i))
+        idx = np.arange(n_swarms)
+        fused = rng_mode == "counter"
+        t0 = time.perf_counter()
+        for _ in range(decisions):
+            if fused:
+                fleet.perceive_batch(idx, *deltas)
+            else:
+                # The PR 4 KDM perceived (and redistributed) per swarm.
+                for i in idx:
+                    fleet.perceive(int(i), 1.0, 5.0)
+            fit = builder.batch_fitness(
+                funcs, ts, arrivals, vectorise_arrivals=vectorise
+            )
+            fleet.step(idx, fit, iterations)
+        return time.perf_counter() - t0
+
+    pr4_s = fused_s = float("inf")
+    for _ in range(repeats):
+        pr4_s = min(pr4_s, run("stream", vectorise=False))
+        fused_s = min(fused_s, run("counter", vectorise=True))
+
+    steps = decisions * n_swarms
+    return {
+        "n_swarms": n_swarms,
+        "decisions": decisions,
+        "iterations_per_decision": iterations,
+        "pr4_s": pr4_s,
+        "fused_s": fused_s,
+        "pr4_decisions_per_s": steps / pr4_s,
+        "fused_decisions_per_s": steps / fused_s,
+        "fused_speedup": pr4_s / fused_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 3. End-to-end replay: batch_swarms on vs off.
 # ---------------------------------------------------------------------------
 
 
@@ -146,7 +269,11 @@ def bench_replay(n_funcs: int, n_ticks: int, repeats: int) -> dict:
             ),
         )
         t0 = time.perf_counter()
-        result = engine.run(EcoLifeScheduler(EcoLifeConfig(batch_swarms=flag)))
+        # Stream RNG pinned: the bench asserts on/off bit-identity,
+        # which is the stream contract.
+        result = engine.run(
+            EcoLifeScheduler(EcoLifeConfig(batch_swarms=flag, rng_mode="stream"))
+        )
         return time.perf_counter() - t0, result
 
     on_s = off_s = float("inf")
@@ -164,6 +291,99 @@ def bench_replay(n_funcs: int, n_ticks: int, repeats: int) -> dict:
         "batch_on_s": on_s,
         "batch_off_s": off_s,
         "speedup": off_s / on_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 4. Continuous-trace replay: decision_quantum_s on vs off.
+# ---------------------------------------------------------------------------
+
+
+def _continuous_trace(
+    n_funcs: int, horizon_s: float, mean_iat_s: float, seed: int = 11
+) -> InvocationTrace:
+    """Strictly continuous Poisson arrivals (no shared instants)."""
+    rng = np.random.default_rng(seed)
+    funcs = [
+        FunctionProfile(
+            name=f"f{i}",
+            mem_gb=0.4 + 0.1 * (i % 4),
+            exec_ref_s=1.0 + 0.25 * (i % 8),
+            cold_ref_s=0.8,
+        )
+        for i in range(n_funcs)
+    ]
+    events = []
+    for f in funcs:
+        t = float(rng.exponential(mean_iat_s))
+        while t < horizon_s:
+            events.append((t, f))
+            t += float(rng.exponential(mean_iat_s))
+    return InvocationTrace.from_events(events)
+
+
+def bench_continuous(
+    n_funcs: int, hours: float, mean_iat_s: float, quantum_s: float,
+    repeats: int,
+) -> dict:
+    """Quantum-grouped vs serialised decisions on a continuous trace.
+
+    Before this PR, non-quantised traces never hit ``keepalive_batch``
+    (no two arrivals share an instant), so every decision paid the
+    singleton path. The quantum groups nearby instants; the
+    completion-bounded flush keeps the replay bit-identical, so the
+    reported objective error must be exactly zero -- asserted here, a
+    fast-but-wrong grouping is not a result.
+    """
+    trace = _continuous_trace(n_funcs, hours * 3600.0, mean_iat_s)
+
+    def run(quantum: float):
+        engine = SimulationEngine(
+            pair=PAIR_A,
+            trace=trace,
+            ci_trace=CarbonIntensityTrace.constant(250.0),
+            config=SimulationConfig(
+                pool_capacity_old_gb=0.5 * n_funcs,
+                pool_capacity_new_gb=0.5 * n_funcs,
+                measure_decision_overhead=False,
+            ),
+        )
+        t0 = time.perf_counter()
+        result = engine.run(
+            EcoLifeScheduler(EcoLifeConfig(decision_quantum_s=quantum))
+        )
+        return time.perf_counter() - t0, result
+
+    on_s = off_s = float("inf")
+    on = off = None
+    for _ in range(repeats):
+        t, on = run(quantum_s)
+        on_s = min(on_s, t)
+        t, off = run(0.0)
+        off_s = min(off_s, t)
+
+    error = abs(on.total_carbon_g - off.total_carbon_g) / off.total_carbon_g
+    assert error == 0.0, (
+        f"quantum-grouped replay diverged: relative carbon error {error:.3e}"
+    )
+    changed = sum(
+        a.keepalive_decision != b.keepalive_decision
+        for a, b in zip(on.records, off.records)
+    )
+    assert changed == 0, f"{changed} decisions changed under the quantum"
+
+    return {
+        "n_functions": n_funcs,
+        "n_invocations": len(off.records),
+        "mean_iat_s": mean_iat_s,
+        "quantum_s": quantum_s,
+        "quantum_on_s": on_s,
+        "quantum_off_s": off_s,
+        "speedup": off_s / on_s,
+        # Exact by construction (completion-bounded flush); recorded so
+        # the gate artifact documents the bound that was checked.
+        "objective_error_carbon": error,
+        "decisions_changed": changed,
     }
 
 
@@ -186,25 +406,47 @@ def main(argv=None) -> int:
 
     if args.quick:
         step_kw = dict(n_swarms=50, decisions=20, iterations=8, repeats=1)
+        fused_kw = dict(n_swarms=256, decisions=8, iterations=8, repeats=1)
         replay_kw = dict(n_funcs=50, n_ticks=20, repeats=1)
+        cont_kw = dict(
+            n_funcs=48, hours=0.5, mean_iat_s=20.0, quantum_s=30.0, repeats=1
+        )
     else:
         step_kw = dict(n_swarms=50, decisions=100, iterations=8, repeats=3)
+        fused_kw = dict(n_swarms=256, decisions=30, iterations=8, repeats=3)
         replay_kw = dict(n_funcs=50, n_ticks=60, repeats=3)
+        cont_kw = dict(
+            n_funcs=48, hours=2.0, mean_iat_s=20.0, quantum_s=30.0, repeats=3
+        )
 
     step = bench_step_throughput(**step_kw)
+    fused = bench_fused_step(**fused_kw)
     replay = bench_replay(**replay_kw)
+    continuous = bench_continuous(**cont_kw)
     payload = {
         "bench": "swarm",
         "quick": args.quick,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "step_throughput": step,
+        "fused_step": fused,
         "replay": replay,
+        "continuous": continuous,
     }
 
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # The continuous-trace section also ships standalone (CI artifact).
+    cont_out = out.parent / "BENCH_continuous.json"
+    cont_out.write_text(
+        json.dumps(
+            {"bench": "continuous", "quick": args.quick, **continuous},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
     print(
         f"step throughput ({step['n_swarms']} swarms): "
@@ -213,12 +455,28 @@ def main(argv=None) -> int:
         f"-> {step['speedup']:.2f}x"
     )
     print(
+        f"fused step ({fused['n_swarms']} swarms, real objective): "
+        f"pr4 {fused['pr4_decisions_per_s']:.0f} dec/s, "
+        f"counter+vectorised {fused['fused_decisions_per_s']:.0f} dec/s "
+        f"-> {fused['fused_speedup']:.2f}x additional"
+    )
+    print(
         f"replay ({replay['n_functions']} funcs, "
         f"{replay['n_invocations']} invocations): "
         f"off {replay['batch_off_s']:.2f}s, on {replay['batch_on_s']:.2f}s "
         f"-> {replay['speedup']:.2f}x"
     )
-    print(f"archived -> {out}")
+    print(
+        f"continuous replay ({continuous['n_functions']} funcs, "
+        f"{continuous['n_invocations']} invocations, "
+        f"quantum {continuous['quantum_s']:g}s): "
+        f"off {continuous['quantum_off_s']:.2f}s, "
+        f"on {continuous['quantum_on_s']:.2f}s "
+        f"-> {continuous['speedup']:.2f}x "
+        f"(objective error {continuous['objective_error_carbon']:.1e}, "
+        f"bit-identical)"
+    )
+    print(f"archived -> {out} (+ {cont_out})")
     return 0
 
 

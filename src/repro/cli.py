@@ -60,7 +60,13 @@ def _cmd_simulate(args) -> int:
     from repro.core import EcoLifeConfig, EcoLifeScheduler
     from repro.experiments import default_scenario, run_scheduler
 
-    config = EcoLifeConfig(seed=args.seed, batch_swarms=not args.no_batch_swarms)
+    config = EcoLifeConfig(
+        seed=args.seed,
+        batch_swarms=not args.no_batch_swarms,
+        decision_quantum_s=args.decision_quantum,
+        # None = keep the env-driven default (ECOLIFE_RNG_MODE).
+        **({"rng_mode": args.rng_mode} if args.rng_mode else {}),
+    )
     factories = {
         "ecolife": lambda: EcoLifeScheduler(config),
         "ecolife-no-dpso": lambda: EcoLifeScheduler.without_dpso(config),
@@ -258,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch-swarms", action="store_true",
         help="force the sequential per-function DPSO path "
         "(bit-identical results; for debugging/benchmarks)",
+    )
+    sim_p.add_argument(
+        "--rng-mode", choices=["stream", "counter"],
+        default=None,
+        help="fleet RNG: 'stream' = per-swarm Generator streams "
+        "(bit-identical to the sequential path), 'counter' = batched "
+        "Philox counter draws (self-consistent, fastest; default "
+        "honours ECOLIFE_RNG_MODE)",
+    )
+    sim_p.add_argument(
+        "--decision-quantum", type=float, default=0.0,
+        help="group continuous-trace decisions into shared ticks of "
+        "this many seconds (0 = off; accuracy knob, see docs)",
     )
 
     sweep_p = sub.add_parser(

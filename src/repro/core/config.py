@@ -33,6 +33,17 @@ def batch_swarms_default() -> bool:
     )
 
 
+def rng_mode_default() -> str:
+    """Default for :attr:`EcoLifeConfig.rng_mode`.
+
+    Reads the ``ECOLIFE_RNG_MODE`` environment variable (``stream`` or
+    ``counter``) so a CI matrix leg can drive the whole suite through
+    the counter-based batched RNG without code changes. Unset means
+    ``stream`` -- the sequential-reference contract.
+    """
+    return os.environ.get("ECOLIFE_RNG_MODE", "stream").strip().lower() or "stream"
+
+
 class OptimizerKind(enum.Enum):
     """Which meta-heuristic drives the KDM."""
 
@@ -98,6 +109,31 @@ class EcoLifeConfig:
     #: ``ECOLIFE_BATCH_SWARMS`` environment knob; see
     #: :func:`batch_swarms_default`).
     batch_swarms: bool = field(default_factory=batch_swarms_default)
+    #: Which RNG feeds the fleet's per-iteration draws. ``"stream"``
+    #: (default) keeps per-swarm ``np.random.Generator`` streams and the
+    #: bit-identity contract with the sequential per-function path.
+    #: ``"counter"`` switches the fleet to the counter-based batched RNG
+    #: (vectorised Philox keyed by each swarm's private ``(key, step)``
+    #: counters): all swarms' ``r1``/``r2`` come out of one fused kernel,
+    #: trading the stream contract for a *self-consistent* one -- results
+    #: differ from ``"stream"`` but are deterministic and independent of
+    #: batch composition, slot placement, and retire/rehydrate/compact.
+    #: Only the fleet path reads this knob; the sequential/GA/SA paths
+    #: always use their own streams. Default honours ``ECOLIFE_RNG_MODE``.
+    rng_mode: str = field(default_factory=rng_mode_default)
+    #: Group continuous-trace decision instants into shared ticks of this
+    #: many seconds so ``decide_batch`` fires on non-quantised traces too
+    #: (0 = off, the default: only exactly-simultaneous arrivals batch).
+    #: Replays stay *bit-identical* at any width: placements run one
+    #: arrival at a time against fully drained pool state, every decision
+    #: is evaluated at its own instant, and a group additionally closes
+    #: before any arrival reaches its earliest staged completion time --
+    #: which keeps the engine's event ordering exactly sequential. The
+    #: knob therefore only bounds how far ahead the engine looks for
+    #: batchable arrivals; the effective batch width is capped by the
+    #: arrival density within one in-flight service time (measured by
+    #: ``benchmarks/bench_swarm.py``; see ``docs/optimizers.md``).
+    decision_quantum_s: float = 0.0
     # State retirement under function churn (both default off = today's
     # unbounded per-function state). Retirement archives a function's
     # optimizer/swarm state (including its RNG stream state), arrival
@@ -115,6 +151,18 @@ class EcoLifeConfig:
     #: every decision round (classic LRU behaviour when capacity <
     #: working set), costing replay throughput. ``None`` = uncapped.
     max_live_swarms: int | None = None
+    #: Spill retired-function archives (swarm rows + RNG state) to disk
+    #: under this directory once more than ``spill_archives_after`` sit
+    #: in memory. ``None`` (default) keeps every archive in memory.
+    #: Spilled archives are pickled :class:`~repro.core.kdm.
+    #: RetiredFunction` records; rehydration reads them back
+    #: bit-identically, so the knob only bounds resident memory for
+    #: truly unbounded tenant counts. Arrival estimators stay in memory
+    #: either way -- the warm-pool adjuster may peek at a retired
+    #: function's history without rehydrating it.
+    spill_dir: str | None = None
+    #: In-memory archive count that triggers spilling (oldest first).
+    spill_archives_after: int = 256
     # Determinism.
     seed: int = 2024
 
@@ -137,6 +185,14 @@ class EcoLifeConfig:
             raise ValueError("retire_after_s must be > 0 (or None)")
         if self.max_live_swarms is not None and self.max_live_swarms < 1:
             raise ValueError("max_live_swarms must be >= 1 (or None)")
+        if self.rng_mode not in ("stream", "counter"):
+            raise ValueError(
+                f"rng_mode must be 'stream' or 'counter', got {self.rng_mode!r}"
+            )
+        if self.decision_quantum_s < 0.0:
+            raise ValueError("decision_quantum_s must be >= 0")
+        if self.spill_archives_after < 0:
+            raise ValueError("spill_archives_after must be >= 0")
 
     @property
     def retirement_enabled(self) -> bool:
@@ -165,11 +221,23 @@ class EcoLifeConfig:
         self,
         retire_after_s: float | None = None,
         max_live_swarms: int | None = None,
+        spill_dir: str | None = None,
+        spill_archives_after: int = 256,
     ) -> "EcoLifeConfig":
         """Bounded-state EcoLife: idle-sweep retirement of per-function
-        scheduler state (bit-identical to the unbounded default)."""
+        scheduler state (bit-identical to the unbounded default),
+        optionally spilling archives to disk past an in-memory count.
+
+        Replaces the *whole* retirement/spill block: every knob not
+        passed reverts to its default (idle retirement off, cap off,
+        spill off, 256 resident archives) -- the helper describes a
+        complete retirement policy, it does not merge with one already
+        set on ``self``.
+        """
         return replace(
             self,
             retire_after_s=retire_after_s,
             max_live_swarms=max_live_swarms,
+            spill_dir=spill_dir,
+            spill_archives_after=spill_archives_after,
         )

@@ -32,6 +32,7 @@ they bound memory without changing a single decision.
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from dataclasses import dataclass
 from typing import Sequence
@@ -41,6 +42,7 @@ import numpy as np
 from repro.core.arrival import ArrivalRegistry
 from repro.core.config import EcoLifeConfig, OptimizerKind
 from repro.core.objective import ObjectiveBuilder
+from repro.core.spill import ArchiveSpill
 from repro.optimizers.annealing import SimulatedAnnealing
 from repro.optimizers.batch import SwarmArchive, SwarmFleet
 from repro.optimizers.dynamic_pso import DynamicPSO
@@ -106,11 +108,19 @@ class KeepAliveDecisionMaker:
         self._slots: dict[str, int] = {}
         # State retirement (config.retire_after_s / max_live_swarms):
         # idle functions are swept into compact archives and rehydrated
-        # bit-identically on their next appearance.
+        # bit-identically on their next appearance. ``_last_seen`` is
+        # kept in least-recently-touched order (every touch moves the
+        # name to the end), so sweeps read their victims off the front
+        # instead of sorting the whole live set.
         self._retirement = config.retirement_enabled
         self._archives: dict[str, RetiredFunction] = {}
         self._last_seen: dict[str, float] = {}
         self._next_sweep_t = float("-inf")
+        self._spill = (
+            ArchiveSpill(config.spill_dir)
+            if self._retirement and config.spill_dir is not None
+            else None
+        )
         self.retired = 0
         self.rehydrated = 0
         self.peak_live = 0
@@ -150,7 +160,7 @@ class KeepAliveDecisionMaker:
     def optimizer_for(self, name: str):
         opt = self._optimizers.get(name)
         if opt is None:
-            if name in self._archives:
+            if self._has_archive(name):
                 self._rehydrate(name)
                 opt = self._optimizers.get(name)
             if opt is None:
@@ -171,7 +181,10 @@ class KeepAliveDecisionMaker:
             cfg = self.config
             if cfg.use_dynamic_pso:
                 self._fleet = SwarmFleet(
-                    dim=2, n_particles=cfg.n_particles, params=cfg.dpso
+                    dim=2,
+                    n_particles=cfg.n_particles,
+                    params=cfg.dpso,
+                    rng_mode=cfg.rng_mode,
                 )
             else:
                 self._fleet = SwarmFleet(
@@ -180,6 +193,7 @@ class KeepAliveDecisionMaker:
                     omega=cfg.vanilla_omega,
                     c1=cfg.vanilla_c,
                     c2=cfg.vanilla_c,
+                    rng_mode=cfg.rng_mode,
                 )
         return self._fleet
 
@@ -192,7 +206,7 @@ class KeepAliveDecisionMaker:
         """
         slot = self._slots.get(name)
         if slot is None:
-            if name in self._archives:
+            if self._has_archive(name):
                 self._rehydrate(name)
                 slot = self._slots.get(name)
             if slot is None:
@@ -211,7 +225,19 @@ class KeepAliveDecisionMaker:
 
     @property
     def archived_count(self) -> int:
-        return len(self._archives)
+        """Archived functions, in memory and spilled to disk combined."""
+        spilled = len(self._spill) if self._spill is not None else 0
+        return len(self._archives) + spilled
+
+    @property
+    def spilled_count(self) -> int:
+        """Archives currently resident on disk rather than in memory."""
+        return len(self._spill) if self._spill is not None else 0
+
+    def _has_archive(self, name: str) -> bool:
+        return name in self._archives or (
+            self._spill is not None and name in self._spill
+        )
 
     @property
     def fleet_capacity(self) -> int:
@@ -228,7 +254,7 @@ class KeepAliveDecisionMaker:
         """
         if not self._retirement:
             return
-        if name in self._archives:
+        if self._has_archive(name):
             self._rehydrate(name)
         self._touch(name, t)
 
@@ -258,9 +284,17 @@ class KeepAliveDecisionMaker:
         """Retire idle functions; returns how many were archived.
 
         Policy: everything idle longer than ``retire_after_s`` goes;
-        then, if still above ``max_live_swarms``, the longest-idle
-        functions go until the cap holds. The fleet is compacted after a
-        non-empty sweep (slot remaps are applied to the registry).
+        then, if still above ``max_live_swarms``, the least-recently
+        touched functions go until the cap holds. ``_last_seen`` is
+        maintained in touch-recency order (:meth:`_touch` re-inserts at
+        the end), so the cap's victims are simply the first surviving
+        entries -- no O(live log live) sort. Touch recency can lag
+        strict ``last_seen`` order by at most one in-flight service
+        time (decisions land at ``t_end``, out of arrival order), which
+        may shuffle victim *selection* at the margin but can never
+        change a decision: retire/rehydrate is an identity. The fleet
+        is compacted after a non-empty sweep (slot remaps are applied
+        to the registry).
         """
         cfg = self.config
         victims: list[str] = []
@@ -272,10 +306,8 @@ class KeepAliveDecisionMaker:
         if cfg.max_live_swarms is not None:
             excess = len(self._last_seen) - len(victims) - cfg.max_live_swarms
             if excess > 0:
-                idle_order = sorted(
-                    (t, n) for n, t in self._last_seen.items() if n not in chosen
-                )
-                victims.extend(n for _, n in idle_order[:excess])
+                lru = (n for n in self._last_seen if n not in chosen)
+                victims.extend(itertools.islice(lru, excess))
         for name in victims:
             self._retire(name)
         if victims and self._fleet is not None:
@@ -303,9 +335,27 @@ class KeepAliveDecisionMaker:
             last_seen=self._last_seen.pop(name),
         )
         self.retired += 1
+        self._maybe_spill()
+
+    def _maybe_spill(self) -> None:
+        """Move the oldest in-memory archives to disk past the cap.
+
+        Archives are retired oldest-first, so dict insertion order *is*
+        retirement order and the front entries are the least likely to
+        rehydrate soon. Records round-trip through pickle losslessly,
+        so spilling never changes a decision.
+        """
+        if self._spill is None:
+            return
+        cap = self.config.spill_archives_after
+        while len(self._archives) > cap:
+            oldest = next(iter(self._archives))
+            self._spill.put(oldest, self._archives.pop(oldest))
 
     def _rehydrate(self, name: str) -> None:
-        arch = self._archives.pop(name)
+        arch = self._archives.pop(name, None)
+        if arch is None:
+            arch = self._spill.take(name)
         self.arrivals.revive(name)
         if arch.last_ci is not None:
             self._last_ci[name] = arch.last_ci
@@ -319,9 +369,13 @@ class KeepAliveDecisionMaker:
         self.rehydrated += 1
 
     def _touch(self, name: str, t: float) -> None:
-        """Record activity for the idle sweep (and the peak-live gauge)."""
-        prev = self._last_seen.get(name)
-        self._last_seen[name] = t if prev is None else max(prev, t)
+        """Record activity for the idle sweep (and the peak-live gauge).
+
+        Re-inserting at the end keeps ``_last_seen`` in touch-recency
+        order -- the LRU index :meth:`sweep` reads its cap victims from.
+        """
+        prev = self._last_seen.pop(name, None)
+        self._last_seen[name] = t if prev is None or t > prev else prev
         live = len(self._last_seen)
         if live > self.peak_live:
             self.peak_live = live
@@ -398,16 +452,22 @@ class KeepAliveDecisionMaker:
         indices = [self._slot_for(func.name) for func, _ in batch]
 
         dynamic = self.config.use_dynamic_pso
-        for (func, t), slot in zip(batch, indices):
+        deltas_f: list[float] = []
+        deltas_ci: list[float] = []
+        for func, t in batch:
             ci = self.env.ci_at(t)
             rate = self.env.rate_per_minute(t)
             if dynamic:
-                delta_ci = abs(ci - self._last_ci.get(func.name, ci))
-                delta_f = abs(rate - self._last_rate.get(func.name, rate))
-                if fleet.perceive(slot, delta_f, delta_ci):
-                    self.redistributions += 1
+                deltas_ci.append(abs(ci - self._last_ci.get(func.name, ci)))
+                deltas_f.append(abs(rate - self._last_rate.get(func.name, rate)))
             self._last_ci[func.name] = ci
             self._last_rate[func.name] = rate
+        if dynamic:
+            # One fused perception pass (weight math vectorised for the
+            # whole batch; counter mode also fuses the redistribution
+            # draws -- bit-identical to per-swarm perceive either way).
+            fired = fleet.perceive_batch(indices, deltas_f, deltas_ci)
+            self.redistributions += int(fired.sum())
 
         iterations = self.config.iterations_per_invocation
         if len(batch) == 1:

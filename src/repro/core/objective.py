@@ -27,7 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import units
-from repro.core.arrival import ArrivalEstimator
+from repro.core.arrival import ArrivalBatch, ArrivalEstimator
 from repro.core.config import EcoLifeConfig, KeepAliveExpectation
 from repro.hardware.specs import Generation
 from repro.optimizers.base import FitnessFn
@@ -356,6 +356,7 @@ class ObjectiveBuilder:
         funcs: Sequence[FunctionProfile],
         ts: Sequence[float],
         arrivals: Sequence[ArrivalEstimator],
+        vectorise_arrivals: bool = True,
     ) -> BatchFitnessFn:
         """Build one objective scoring several functions' swarms at once.
 
@@ -367,50 +368,80 @@ class ObjectiveBuilder:
         gathers, so each element's float arithmetic is identical to the
         per-function closure from :meth:`fitness` -- the bit-equivalence
         the :class:`~repro.optimizers.batch.SwarmFleet` contract relies
-        on. Only the empirical arrival queries loop per function (each
-        estimator owns a differently-sized history).
+        on. The empirical arrival queries evaluate through an inf-padded
+        :class:`~repro.core.arrival.ArrivalBatch` (one vectorised
+        ECDF/quantile kernel for the whole batch, bit-identical to the
+        scalar estimators); ``vectorise_arrivals=False`` keeps the
+        per-function query loop as the equivalence reference for tests
+        and benchmarks.
         """
         cfg = self.config
         s = len(funcs)
         if not (s == len(ts) == len(arrivals)):
             raise ValueError("funcs, ts and arrivals must have equal length")
 
-        ci = np.empty(s)
+        # Per-function scalars. The CI lookups are vectorised trace
+        # queries; the normaliser loop is memoised dict lookups (cheap,
+        # and the cache keys are per-function anyway).
+        ci = np.asarray(self.env.ci_at_many(ts), dtype=float)
+        ci_ref = self.env.ci_max_observed_many(ts)
         s_max = np.empty(s)
         sc_max = np.empty(s)
         kc_max = np.empty(s)
-        s_cold = np.empty(s)
-        sc_cold = np.empty(s)
-        for i, (func, t) in enumerate(zip(funcs, ts)):
-            ci[i] = self.env.ci_at(t)
-            ci_ref = max(self.env.ci_max_observed(t), 1e-9)
-            s_max[i], sc_max[i], kc_max[i] = self.costs.normalisers(func, ci_ref)
-            _, s_cold[i], sc_cold[i] = self.costs.best_cold(func, float(ci[i]))
+        cold_s_max = np.empty(s)
+        cold_sc_max = np.empty(s)
+        for i, func in enumerate(funcs):
+            s_max[i], sc_max[i], kc_max[i] = self.costs.normalisers(
+                func, max(float(ci_ref[i]), 1e-9)
+            )
+            # best_cold normalises at the *current* intensity.
+            cold_s_max[i], cold_sc_max[i], _ = self.costs.normalisers(
+                func, max(float(ci[i]), 1e-12)
+            )
 
         vectors = self.costs.stacked_vectors(funcs)
         ci_col = ci[:, None]
         s_warm = vectors.s_warm  # (s, n_loc)
         sc_warm = vectors.sc_warm(ci_col)
         ka_rate = vectors.ka_rate(ci_col)
+
+        # The EPDM's cold fallback for all functions at once -- the same
+        # expression CostModel.best_cold evaluates per function, with
+        # per-function scalars as columns (elementwise float-identical).
+        sc_cold_all = vectors.sc_cold(ci_col)
+        cold_scores = (
+            cfg.lambda_s * vectors.s_cold / cold_s_max[:, None]
+            + cfg.lambda_c * sc_cold_all / cold_sc_max[:, None]
+        )
+        best = np.argmin(cold_scores, axis=1)  # first-index ties, as argmin()
+        r = np.arange(s)
+        s_cold = vectors.s_cold[r, best][:, None]
+        sc_cold = sc_cold_all[r, best][:, None]
+
         s_max = s_max[:, None]
         sc_max = sc_max[:, None]
         kc_max = kc_max[:, None]
-        s_cold = s_cold[:, None]
-        sc_cold = sc_cold[:, None]
         expected_mode = cfg.keepalive_expectation is KeepAliveExpectation.EXPECTED_MIN
         rows = np.arange(s)[:, None]
+        batch_arrivals = ArrivalBatch(arrivals) if vectorise_arrivals else None
 
         def batch_fn(x: np.ndarray) -> np.ndarray:
             x = np.asarray(x, dtype=float)
             loc = self.decode_locations(x[..., 0])  # (s, r)
             k = self.decode_k(x[..., 1])
-            p = np.empty_like(k)
-            ka_duration = np.empty_like(k)
-            for i, arrival in enumerate(arrivals):
-                p[i] = arrival.p_warm(k[i])
-                ka_duration[i] = (
-                    arrival.expected_keepalive_s(k[i]) if expected_mode else k[i]
+            if batch_arrivals is not None:
+                p = batch_arrivals.p_warm(k)
+                ka_duration = (
+                    batch_arrivals.expected_keepalive_s(k) if expected_mode else k
                 )
+            else:
+                p = np.empty_like(k)
+                ka_duration = np.empty_like(k)
+                for i, arrival in enumerate(arrivals):
+                    p[i] = arrival.p_warm(k[i])
+                    ka_duration[i] = (
+                        arrival.expected_keepalive_s(k[i]) if expected_mode else k[i]
+                    )
 
             e_s = p * s_warm[rows, loc] + (1.0 - p) * s_cold
             e_sc = p * sc_warm[rows, loc] + (1.0 - p) * sc_cold

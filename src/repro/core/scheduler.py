@@ -52,6 +52,13 @@ class EcoLifeScheduler(BaseScheduler):
         self.supports_keepalive_batch = (
             self.config.batch_swarms and self.config.optimizer is OptimizerKind.PSO
         )
+        # Cross-tick batching on continuous traces (accuracy knob);
+        # meaningless without the batch path.
+        self.decision_quantum_s = (
+            self.config.decision_quantum_s
+            if self.supports_keepalive_batch
+            else 0.0
+        )
         # Expiry notifications drive KDM retirement sweeps during quiet
         # periods (no decision traffic); pointless without retirement.
         self.wants_expiry_events = self.config.retirement_enabled

@@ -1,0 +1,92 @@
+"""Disk spill store for retired per-function scheduler state.
+
+The KDM's state-retirement sweep (PR 4) bounds *live* memory, but the
+archive shelf itself still grows with the ever-seen cohort: one
+:class:`~repro.core.kdm.RetiredFunction` -- swarm rows, RNG stream
+state, perception scalars -- per dormant function. Long multi-tenant
+runs with millions of tenants want those archives out of resident
+memory entirely.
+
+:class:`ArchiveSpill` is the smallest store that does that: pickled
+records in a flat directory, one file per archived function, with the
+name -> path map held in memory (a few dozen bytes per dormant
+function instead of kilobytes of swarm arrays). Records round-trip
+losslessly -- numpy arrays, RNG bit-generator state dicts, and counter
+keys all pickle exactly -- so rehydrating from disk is bit-identical to
+rehydrating from memory (``tests/test_retirement.py`` asserts this end
+to end against a never-spilled replay).
+
+Files use sequential names rather than the function name: function
+names are workload-controlled strings and must not reach the
+filesystem namespace (length limits, separators, case-folding
+collisions). Each store instance writes into its own unique
+subdirectory of ``root`` (``mkdtemp``), so several schedulers pointed
+at one ``spill_dir`` -- e.g. sweep workers sharing an
+:class:`~repro.core.config.EcoLifeConfig` -- can never clobber or
+cross-read each other's records. The subdirectory is removed when the
+store is garbage-collected with no spilled records left; a store
+abandoned mid-run (crash) leaves its directory behind for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import shutil
+import tempfile
+
+
+class ArchiveSpill:
+    """Pickle-per-record spill directory with an in-memory name index."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        base = pathlib.Path(root)
+        base.mkdir(parents=True, exist_ok=True)
+        self.root = pathlib.Path(tempfile.mkdtemp(prefix="kdm-", dir=base))
+        self._paths: dict[str, pathlib.Path] = {}
+        self._seq = 0
+        #: Lifetime gauges (memory-bounds telemetry).
+        self.spilled = 0
+        self.loaded = 0
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._paths
+
+    def put(self, name: str, record: object) -> None:
+        """Spill one record; replaces any previous spill of ``name``."""
+        old = self._paths.pop(name, None)
+        if old is not None:
+            old.unlink(missing_ok=True)
+        path = self.root / f"archive-{self._seq:08d}.pkl"
+        self._seq += 1
+        with open(path, "wb") as fh:
+            pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self._paths[name] = path
+        self.spilled += 1
+
+    def take(self, name: str) -> object:
+        """Load one record back and remove it from the store.
+
+        Raises ``KeyError`` for names that were never spilled (callers
+        check membership first -- the in-memory shelf is consulted before
+        the spill store).
+        """
+        path = self._paths.pop(name)
+        with open(path, "rb") as fh:
+            record = pickle.load(fh)
+        path.unlink(missing_ok=True)
+        self.loaded += 1
+        return record
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if not self._paths:
+                shutil.rmtree(self.root, ignore_errors=True)
+        except Exception:
+            # Interpreter shutdown may have torn down globals already;
+            # an undeleted empty spill subdirectory is harmless.
+            pass

@@ -456,11 +456,31 @@ class ResultCache:
             self.VERSION,
             job.scenario_label,
             job.scheduler,
-            repr(job.config) if job.config is not None else "default",
+            repr(job.config) if job.config is not None else self._default_token(),
         ]
         if job.scenario is not None:
             parts.append(repr(job.scenario.sim_config))
         return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _default_token() -> str:
+        """Cache token for ``config=None`` jobs.
+
+        The default config is partly environment-driven. Under stream
+        RNG every env knob is bit-identical by contract (the
+        ``ECOLIFE_BATCH_SWARMS`` legs share entries), so the historical
+        ``default`` token stays -- existing caches remain valid. Under
+        ``ECOLIFE_RNG_MODE=counter`` results depend on the resolved
+        defaults themselves (counter draws apply only to the fleet path,
+        so even the batch legs differ); the token is then the fully
+        resolved default-config repr, exactly as explicit-config jobs
+        are keyed.
+        """
+        from repro.core.config import EcoLifeConfig, rng_mode_default
+
+        if rng_mode_default() == "stream":
+            return "default"
+        return repr(EcoLifeConfig())
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.json"

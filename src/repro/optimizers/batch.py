@@ -41,6 +41,23 @@ snapshots a swarm (rows + RNG bit-generator state) into a
 :meth:`SwarmFleet.compact` swap-with-last-packs live slots and shrinks
 the backing arrays when occupancy drops below a watermark. The
 equivalence contract extends across retire/rehydrate round trips.
+
+**RNG modes.** ``rng_mode="stream"`` (the default) is the contract
+above: per-swarm ``np.random.Generator`` streams, bit-identical to the
+sequential optimizers -- at the cost of one Python-level ``uniform``
+call per swarm per iteration inside the fused step.
+``rng_mode="counter"`` replaces those per-swarm draws with a
+counter-based batched RNG (:mod:`repro.optimizers.counter_rng`,
+vectorised Philox4x32-10): every ``r1``/``r2``/redistribution value is a
+pure function of the swarm's private ``(key, step)`` counters, so the
+draws for the whole batch come out of one broadcast kernel. Counter mode
+is a *different, opt-in equivalence contract*: it is NOT bit-identical
+to the stream mode or the sequential optimizers, but it is
+**self-consistent** -- a swarm's trajectory depends only on its own
+``(key, step)`` history, never on batch composition (``step`` vs
+``step_one`` vs any subset grouping) nor on slot placement, and the
+counters ride along in :class:`SwarmArchive`, so retire/rehydrate/
+compact remain exact identities (``tests/test_rng_counter.py``).
 """
 
 from __future__ import annotations
@@ -50,8 +67,15 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.optimizers import counter_rng
 from repro.optimizers.base import clip_box
 from repro.optimizers.dynamic_pso import DPSOParams
+
+#: Draw-kind namespaces within one counter step (``rng_mode="counter"``).
+#: An iteration consumes one step drawing from block 0; a redistribution
+#: consumes one step drawing from block 1.
+_BLOCK_ITERATE = 0
+_BLOCK_REDISTRIBUTE = 1
 
 #: Batched objective: (n_active, rows, dim) positions -> (n_active, rows)
 #: scores, lower is better. Row order follows the ``indices`` passed to
@@ -87,6 +111,10 @@ class SwarmArchive:
     last_perception: float
     #: ``rng.bit_generator.state`` -- includes the bit-generator class name.
     bit_generator_state: dict
+    #: Counter-RNG state (``rng_mode="counter"``): the swarm's private
+    #: Philox key and its draw-event counter. Zero under stream mode.
+    ctr_key: int = 0
+    ctr_step: int = 0
 
 
 class SwarmFleet:
@@ -103,7 +131,17 @@ class SwarmFleet:
     best scores, no perception-response), mirroring
     ``ParticleSwarm(rescore_bests=False)``; passing :class:`DPSOParams`
     gives the DPSO fleet (re-scored bests, :meth:`perceive`).
+
+    ``rng_mode`` selects the per-iteration draw source: ``"stream"``
+    (per-swarm ``Generator`` streams, bit-identical to the sequential
+    optimizers) or ``"counter"`` (batched Philox draws keyed by the
+    swarm's private ``(key, step)`` counters -- see the module
+    docstring's equivalence notes). Initial positions/velocities always
+    come from the ``add_swarm`` stream so a swarm's starting point is
+    mode-independent.
     """
+
+    RNG_MODES = ("stream", "counter")
 
     def __init__(
         self,
@@ -114,6 +152,7 @@ class SwarmFleet:
         omega: float = 0.7,
         c1: float = 1.4,
         c2: float = 1.4,
+        rng_mode: str = "stream",
     ) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be > 0, got {dim}")
@@ -121,7 +160,12 @@ class SwarmFleet:
             raise ValueError("need at least 2 particles")
         if not 0.0 < vmax <= 1.0:
             raise ValueError("vmax must be in (0, 1]")
+        if rng_mode not in self.RNG_MODES:
+            raise ValueError(
+                f"rng_mode must be one of {self.RNG_MODES}, got {rng_mode!r}"
+            )
         self.dim = dim
+        self.rng_mode = rng_mode
         self.n_particles = n_particles
         self.vmax = vmax
         self.params = params
@@ -166,6 +210,9 @@ class SwarmFleet:
         "_dci_max": lambda c, n, d: np.zeros(c),
         "last_perception": lambda c, n, d: np.zeros(c),
         "_live": lambda c, n, d: np.zeros(c, dtype=bool),
+        # Counter-RNG state (zeros under stream mode; cheap to carry).
+        "_ctr_key": lambda c, n, d: np.zeros(c, dtype=np.uint64),
+        "_ctr_step": lambda c, n, d: np.zeros(c, dtype=np.uint64),
     }
 
     def _alloc(self, capacity: int) -> None:
@@ -233,6 +280,13 @@ class SwarmFleet:
         n, d = self.n_particles, self.dim
         self.positions[i] = rng.uniform(0.0, 1.0, size=(n, d))
         self.velocities[i] = rng.uniform(-self.vmax, self.vmax, size=(n, d))
+        if self.rng_mode == "counter":
+            # The swarm's private Philox key comes from the same stable
+            # per-function stream, so it is process- and run-independent.
+            self._ctr_key[i] = rng.integers(0, 2**64, dtype=np.uint64)
+        else:
+            self._ctr_key[i] = 0
+        self._ctr_step[i] = 0
         self.pbest_positions[i] = self.positions[i]
         self.pbest_scores[i] = np.inf
         self.omega[i] = self._omega0
@@ -274,6 +328,8 @@ class SwarmFleet:
             dci_max=float(self._dci_max[index]),
             last_perception=float(self.last_perception[index]),
             bit_generator_state=rng.bit_generator.state,
+            ctr_key=int(self._ctr_key[index]),
+            ctr_step=int(self._ctr_step[index]),
         )
         self._rngs[index] = None
         self._live[index] = False
@@ -312,6 +368,8 @@ class SwarmFleet:
         self._df_max[i] = archive.df_max
         self._dci_max[i] = archive.dci_max
         self.last_perception[i] = archive.last_perception
+        self._ctr_key[i] = archive.ctr_key
+        self._ctr_step[i] = archive.ctr_step
         self._live[i] = True
         return i
 
@@ -393,22 +451,122 @@ class SwarmFleet:
             return True
         return False
 
+    def perceive_batch(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        delta_f: Sequence[float] | np.ndarray,
+        delta_ci: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised DPSO perception for a batch of swarms.
+
+        Per element this computes exactly what :meth:`perceive` computes
+        -- the weight updates are elementwise float64, so the values are
+        bit-identical to the scalar path regardless of batch shape.
+        Redistribution of the triggered swarms is fused into one
+        counter-RNG call under ``rng_mode="counter"``; under stream mode
+        it loops per swarm, because each swarm's private stream must
+        advance in its own draw order. Returns the boolean fired mask
+        (aligned with ``indices``).
+        """
+        if not self.dynamic:
+            raise RuntimeError(
+                "perceive_batch() requires a DPSOParams-configured fleet"
+            )
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        if len(np.unique(idx)) != idx.size:
+            raise ValueError("perceive_batch() indices must be distinct")
+        if not self._live[idx].all():
+            raise IndexError("perceive_batch() indices must address live slots")
+        p = self.params
+        df = np.abs(np.asarray(delta_f, dtype=float))
+        dci = np.abs(np.asarray(delta_ci, dtype=float))
+        df_max = np.maximum(self._df_max[idx], df)
+        dci_max = np.maximum(self._dci_max[idx], dci)
+        self._df_max[idx] = df_max
+        self._dci_max[idx] = dci_max
+
+        # 0/0 rows are discarded by the where(); silence the transient.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            nf = np.where(df_max > 0.0, df / df_max, 0.0)
+            nci = np.where(dci_max > 0.0, dci / dci_max, 0.0)
+        change = nf + nci
+        self.last_perception[idx] = change
+
+        self.omega[idx] = np.clip(p.omega_max * change, p.omega_min, p.omega_max)
+        c = np.clip(p.c_max * (1.0 - change), p.c_min, p.c_max)
+        self.c1[idx] = c
+        self.c2[idx] = c
+
+        fired = change > p.perception_threshold
+        if fired.any():
+            self._redistribute_many(idx[fired], p.redistribute_fraction)
+        return fired
+
+    def _redistribute_many(self, sub: np.ndarray, fraction: float) -> None:
+        """Redistribute several swarms; one fused draw in counter mode."""
+        n, d = self.n_particles, self.dim
+        k = int(round(fraction * n))
+        if k == 0:
+            return
+        if self.rng_mode != "counter":
+            for i in sub:
+                self.redistribute(int(i), fraction)
+            return
+        u = counter_rng.uniforms(
+            self._ctr_key[sub], self._ctr_step[sub], _BLOCK_REDISTRIBUTE,
+            n + 2 * k * d,
+        )
+        self._ctr_step[sub] += 1
+        sel = np.argsort(u[:, :n], axis=1, kind="stable")[:, :k]
+        rows = sub[:, None]
+        pos = u[:, n : n + k * d].reshape(-1, k, d)
+        self.positions[rows, sel] = pos
+        self.velocities[rows, sel] = (
+            2.0 * u[:, n + k * d :].reshape(-1, k, d) - 1.0
+        ) * self.vmax
+        self.pbest_positions[rows, sel] = pos
+        self.pbest_scores[rows, sel] = np.inf
+
     def redistribute(self, index: int, fraction: float = 0.5) -> None:
         """Re-place a fraction of one swarm; mirrors
         ``ParticleSwarm.redistribute`` (same RNG draw order, including the
-        early return that skips all draws when the fraction rounds to 0)."""
+        early return that skips all draws when the fraction rounds to 0).
+
+        Under ``rng_mode="counter"`` the selection and replacement values
+        come from one counter-RNG block instead (selection = stable
+        argsort of ``n`` uniforms, first ``k`` win), consuming exactly
+        one draw-event step -- so a redistribution is reproducible from
+        ``(key, step)`` alone, independent of slot or batch history.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         self._require_live(index)
-        k = int(round(fraction * self.n_particles))
+        n, d = self.n_particles, self.dim
+        k = int(round(fraction * n))
         if k == 0:
             return
-        rng = self._rngs[index]
-        idx = rng.choice(self.n_particles, size=k, replace=False)
-        self.positions[index, idx] = rng.uniform(0.0, 1.0, size=(k, self.dim))
-        self.velocities[index, idx] = rng.uniform(
-            -self.vmax, self.vmax, size=(k, self.dim)
-        )
+        if self.rng_mode == "counter":
+            u = counter_rng.uniforms(
+                self._ctr_key[index],
+                self._ctr_step[index],
+                _BLOCK_REDISTRIBUTE,
+                n + 2 * k * d,
+            )
+            self._ctr_step[index] += 1
+            idx = np.argsort(u[:n], kind="stable")[:k]
+            self.positions[index, idx] = u[n : n + k * d].reshape(k, d)
+            self.velocities[index, idx] = (
+                2.0 * u[n + k * d :].reshape(k, d) - 1.0
+            ) * self.vmax
+        else:
+            rng = self._rngs[index]
+            idx = rng.choice(n, size=k, replace=False)
+            self.positions[index, idx] = rng.uniform(0.0, 1.0, size=(k, d))
+            self.velocities[index, idx] = rng.uniform(
+                -self.vmax, self.vmax, size=(k, d)
+            )
         self.pbest_positions[index, idx] = self.positions[index, idx]
         self.pbest_scores[index, idx] = np.inf
 
@@ -487,14 +645,7 @@ class SwarmFleet:
             self.best_positions[upd] = gbest[better]
             self._has_best[upd] = True
 
-        # Per-swarm streams: r1 fully drawn before r2, as in the
-        # sequential _iterate; cross-stream interleaving is immaterial.
-        r1 = np.empty((s, n, self.dim))
-        r2 = np.empty((s, n, self.dim))
-        for j, i in enumerate(idx):
-            rng = self._rngs[i]
-            r1[j] = rng.uniform(size=(n, self.dim))
-            r2[j] = rng.uniform(size=(n, self.dim))
+        r1, r2 = self._draw_r1_r2(idx)
 
         om = self.omega[idx][:, None, None]
         c1 = self.c1[idx][:, None, None]
@@ -511,6 +662,32 @@ class SwarmFleet:
         self.velocities[idx] = vel
         self.pbest_positions[idx] = pb_pos
         self.pbest_scores[idx] = pb_scores
+
+    def _draw_r1_r2(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One iteration's ``r1``/``r2`` for the swarms at ``idx``.
+
+        Counter mode: one fused Philox call for the whole batch (element
+        layout: the first ``n*dim`` doubles of a swarm's step are ``r1``
+        in C order, the rest ``r2``), then each swarm's step counter
+        advances by one. Stream mode: the sequential reference -- r1
+        fully drawn before r2 per swarm, as in ``ParticleSwarm._iterate``
+        (cross-stream interleaving is immaterial).
+        """
+        s, n, d = idx.size, self.n_particles, self.dim
+        if self.rng_mode == "counter":
+            u = counter_rng.uniforms(
+                self._ctr_key[idx], self._ctr_step[idx], _BLOCK_ITERATE,
+                2 * n * d,
+            )
+            self._ctr_step[idx] += 1
+            return u[:, : n * d].reshape(s, n, d), u[:, n * d :].reshape(s, n, d)
+        r1 = np.empty((s, n, d))
+        r2 = np.empty((s, n, d))
+        for j, i in enumerate(idx):
+            rng = self._rngs[i]
+            r1[j] = rng.uniform(size=(n, d))
+            r2[j] = rng.uniform(size=(n, d))
+        return r1, r2
 
     # -- single-swarm fast path ------------------------------------------------
 
@@ -571,8 +748,17 @@ class SwarmFleet:
                 self.best_positions[index] = gbest
                 self._has_best[index] = True
 
-            r1 = rng.uniform(size=(n, self.dim))
-            r2 = rng.uniform(size=(n, self.dim))
+            if self.rng_mode == "counter":
+                u = counter_rng.uniforms(
+                    self._ctr_key[index], self._ctr_step[index],
+                    _BLOCK_ITERATE, 2 * n * self.dim,
+                )
+                self._ctr_step[index] += 1
+                r1 = u[: n * self.dim].reshape(n, self.dim)
+                r2 = u[n * self.dim :].reshape(n, self.dim)
+            else:
+                r1 = rng.uniform(size=(n, self.dim))
+                r2 = rng.uniform(size=(n, self.dim))
             vel = (
                 self.omega[index] * self.velocities[index]
                 + self.c1[index] * r1 * (pb_pos - pos)

@@ -176,51 +176,97 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _replay_grouped(self, scheduler: BaseScheduler) -> float:
-        """Trace replay that batches same-tick keep-alive decisions.
+        """Trace replay that batches shared-tick keep-alive decisions.
 
-        Consecutive invocations of *distinct* functions arriving at the
-        same instant are placed one by one (placements interact through
-        the warm pools) and then decided in a single
-        ``keepalive_batch`` call. This is behaviour-preserving: a
-        same-tick keep-alive decision reads only the environment at its
-        own ``t_end`` and its function's private state, never the pools
-        or another group member's outcome, and the containers the group
-        admits all activate strictly after the shared arrival instant. A
-        repeated function name closes the group (its second decision
-        depends on its first).
+        Consecutive invocations of *distinct* functions arriving within
+        the same decision tick are placed one by one -- each against
+        fully drained pool/event state at its own arrival instant
+        (placements interact through the warm pools) -- and then decided
+        in a single ``keepalive_batch`` call. A repeated function name
+        closes the group (its second decision depends on its first),
+        which also makes explicit arrival-state snapshots unnecessary:
+        within a group, a function's estimator history at decision time
+        is exactly its history at its own place time.
+
+        The tick is the exact arrival instant by default
+        (``decision_quantum_s == 0``): behaviour-preserving, because a
+        same-instant keep-alive decision reads only the environment at
+        its own ``t_end`` and its function's private state, and the
+        containers the group admits all activate strictly after the
+        shared arrival instant. With ``decision_quantum_s > 0`` the
+        tick widens to ``floor(t / quantum)`` buckets so continuous
+        traces batch too.
+
+        A third flush trigger keeps the wide-bucket path *exact*: the
+        group closes before any arrival reaches the earliest staged
+        completion time. A staged decision's only world-visible side
+        effect is its keep-alive activation at ``t_end``, and events
+        only act when a drain passes their timestamp -- so as long as
+        every activation enters the heap before the first drain at or
+        beyond its ``t_end``, the pops (and thus pool state, warm hits,
+        and adjustments) happen in exactly the sequential order. The
+        quantum therefore trades nothing away; it only bounds how far
+        ahead the engine looks for batchable arrivals (effective batch
+        width is capped by arrivals per in-flight service time).
         """
+        quantum = scheduler.decision_quantum_s
         horizon = 0.0
-        group: list = []
+        staged: list[KeepAliveRequest] = []
         names: set[str] = set()
+        bucket: float | None = None
+        flush_at = float("inf")  # earliest staged completion
         for inv in self.trace:
-            if group and (inv.t != group[0].t or inv.func.name in names):
-                horizon = max(horizon, self._flush_group(scheduler, group))
-                group, names = [], set()
-            group.append(inv)
+            key = inv.t if quantum <= 0.0 else inv.t // quantum
+            if staged and (
+                key != bucket or inv.func.name in names or inv.t >= flush_at
+            ):
+                horizon = max(horizon, self._flush_staged(scheduler, staged))
+                staged, names = [], set()
+                flush_at = float("inf")
+            bucket = key
+            self._drain_events(until=inv.t)
+            req = self._place_and_record(scheduler, inv.t, inv.func)
+            staged.append(req)
             names.add(inv.func.name)
-        if group:
-            horizon = max(horizon, self._flush_group(scheduler, group))
+            flush_at = min(flush_at, req.t_end)
+        if staged:
+            horizon = max(horizon, self._flush_staged(scheduler, staged))
         return horizon
 
-    def _flush_group(self, scheduler: BaseScheduler, group: list) -> float:
-        self._drain_events(until=group[0].t)
-        if len(group) == 1:
-            return self._process_invocation(scheduler, group[0].t, group[0].func)
-        staged = [
-            self._place_and_record(scheduler, inv.t, inv.func) for inv in group
-        ]
+    def _flush_staged(
+        self, scheduler: BaseScheduler, staged: list[KeepAliveRequest]
+    ) -> float:
+        """Decide and admit keep-alive for one placed decision group."""
+        if len(staged) == 1:
+            # Singleton: the plain keepalive call (the KDM's view-based
+            # single-swarm fast path, no batch overhead).
+            req = staged[0]
+            decision, wall = self._timed(scheduler.keepalive, req)
+            return self._finish_decision(scheduler, req, decision, wall)
         decisions, wall = self._timed(scheduler.keepalive_batch, staged)
         share = wall / len(staged)
         t_last = 0.0
         for req, decision in zip(staged, decisions):
-            req.record.decision_wall_s += share
-            req.record.keepalive_decision = decision
-            if decision.duration_s > 0.0:
-                self._admit_keepalive(
-                    scheduler, req.func, decision, req.t_end, req.record
-                )
-            t_last = max(t_last, req.t_end)
+            t_last = max(
+                t_last, self._finish_decision(scheduler, req, decision, share)
+            )
         return t_last
+
+    def _finish_decision(
+        self,
+        scheduler: BaseScheduler,
+        req: KeepAliveRequest,
+        decision: KeepAliveDecision,
+        wall_s: float,
+    ) -> float:
+        """Record one keep-alive decision and admit its container."""
+        req.record.decision_wall_s += wall_s
+        req.record.keepalive_decision = decision
+        if decision.duration_s > 0.0:
+            self._admit_keepalive(
+                scheduler, req.func, decision, req.t_end, req.record
+            )
+        return req.t_end
 
     def _process_invocation(
         self, scheduler: BaseScheduler, t: float, func: FunctionProfile
@@ -228,12 +274,7 @@ class SimulationEngine:
         """Handle one invocation end-to-end; returns the execution end time."""
         req = self._place_and_record(scheduler, t, func)
         decision, wall_ka = self._timed(scheduler.keepalive, req)
-        req.record.decision_wall_s += wall_ka
-        req.record.keepalive_decision = decision
-
-        if decision.duration_s > 0.0:
-            self._admit_keepalive(scheduler, func, decision, req.t_end, req.record)
-        return req.t_end
+        return self._finish_decision(scheduler, req, decision, wall_ka)
 
     def _place_and_record(
         self, scheduler: BaseScheduler, t: float, func: FunctionProfile

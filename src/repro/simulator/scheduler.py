@@ -130,6 +130,10 @@ class SchedulerEnv:
         """Current carbon intensity (g/kWh)."""
         return self._ci_trace.at(t)
 
+    def ci_at_many(self, ts) -> np.ndarray:
+        """Vectorised :meth:`ci_at` for a batch of decision instants."""
+        return self._ci_trace.at_many(ts)
+
     def ci_max_observed(self, t: float) -> float:
         """Maximum CI observed up to ``t`` (causal; used for normalisation)."""
         knots = self._ci_trace.times_s
@@ -140,6 +144,18 @@ class SchedulerEnv:
             # Queried once per KDM decision; precompute the running max.
             self._ci_cummax = np.maximum.accumulate(self._ci_trace.values)
         return float(self._ci_cummax[idx - 1])
+
+    def ci_max_observed_many(self, ts) -> np.ndarray:
+        """Vectorised :meth:`ci_max_observed` (element-identical)."""
+        knots = self._ci_trace.times_s
+        idx = np.searchsorted(knots, np.asarray(ts, dtype=float), side="right")
+        if self._ci_cummax is None:
+            self._ci_cummax = np.maximum.accumulate(self._ci_trace.values)
+        return np.where(
+            idx > 0,
+            self._ci_cummax[np.maximum(idx - 1, 0)],
+            self._ci_trace.values[0],
+        )
 
     # -- workload observations ---------------------------------------------------
 
@@ -200,6 +216,18 @@ class BaseScheduler(abc.ABC):
     #: :meth:`keepalive_batch`) set this True; the engine then groups
     #: simultaneous arrivals of distinct functions into one call.
     supports_keepalive_batch: bool = False
+    #: Width (seconds) of the shared decision tick for batching
+    #: schedulers: 0 (default) batches only exactly-simultaneous
+    #: arrivals; > 0 groups arrivals of distinct functions whose times
+    #: fall in the same ``floor(t / quantum)`` bucket, letting
+    #: ``keepalive_batch`` fire on continuous (non-quantised) traces.
+    #: Bit-identical at any width: placements still run one arrival at
+    #: a time against fully drained pool state, each decision is
+    #: evaluated at its own instant, and the engine closes a group
+    #: before any arrival reaches its earliest staged completion time,
+    #: preserving sequential event ordering exactly (see
+    #: ``docs/optimizers.md``).
+    decision_quantum_s: float = 0.0
     #: Schedulers that want :meth:`on_container_expired` notifications
     #: (e.g. to drive state-retirement sweeps without depending on
     #: decision traffic) set this True.

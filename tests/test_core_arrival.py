@@ -153,3 +153,85 @@ def test_property_expected_min_is_mean_when_k_huge(iats):
         est.observe(t)
     e = est.expected_keepalive_s([1e12])[0]
     assert e == pytest.approx(np.mean(iats), rel=1e-9)
+
+
+class TestArrivalBatch:
+    """Vectorised padded-matrix queries == per-estimator scalar queries,
+    bit for bit, across empty/short/full histories."""
+
+    def _estimators(self, sizes, history=32):
+        out = []
+        t0 = 0.0
+        for i, n_iats in enumerate(sizes):
+            est = ArrivalEstimator(history=history)
+            for j in range(n_iats + 1):  # n_iats+1 arrivals -> n_iats IATs
+                est.observe(t0 + 13.0 * j * (i + 1))
+            if n_iats < 0:  # negative marks "never observed"
+                est = ArrivalEstimator(history=history)
+            out.append(est)
+        return out
+
+    def test_rows_bit_identical_to_scalars(self):
+        from repro.core import ArrivalBatch
+
+        # Empty, single-IAT, partial, and saturated histories together.
+        ests = self._estimators([-1, 0, 1, 5, 31, 40], history=32)
+        batch = ArrivalBatch(ests)
+        k = np.random.default_rng(7).uniform(0.0, 3600.0, size=(6, 30))
+        k[:, 0] = 0.0  # include the degenerate k = 0 column
+        p = batch.p_warm(k)
+        ka = batch.expected_keepalive_s(k)
+        for i, est in enumerate(ests):
+            assert np.array_equal(p[i], est.p_warm(k[i])), i
+            assert np.array_equal(ka[i], est.expected_keepalive_s(k[i])), i
+
+    def test_shape_validation(self):
+        from repro.core import ArrivalBatch
+
+        batch = ArrivalBatch(self._estimators([2, 3]))
+        with pytest.raises(ValueError, match="rows"):
+            batch.p_warm(np.zeros(5))
+        with pytest.raises(ValueError, match="rows"):
+            batch.expected_keepalive_s(np.zeros((3, 4)))
+
+    def test_snapshot_semantics(self):
+        """Observations after the batch is built do not leak in."""
+        from repro.core import ArrivalBatch
+
+        est = make_est()
+        for t in (0.0, 60.0, 120.0):
+            est.observe(t)
+        batch = ArrivalBatch([est])
+        k = np.array([[30.0, 90.0, 600.0]])
+        before = batch.p_warm(k).copy()
+        est.observe(121.0)  # new 1 s IAT would shift the ECDF
+        assert np.array_equal(batch.p_warm(k), before)
+
+    @given(
+        sizes=st.lists(st.integers(0, 40), min_size=1, max_size=8),
+        seed=st.integers(0, 2**16),
+        prior_strength=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batch_matches_scalars(self, sizes, seed, prior_strength):
+        from repro.core import ArrivalBatch
+
+        rng = np.random.default_rng(seed)
+        ests = []
+        for n_iats in sizes:
+            est = ArrivalEstimator(
+                history=32, prior_mean_iat_s=600.0,
+                prior_strength=prior_strength,
+            )
+            t = 0.0
+            est.observe(t)
+            for gap in rng.exponential(200.0, size=n_iats):
+                t += float(gap)
+                est.observe(t)
+            ests.append(est)
+        batch = ArrivalBatch(ests)
+        k = rng.uniform(0.0, 7200.0, size=(len(sizes), 17))
+        p, ka = batch.p_warm(k), batch.expected_keepalive_s(k)
+        for i, est in enumerate(ests):
+            assert np.array_equal(p[i], est.p_warm(k[i]))
+            assert np.array_equal(ka[i], est.expected_keepalive_s(k[i]))

@@ -175,7 +175,9 @@ class TestBatchedSwarmEquivalence:
         for flag in (True, False):
             cache = ResultCache(tmp_path / f"batch-{flag}")
             runner = ParallelRunner(n_workers=1, cache=cache)
-            config = EcoLifeConfig(batch_swarms=flag)
+            # Stream RNG pinned: on/off bit-identity is the stream
+            # contract (counter mode intentionally differs).
+            config = EcoLifeConfig(batch_swarms=flag, rng_mode="stream")
             grid_result = runner.run_grid(
                 g, ["ecolife", "ecolife-no-dpso"], config=config
             )
@@ -189,10 +191,14 @@ class TestBatchedSwarmEquivalence:
         cache = ResultCache(tmp_path)
         spec = ScenarioSpec(n_functions=2, hours=0.5)
         on = RunnerJob(
-            scheduler="ecolife", spec=spec, config=EcoLifeConfig(batch_swarms=True)
+            scheduler="ecolife",
+            spec=spec,
+            config=EcoLifeConfig(batch_swarms=True, rng_mode="stream"),
         )
         off = RunnerJob(
-            scheduler="ecolife", spec=spec, config=EcoLifeConfig(batch_swarms=False)
+            scheduler="ecolife",
+            spec=spec,
+            config=EcoLifeConfig(batch_swarms=False, rng_mode="stream"),
         )
         assert cache.key(on) != cache.key(off)
         assert (
