@@ -1,6 +1,12 @@
 """Setup shim: enables legacy editable installs where the `wheel` package
-is unavailable (offline environments). Configuration lives in pyproject.toml."""
+is unavailable (offline environments)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="ecolife-repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # PEP 561: ship inline annotations to downstream type checkers.
+    package_data={"repro": ["py.typed"]},
+)

@@ -19,20 +19,32 @@ See ``examples/quickstart.py`` for a tour and ``DESIGN.md`` for the full
 system inventory.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
 from repro.version import __version__
+
+if TYPE_CHECKING:
+    from repro.experiments.common import Scenario, SchedulerFactory
+    from repro.simulator.records import SimulationResult
+    from repro.simulator.scheduler import BaseScheduler
 
 __all__ = ["__version__", "quick_scenario", "run_scheduler"]
 
 
-def quick_scenario(*args, **kwargs):
+def quick_scenario(seed: int = 7) -> "Scenario":
     """Build a small default scenario (lazy import; see experiments.common)."""
     from repro.experiments.common import quick_scenario as _qs
 
-    return _qs(*args, **kwargs)
+    return _qs(seed=seed)
 
 
-def run_scheduler(*args, **kwargs):
+def run_scheduler(
+    scheduler: "BaseScheduler | SchedulerFactory",
+    scenario: "Scenario",
+) -> "SimulationResult":
     """Run one scheduler over a scenario (lazy import; see experiments.common)."""
     from repro.experiments.common import run_scheduler as _rs
 
-    return _rs(*args, **kwargs)
+    return _rs(scheduler, scenario)

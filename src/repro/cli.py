@@ -17,7 +17,7 @@ import sys
 from repro.version import __version__
 
 
-def _cmd_list_experiments(_args) -> int:
+def _cmd_list_experiments(_args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
 
     print("available experiments:")
@@ -28,7 +28,7 @@ def _cmd_list_experiments(_args) -> int:
     return 0
 
 
-def _cmd_run_experiment(args) -> int:
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS, default_scenario, quick_scenario
 
     if args.name not in EXPERIMENTS:
@@ -48,7 +48,7 @@ def _cmd_run_experiment(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.baselines import (
         co2_opt,
         energy_opt,
@@ -93,7 +93,7 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import grid_gap_rows, grid_gap_table, worst_margins
     from repro.experiments.runner import (
         SCHEDULER_NAMES,
@@ -200,7 +200,7 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_validate(_args) -> int:
+def _cmd_validate(_args: argparse.Namespace) -> int:
     from repro import validation
 
     checks = validation.run_all_checks()
@@ -208,7 +208,7 @@ def _cmd_validate(_args) -> int:
     return 0 if all(c.ok for c in checks) else 1
 
 
-def _cmd_catalog(_args) -> int:
+def _cmd_catalog(_args: argparse.Namespace) -> int:
     from repro.analysis import ascii_table
     from repro.hardware import PAIRS
 

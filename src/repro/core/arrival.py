@@ -18,9 +18,12 @@ extremes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from typing import Any, Sequence, cast
 
 import numpy as np
+import numpy.typing as npt
+
+from repro.core.spill import ArchiveSpill
 
 
 class ArrivalEstimator:
@@ -80,7 +83,7 @@ class ArrivalEstimator:
             self._sorted = arr
             self._prefix = np.concatenate(([0.0], np.cumsum(arr)))
 
-    def p_warm(self, k_s) -> np.ndarray:
+    def p_warm(self, k_s: npt.ArrayLike) -> np.ndarray:
         """P(next IAT <= k) for an array of keep-alive periods (seconds)."""
         k = np.atleast_1d(np.asarray(k_s, dtype=float))
         prior = 1.0 - np.exp(-k / self.prior_mean)
@@ -88,11 +91,12 @@ class ArrivalEstimator:
         if n == 0:
             return prior
         self._ensure_cache()
+        assert self._sorted is not None
         emp = np.searchsorted(self._sorted, k, side="right") / n
         w = n / (n + self.prior_strength)
         return w * emp + (1.0 - w) * prior
 
-    def expected_keepalive_s(self, k_s) -> np.ndarray:
+    def expected_keepalive_s(self, k_s: npt.ArrayLike) -> np.ndarray:
         """E[min(IAT, k)] for an array of keep-alive periods (seconds)."""
         k = np.atleast_1d(np.asarray(k_s, dtype=float))
         # Exponential prior: E[min(X, k)] = mean * (1 - exp(-k/mean)).
@@ -101,6 +105,7 @@ class ArrivalEstimator:
         if n == 0:
             return prior
         self._ensure_cache()
+        assert self._sorted is not None and self._prefix is not None
         idx = np.searchsorted(self._sorted, k, side="right")
         below_sum = self._prefix[idx]
         above_count = n - idx
@@ -159,6 +164,7 @@ class ArrivalBatch:
         for i, est in enumerate(estimators):
             if n[i]:
                 est._ensure_cache()
+                assert est._sorted is not None and est._prefix is not None
                 sorted_pad[i, : n[i]] = est._sorted
                 prefix_pad[i, : n[i] + 1] = est._prefix
         self.n_funcs = f
@@ -216,6 +222,16 @@ class ArrivalRegistry:
     that outlived its function's last decision -- see exactly the data a
     never-retired run would, which keeps overflow rankings bit-identical,
     without promoting the function back to the live ledger.
+
+    When constructed with a ``spill`` store, the shelf itself is bounded:
+    once more than ``spill_after`` estimators are archived, the
+    least-recently-shelved overflow to disk. Estimators pickle exactly
+    (a float deque plus cached numpy arrays), so a spilled history read
+    back through :meth:`get` or :meth:`revive` is bit-identical to one
+    that never left memory -- the peek path *reads through* the spill
+    tier, parking the loaded estimator back on the in-memory shelf
+    (most-recent, so it does not bounce straight back out) without
+    promoting the function to the live ledger.
     """
 
     def __init__(
@@ -223,14 +239,20 @@ class ArrivalRegistry:
         history: int = 64,
         prior_mean_iat_s: float = 600.0,
         prior_strength: float = 2.0,
+        spill: ArchiveSpill | None = None,
+        spill_after: int = 256,
     ) -> None:
-        self._kw = dict(
+        if spill_after < 0:
+            raise ValueError("spill_after must be >= 0")
+        self._kw: dict[str, Any] = dict(
             history=history,
             prior_mean_iat_s=prior_mean_iat_s,
             prior_strength=prior_strength,
         )
         self._by_name: dict[str, ArrivalEstimator] = {}
         self._archived: dict[str, ArrivalEstimator] = {}
+        self._spill = spill
+        self._spill_after = spill_after
 
     def get(self, name: str) -> ArrivalEstimator:
         est = self._by_name.get(name)
@@ -238,6 +260,12 @@ class ArrivalRegistry:
             # Read-only peek at archived history; revival is the KDM's
             # call (on the function's next arrival/decision).
             est = self._archived.get(name)
+            if est is None and self._spill is not None and name in self._spill:
+                # Peek-through: load the spilled history back onto the
+                # in-memory shelf (still archived, not revived).
+                est = cast(ArrivalEstimator, self._spill.take(name))
+                self._archived[name] = est
+                self._maybe_spill()
             if est is None:
                 est = ArrivalEstimator(**self._kw)
                 self._by_name[name] = est
@@ -253,21 +281,40 @@ class ArrivalRegistry:
 
         No-op if the function was never observed. The estimator object
         and its history survive untouched; only the live ledger shrinks.
+        With a spill store attached, shelf overflow goes to disk.
         """
         est = self._by_name.pop(name, None)
         if est is not None:
             self._archived[name] = est
+            self._maybe_spill()
 
     def revive(self, name: str) -> None:
         """Promote a shelved estimator back to the live ledger
-        (rehydration). No-op if nothing is archived under ``name``."""
+        (rehydration). No-op if nothing is archived under ``name``
+        in either shelf tier."""
         est = self._archived.pop(name, None)
+        if est is None and self._spill is not None and name in self._spill:
+            est = cast(ArrivalEstimator, self._spill.take(name))
         if est is not None:
             self._by_name[name] = est
+
+    def _maybe_spill(self) -> None:
+        """Move least-recently-shelved estimators to disk past the cap."""
+        if self._spill is None:
+            return
+        while len(self._archived) > self._spill_after:
+            oldest = next(iter(self._archived))
+            self._spill.put(oldest, self._archived.pop(oldest))
 
     def __len__(self) -> int:
         return len(self._by_name)
 
     @property
     def archived_count(self) -> int:
-        return len(self._archived)
+        """Shelved estimators across both tiers (memory + disk)."""
+        return len(self._archived) + self.spilled_count
+
+    @property
+    def spilled_count(self) -> int:
+        """Shelved estimators currently resident on disk only."""
+        return len(self._spill) if self._spill is not None else 0

@@ -26,6 +26,7 @@ def batch_swarms_default() -> bool:
     suite can be driven down the sequential reference path without code
     changes -- the CI matrix runs both settings. Unset means batched.
     """
+    # ecolint: disable=ECO002 -- config-construction-time default, resolved once per process by the CI matrix; never read on a replay path
     return os.environ.get("ECOLIFE_BATCH_SWARMS", "1").strip().lower() not in (
         "0",
         "false",
@@ -41,6 +42,7 @@ def rng_mode_default() -> str:
     the counter-based batched RNG without code changes. Unset means
     ``stream`` -- the sequential-reference contract.
     """
+    # ecolint: disable=ECO002 -- config-construction-time default, resolved once per process by the CI matrix; never read on a replay path
     return os.environ.get("ECOLIFE_RNG_MODE", "stream").strip().lower() or "stream"
 
 
@@ -157,9 +159,11 @@ class EcoLifeConfig:
     #: Spilled archives are pickled :class:`~repro.core.kdm.
     #: RetiredFunction` records; rehydration reads them back
     #: bit-identically, so the knob only bounds resident memory for
-    #: truly unbounded tenant counts. Arrival estimators stay in memory
-    #: either way -- the warm-pool adjuster may peek at a retired
-    #: function's history without rehydrating it.
+    #: truly unbounded tenant counts. The arrival-estimator shelf spills
+    #: under the same directory and cap (its own store instance): the
+    #: warm-pool adjuster's peek-without-revive read path reads through
+    #: the disk tier, so a spilled history looks exactly like a resident
+    #: one.
     spill_dir: str | None = None
     #: In-memory archive count that triggers spilling (oldest first).
     spill_archives_after: int = 256

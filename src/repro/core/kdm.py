@@ -44,6 +44,7 @@ from repro.core.config import EcoLifeConfig, OptimizerKind
 from repro.core.objective import ObjectiveBuilder
 from repro.core.spill import ArchiveSpill
 from repro.optimizers.annealing import SimulatedAnnealing
+from repro.optimizers.base import ContinuousOptimizer
 from repro.optimizers.batch import SwarmArchive, SwarmFleet
 from repro.optimizers.dynamic_pso import DynamicPSO
 from repro.optimizers.genetic import GeneticOptimizer
@@ -96,7 +97,7 @@ class KeepAliveDecisionMaker:
         self.config = config
         self.arrivals = arrivals
         self.builder = builder or ObjectiveBuilder(env, config)
-        self._optimizers: dict[str, object] = {}
+        self._optimizers: dict[str, ContinuousOptimizer] = {}
         self._last_ci: dict[str, float] = {}
         self._last_rate: dict[str, float] = {}
         self.decisions = 0
@@ -127,7 +128,7 @@ class KeepAliveDecisionMaker:
 
     # -- optimizer lifecycle -----------------------------------------------------
 
-    def _new_optimizer(self, name: str):
+    def _new_optimizer(self, name: str) -> ContinuousOptimizer:
         rng = _stable_seed(self.config.seed, name)
         kind = self.config.optimizer
         if kind is OptimizerKind.GENETIC:
@@ -157,7 +158,7 @@ class KeepAliveDecisionMaker:
         )
         return swarm
 
-    def optimizer_for(self, name: str):
+    def optimizer_for(self, name: str) -> ContinuousOptimizer:
         opt = self._optimizers.get(name)
         if opt is None:
             if self._has_archive(name):
@@ -493,7 +494,7 @@ class KeepAliveDecisionMaker:
             self._touch(func.name, t)
         return decisions
 
-    def _iterations_for(self, opt) -> int:
+    def _iterations_for(self, opt: ContinuousOptimizer) -> int:
         """Roughly matched evaluation budgets across backends.
 
         SA evaluates a whole 100->1 cooling schedule (~44 candidates) per

@@ -79,37 +79,37 @@ def _make_ecolife_sa(config: EcoLifeConfig | None) -> BaseScheduler:
     return sa_scheduler(config)
 
 
-def _make_co2_opt(config):  # noqa: ARG001 - baselines ignore the config
+def _make_co2_opt(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001 - baselines ignore the config
     from repro.baselines import co2_opt
 
     return co2_opt()
 
 
-def _make_service_time_opt(config):  # noqa: ARG001
+def _make_service_time_opt(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import service_time_opt
 
     return service_time_opt()
 
 
-def _make_energy_opt(config):  # noqa: ARG001
+def _make_energy_opt(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import energy_opt
 
     return energy_opt()
 
 
-def _make_oracle(config):  # noqa: ARG001
+def _make_oracle(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import oracle
 
     return oracle()
 
 
-def _make_new_only(config):  # noqa: ARG001
+def _make_new_only(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import new_only
 
     return new_only()
 
 
-def _make_old_only(config):  # noqa: ARG001
+def _make_old_only(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import old_only
 
     return old_only()
@@ -385,7 +385,7 @@ class ResultSummary:
             wall_time_s=result.wall_time_s,
         )
 
-    def deterministic_dict(self) -> dict:
+    def deterministic_dict(self) -> dict[str, object]:
         """All fields except wall time (for determinism comparisons)."""
         d = dataclasses.asdict(self)
         d.pop("wall_time_s")
@@ -619,11 +619,15 @@ class ParallelRunner:
             with_records = self.cache is not None and self.cache.store_records
             entry = execute_job_with_records if with_records else execute_job
 
-            def consume(i: int, outcome) -> None:
+            def consume(
+                i: int,
+                outcome: "ResultSummary | tuple[ResultSummary, RecordArrays]",
+            ) -> None:
                 # Write each result as it lands so record arrays are
                 # dropped immediately -- peak memory stays one in-flight
                 # result per worker, not the whole grid's records.
-                if with_records:
+                records: RecordArrays | None
+                if isinstance(outcome, tuple):
                     summary, records = outcome
                 else:
                     summary, records = outcome, None

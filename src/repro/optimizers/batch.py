@@ -143,6 +143,26 @@ class SwarmFleet:
 
     RNG_MODES = ("stream", "counter")
 
+    # Stacked per-swarm arrays, allocated by :meth:`_alloc` from
+    # ``_STACKED_STATE`` (declared here so the attributes type-check;
+    # they do not exist until ``__init__`` runs ``_alloc``).
+    positions: np.ndarray
+    velocities: np.ndarray
+    pbest_positions: np.ndarray
+    pbest_scores: np.ndarray
+    omega: np.ndarray
+    c1: np.ndarray
+    c2: np.ndarray
+    best_positions: np.ndarray
+    best_scores: np.ndarray
+    _has_best: np.ndarray
+    _df_max: np.ndarray
+    _dci_max: np.ndarray
+    last_perception: np.ndarray
+    _live: np.ndarray
+    _ctr_key: np.ndarray
+    _ctr_step: np.ndarray
+
     def __init__(
         self,
         dim: int,
@@ -213,6 +233,34 @@ class SwarmFleet:
         # Counter-RNG state (zeros under stream mode; cheap to carry).
         "_ctr_key": lambda c, n, d: np.zeros(c, dtype=np.uint64),
         "_ctr_step": lambda c, n, d: np.zeros(c, dtype=np.uint64),
+    }
+
+    #: Archive plan: stacked array -> the :class:`SwarmArchive` field
+    #: that round-trips it through retire()/rehydrate(), or ``None`` for
+    #: bookkeeping-only state that is *deliberately* not checkpointed.
+    #: ecolint's ECO005 contract check cross-validates this map against
+    #: ``_STACKED_STATE``, the SwarmArchive dataclass, and both method
+    #: bodies -- adding a stacked array without extending the plan (and
+    #: the snapshot/restore paths) is a lint error, not a latent
+    #: rehydration bug.
+    _ARCHIVE_PLAN: dict[str, str | None] = {
+        "positions": "positions",
+        "velocities": "velocities",
+        "pbest_positions": "pbest_positions",
+        "pbest_scores": "pbest_scores",
+        "omega": "omega",
+        "c1": "c1",
+        "c2": "c2",
+        "best_positions": "best_position",
+        "best_scores": "best_score",
+        "_has_best": "has_best",
+        "_df_max": "df_max",
+        "_dci_max": "dci_max",
+        "last_perception": "last_perception",
+        # Slot occupancy: reconstructed by rehydrate(), not swarm state.
+        "_live": None,
+        "_ctr_key": "ctr_key",
+        "_ctr_step": "ctr_step",
     }
 
     def _alloc(self, capacity: int) -> None:

@@ -37,6 +37,7 @@ everything is integer ops plus one exact float conversion.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 # Philox4x32 multipliers and Weyl key-schedule constants (Random123).
 _M0 = np.uint64(0xD2511F53)
@@ -50,7 +51,15 @@ _INV53 = 1.0 / 9007199254740992.0
 PHILOX_ROUNDS = 10
 
 
-def philox4x32(c0, c1, c2, c3, k0, k1, rounds: int = PHILOX_ROUNDS):
+def philox4x32(
+    c0: npt.ArrayLike,
+    c1: npt.ArrayLike,
+    c2: npt.ArrayLike,
+    c3: npt.ArrayLike,
+    k0: npt.ArrayLike,
+    k1: npt.ArrayLike,
+    rounds: int = PHILOX_ROUNDS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """One Philox4x32 block per broadcast element.
 
     All six inputs are ``uint32`` arrays (or scalars) broadcast together;
@@ -91,7 +100,9 @@ def _to_double(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (hi * 67108864.0 + lo) * _INV53
 
 
-def uniforms(key, step, block: int, count: int) -> np.ndarray:
+def uniforms(
+    key: npt.ArrayLike, step: npt.ArrayLike, block: int, count: int
+) -> np.ndarray:
     """``count`` uniform doubles per ``(key, step)`` pair.
 
     ``key`` and ``step`` are ``uint64`` arrays (or scalars) of identical

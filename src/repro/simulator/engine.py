@@ -150,6 +150,7 @@ class SimulationEngine:
         scheduler.bind(env)
         self._scheduler = scheduler
 
+        # ecolint: disable=ECO002 -- wall_time_s is telemetry only; deterministic_dict() excludes it from replay-compared outputs
         wall_start = time.perf_counter()
         if scheduler.supports_keepalive_batch:
             horizon = self._replay_grouped(scheduler)
@@ -162,6 +163,7 @@ class SimulationEngine:
         self._drain_events(until=float("inf"))
         if any(len(self.pools[g]) for g in GENERATIONS):  # pragma: no cover
             raise RuntimeError("pools not empty after final drain")
+        # ecolint: disable=ECO002 -- closes the telemetry-only wall_time_s measurement started above
         wall = time.perf_counter() - wall_start
 
         return SimulationResult(
@@ -523,6 +525,8 @@ class SimulationEngine:
         """Invoke a scheduler decision, optionally measuring wall time."""
         if not self.config.measure_decision_overhead:
             return fn(*args), 0.0
+        # ecolint: disable=ECO002 -- decision_wall_s overhead telemetry, gated off by default and excluded from deterministic outputs
         start = time.perf_counter()
         result = fn(*args)
+        # ecolint: disable=ECO002 -- closes the decision_wall_s measurement started above
         return result, time.perf_counter() - start

@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 import pathlib
 from dataclasses import dataclass, field, fields
+from typing import Sequence
 
 import numpy as np
 
@@ -87,7 +88,7 @@ class InvocationRecord:
         self.keepalive_s += duration_s
 
 
-def _unicode_column(values) -> np.ndarray:
+def _unicode_column(values: "Sequence[str] | np.ndarray") -> np.ndarray:
     """Build a unicode column with a non-degenerate dtype.
 
     A zero-invocation scenario yields an empty string column whose
@@ -175,7 +176,7 @@ class SimulationResult:
     records: list[InvocationRecord]
     horizon_s: float
     wall_time_s: float = 0.0
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)

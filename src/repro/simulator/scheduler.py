@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro import units
 from repro.carbon.footprint import CarbonModel
@@ -130,7 +131,7 @@ class SchedulerEnv:
         """Current carbon intensity (g/kWh)."""
         return self._ci_trace.at(t)
 
-    def ci_at_many(self, ts) -> np.ndarray:
+    def ci_at_many(self, ts: npt.ArrayLike) -> np.ndarray:
         """Vectorised :meth:`ci_at` for a batch of decision instants."""
         return self._ci_trace.at_many(ts)
 
@@ -145,7 +146,7 @@ class SchedulerEnv:
             self._ci_cummax = np.maximum.accumulate(self._ci_trace.values)
         return float(self._ci_cummax[idx - 1])
 
-    def ci_max_observed_many(self, ts) -> np.ndarray:
+    def ci_max_observed_many(self, ts: npt.ArrayLike) -> np.ndarray:
         """Vectorised :meth:`ci_max_observed` (element-identical)."""
         knots = self._ci_trace.times_s
         idx = np.searchsorted(knots, np.asarray(ts, dtype=float), side="right")

@@ -1,0 +1,128 @@
+"""Arrival-estimator shelf spill: disk tier + peek-without-revive reads.
+
+The registry's retirement shelf overflows least-recently-shelved
+estimators to an :class:`ArchiveSpill` store. The contract mirrors the
+KDM archives: spilling is invisible -- every read path (the adjuster's
+``get`` peek, the KDM-driven ``revive``) sees bit-identical histories
+whether the estimator sat in memory, on disk, or never retired at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EcoLifeConfig
+from repro.core.arrival import ArrivalRegistry
+from repro.core.spill import ArchiveSpill
+from tests.test_retirement import (
+    _churn_trace,
+    _replay,
+    assert_records_identical,
+)
+
+
+def _filled_registry(tmp_path, spill_after=2, n=5):
+    """A registry with ``n`` observed-then-retired estimators."""
+    reg = ArrivalRegistry(
+        history=8, spill=ArchiveSpill(tmp_path), spill_after=spill_after
+    )
+    for i in range(n):
+        name = f"f{i}"
+        for k in range(4):
+            reg.observe(name, 100.0 * i + 30.0 * k + 7.0 * (k % 2))
+    for i in range(n):
+        reg.retire(f"f{i}")
+    return reg
+
+
+class TestShelfSpill:
+    def test_overflow_spills_oldest_first(self, tmp_path):
+        reg = _filled_registry(tmp_path, spill_after=2, n=5)
+        assert len(reg) == 0
+        assert reg.archived_count == 5
+        assert reg.spilled_count == 3
+        # Oldest-shelved went to disk; the two most recent stayed resident.
+        assert sorted(reg._archived) == ["f3", "f4"]
+        assert all(f"f{i}" in reg._spill for i in range(3))
+
+    def test_peek_reads_through_spill_without_reviving(self, tmp_path):
+        reg = _filled_registry(tmp_path, spill_after=2, n=5)
+        reference = _filled_registry(tmp_path / "ref", spill_after=10**6, n=5)
+        k = np.array([10.0, 60.0, 240.0])
+        est = reg.get("f0")  # spilled -> read through disk
+        ref = reference.get("f0")  # never left memory
+        np.testing.assert_array_equal(est.p_warm(k), ref.p_warm(k))
+        np.testing.assert_array_equal(
+            est.expected_keepalive_s(k), ref.expected_keepalive_s(k)
+        )
+        # Still archived, not revived; shelf cap maintained.
+        assert len(reg) == 0
+        assert reg.archived_count == 5
+        assert len(reg._archived) == 2
+
+    def test_peeked_estimator_parks_resident(self, tmp_path):
+        reg = _filled_registry(tmp_path, spill_after=2, n=5)
+        loaded_before = reg._spill.loaded
+        reg.get("f1")
+        assert reg._spill.loaded == loaded_before + 1
+        # Second peek is served from the in-memory shelf, not disk.
+        reg.get("f1")
+        assert reg._spill.loaded == loaded_before + 1
+
+    def test_revive_from_disk(self, tmp_path):
+        reg = _filled_registry(tmp_path, spill_after=2, n=5)
+        reg.revive("f0")  # disk tier
+        reg.revive("f4")  # memory tier
+        assert len(reg) == 2
+        assert reg.archived_count == 3
+        # Revived estimators keep observing where they left off.
+        reg.observe("f0", 10_000.0)
+        assert reg.get("f0").n_samples == 4
+
+    def test_unknown_name_gets_fresh_estimator(self, tmp_path):
+        reg = _filled_registry(tmp_path, spill_after=2, n=3)
+        est = reg.get("never-seen")
+        assert est.n_samples == 0
+        assert len(reg) == 1  # fresh estimators are live, not archived
+
+    def test_spill_after_zero_spills_everything(self, tmp_path):
+        reg = _filled_registry(tmp_path, spill_after=0, n=3)
+        assert reg.spilled_count == 3
+        assert len(reg._archived) == 0
+        assert reg.get("f0").n_samples == 3
+
+    def test_no_spill_store_is_memory_only(self):
+        reg = ArrivalRegistry()
+        reg.observe("f", 1.0)
+        reg.retire("f")
+        assert reg.spilled_count == 0
+        assert reg.archived_count == 1
+
+    def test_spill_after_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArrivalRegistry(spill=ArchiveSpill(tmp_path), spill_after=-1)
+
+
+class TestChurnReplayWithEstimatorSpill:
+    def test_replay_bit_identical_and_spill_engaged(self, tmp_path):
+        """End to end: estimator-shelf spill never changes a decision.
+
+        ``spill_archives_after=1`` forces heavy spill/peek traffic on a
+        churned trace (the warm-pool adjuster peeks at retired
+        functions' histories); the replay must stay bit-identical to a
+        never-retired run.
+        """
+        trace = _churn_trace(n_functions=24, hours=2.0)
+        base, _ = _replay(
+            trace, EcoLifeConfig(), pool_capacity_old_gb=4.0, pool_capacity_new_gb=4.0
+        )
+        cfg = EcoLifeConfig(
+            retire_after_s=600.0,
+            spill_dir=str(tmp_path / "spill"),
+            spill_archives_after=1,
+        )
+        spilled, sched = _replay(
+            trace, cfg, pool_capacity_old_gb=4.0, pool_capacity_new_gb=4.0
+        )
+        assert_records_identical(base, spilled)
+        assert sched.arrivals._spill is not None
+        assert sched.arrivals._spill.spilled > 0

@@ -1,0 +1,6 @@
+"""``python -m tools.ecolint`` dispatch."""
+
+from tools.ecolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,147 @@
+"""File collection, rule dispatch, and report assembly."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from tools.ecolint.contracts import project_violations
+from tools.ecolint.rules import FILE_RULES, Rule
+from tools.ecolint.violations import (
+    Violation,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".mypy_cache",
+        ".ruff_cache",
+        ".pytest_cache",
+        "build",
+        "dist",
+        ".eggs",
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Report:
+    """One lint run: surviving violations plus run metadata."""
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts_by_rule": self.counts_by_rule(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def human_summary(self) -> str:
+        lines = [v.format() for v in self.violations]
+        counts = self.counts_by_rule()
+        if counts:
+            breakdown = ", ".join(f"{c}x {code}" for code, c in counts.items())
+            lines.append(
+                f"ecolint: {len(self.violations)} violation(s) "
+                f"({breakdown}) across {self.files_checked} file(s) checked"
+            )
+        else:
+            lines.append(
+                f"ecolint: clean ({self.files_checked} file(s) checked)"
+            )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in SKIP_DIRS for part in sub.parts):
+                    yield sub
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: tuple[Rule, ...] = FILE_RULES,
+) -> list[Violation]:
+    """Lint one module's source text (suppressions applied)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                code="ECO999",
+                path=relpath,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error prevents linting: {exc.msg}",
+            )
+        ]
+    found: list[Violation] = []
+    for rule in rules:
+        if rule.applies_to(relpath):
+            found.extend(rule.check(tree, relpath))
+    return apply_suppressions(found, parse_suppressions(source), relpath)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Path | None = None,
+    rules: tuple[Rule, ...] = FILE_RULES,
+    project_checks: bool = True,
+) -> Report:
+    """Lint files/trees and (optionally) run the project contract checks.
+
+    ``root`` anchors the repo-relative paths used for rule scoping and
+    reporting; it defaults to the current working directory, which is
+    correct for the ``python -m tools.ecolint`` entry point run from the
+    repo root.
+    """
+    root = root or Path.cwd()
+    violations: list[Violation] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        relpath = _relpath(path, root)
+        violations.extend(
+            lint_source(path.read_text(encoding="utf-8"), relpath, rules)
+        )
+    if project_checks:
+        violations.extend(project_violations(root))
+    violations.sort(key=lambda v: v.sort_key)
+    return Report(violations=tuple(violations), files_checked=files)

@@ -1,0 +1,157 @@
+"""Violation records and suppression directives.
+
+A violation is one (rule, location, message) finding. Suppressions are
+per-line comment directives of the form::
+
+    x = np.random.rand()  # ecolint: disable=ECO001 -- calibration-only script
+
+The reason after ``--`` is **mandatory**: a directive without one does
+not suppress anything and is itself reported (ECO000), as is a directive
+that no longer suppresses any finding (stale disables rot into silent
+holes in the gate). Directives may sit on the violating line or alone on
+the line directly above it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+
+#: Rule code reserved for suppression-hygiene findings (never suppressible).
+META_RULE = "ECO000"
+
+_DIRECTIVE = re.compile(
+    r"#\s*ecolint:\s*disable=(?P<codes>[A-Z0-9, ]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One linter finding, sortable into report order."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One parsed ``# ecolint: disable=...`` directive."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str | None
+    #: Whole line is the comment (directive then also covers the next line).
+    standalone: bool
+    used: bool = False
+
+    def covers(self, line: int) -> bool:
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every suppression directive from source comments.
+
+    Tokenizer-based, so directive-shaped text inside string literals
+    (docstrings, test fixtures) is never treated as a live suppression.
+    """
+    out: list[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unparsable files are reported by the lint pass itself
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        lineno, col = token.start
+        text = lines[lineno - 1] if lineno <= len(lines) else ""
+        codes = tuple(
+            c.strip() for c in match.group("codes").split(",") if c.strip()
+        )
+        out.append(
+            Suppression(
+                line=lineno,
+                codes=codes,
+                reason=match.group("reason"),
+                standalone=text[:col].strip() == "",
+            )
+        )
+    return out
+
+
+def apply_suppressions(
+    violations: list[Violation],
+    suppressions: list[Suppression],
+    path: str,
+) -> list[Violation]:
+    """Filter suppressed findings; report directive-hygiene problems.
+
+    Returns the surviving violations plus one :data:`META_RULE` finding
+    per directive that is missing its reason or suppresses nothing.
+    :data:`META_RULE` findings themselves cannot be suppressed.
+    """
+    kept: list[Violation] = []
+    for violation in violations:
+        suppressed = False
+        if violation.code != META_RULE:
+            for directive in suppressions:
+                if (
+                    directive.reason is not None
+                    and violation.code in directive.codes
+                    and directive.covers(violation.line)
+                ):
+                    directive.used = True
+                    suppressed = True
+                    break
+        if not suppressed:
+            kept.append(violation)
+    for directive in suppressions:
+        if directive.reason is None:
+            kept.append(
+                Violation(
+                    code=META_RULE,
+                    path=path,
+                    line=directive.line,
+                    col=0,
+                    message=(
+                        "suppression is missing its mandatory reason "
+                        "(write `# ecolint: disable=RULE -- why`)"
+                    ),
+                )
+            )
+        elif not directive.used:
+            kept.append(
+                Violation(
+                    code=META_RULE,
+                    path=path,
+                    line=directive.line,
+                    col=0,
+                    message=(
+                        f"unused suppression for {', '.join(directive.codes)}: "
+                        "nothing on this line triggers those rules; delete "
+                        "the stale directive"
+                    ),
+                )
+            )
+    return kept
