@@ -14,9 +14,13 @@ gated is per **suite** (``--suite``, default ``swarm``):
 - ``retirement`` -- the retirement-on vs retirement-off replay ratio
   from ``bench_retirement.py`` (machine-portable; guards the
   state-retirement sweep against slowing replays down).
+- ``service``    -- end-to-end /decide throughput and p99 per-decision
+  latency from ``bench_service.py``.
 
 A metric regresses when it drops more than ``--threshold`` below the
-baseline value (higher is better for every gated metric).
+baseline value (higher is better for ``gated`` metrics); suites may
+additionally list ``gated_lower`` metrics -- latencies and the like --
+which regress when they *rise* more than the threshold above baseline.
 
 Escape hatch: set ``BENCH_GATE_SKIP=1`` (CI wires this to the
 ``skip-bench-gate`` PR label) to report the comparison without failing
@@ -106,6 +110,25 @@ SUITES: dict[str, dict] = {
         ),
         "threshold": 0.25,
     },
+    "service": {
+        # End-to-end serving numbers from bench_service.py. Throughput
+        # is higher-is-better; the p99 per-decision latency is gated in
+        # the opposite direction (``gated_lower``: regressed when it
+        # *rises* more than the threshold above baseline). Both are
+        # absolute wall-clock numbers, so the band stays wide like the
+        # workloads suite.
+        "gated": ("batched.decisions_per_s",),
+        "gated_lower": ("single.p99_ms",),
+        "info": (
+            "single.p50_ms",
+            "single.mean_ms",
+            "batched.wall_s",
+            "batched.batch_size",
+            "identity.decisions_checked",
+            "identity.mismatches",
+        ),
+        "threshold": 0.5,
+    },
 }
 
 #: Dotted-path segment with an optional list selector: ``name[key]``
@@ -150,17 +173,22 @@ def compare(current: dict, baseline: dict, threshold: float, suite: str) -> dict
     spec = SUITES[suite]
     rows = []
     failed = []
-    for metric in spec["gated"]:
+    gated = [(m, "higher") for m in spec["gated"]]
+    gated += [(m, "lower") for m in spec.get("gated_lower", ())]
+    for metric, direction in gated:
         cur, base = lookup(current, metric), lookup(baseline, metric)
         if cur is None or base is None:
             failed.append(metric)
             rows.append(
                 {"metric": metric, "current": cur, "baseline": base,
-                 "status": "missing"}
+                 "direction": direction, "status": "missing"}
             )
             continue
         ratio = cur / base if base else float("inf")
-        regressed = ratio < (1.0 - threshold)
+        if direction == "lower":
+            regressed = ratio > (1.0 + threshold)
+        else:
+            regressed = ratio < (1.0 - threshold)
         if regressed:
             failed.append(metric)
         rows.append(
@@ -169,6 +197,7 @@ def compare(current: dict, baseline: dict, threshold: float, suite: str) -> dict
                 "current": cur,
                 "baseline": base,
                 "ratio_vs_baseline": ratio,
+                "direction": direction,
                 "status": "regressed" if regressed else "ok",
             }
         )

@@ -3,6 +3,14 @@
 from repro.carbon.footprint import ZERO_CARBON, CarbonBreakdown, CarbonModel
 from repro.carbon.intensity import CarbonIntensityTrace
 from repro.carbon.io import load_ci_csv, save_ci_csv
+from repro.carbon.providers import (
+    CarbonIntensityProvider,
+    ElectricityMapsProvider,
+    IntensityRing,
+    ProviderFetchError,
+    RecordedFixtureProvider,
+    TraceProvider,
+)
 from repro.carbon.regions import (
     DEFAULT_REGION,
     REGION_NAMES,
@@ -14,8 +22,14 @@ from repro.carbon.regions import (
 
 __all__ = [
     "CarbonIntensityTrace",
+    "CarbonIntensityProvider",
     "CarbonBreakdown",
     "CarbonModel",
+    "ElectricityMapsProvider",
+    "IntensityRing",
+    "ProviderFetchError",
+    "RecordedFixtureProvider",
+    "TraceProvider",
     "ZERO_CARBON",
     "RegionProfile",
     "REGIONS",

@@ -26,9 +26,26 @@ class CarbonIntensityTrace:
     """A right-continuous step function of carbon intensity.
 
     ``times_s[i]`` is the start of segment ``i``; the value ``values[i]``
-    holds until ``times_s[i+1]``. Queries before the first knot clamp to the
-    first value; queries after the last knot clamp to the last value (the
-    trace extends indefinitely at its final level).
+    holds until ``times_s[i+1]``.
+
+    **Extension contract.** Outside the knot span the trace extends
+    indefinitely as a flat step at the nearest edge value: ``values[0]``
+    before the first knot, ``values[-1]`` after the last. Every query
+    honours the same extension:
+
+    - :meth:`at` / :meth:`at_many` return ``values[0]`` for ``t <
+      times_s[0]`` (and ``values[-1]`` past the end);
+    - :meth:`_cum_at` linearly extends the cumulative integral to the
+      left at slope ``values[0]``, so it is *negative* before the first
+      knot -- that sign is what makes :meth:`integrate` exact for any
+      interval: an interval fully left of the trace integrates to
+      ``(t1 - t0) * values[0]``, and one straddling the first knot picks
+      up exactly ``(times_s[0] - t0) * values[0]`` for its left part;
+    - consequently :meth:`mean` over any interval at or before the first
+      knot equals ``values[0]``, matching the point queries.
+
+    Boundary cases are pinned by tests (``t < t0``, ``t == t0``,
+    interval fully left of the trace) in ``tests/test_carbon_intensity.py``.
     """
 
     times_s: np.ndarray
@@ -94,10 +111,16 @@ class CarbonIntensityTrace:
         return self.values[idx]
 
     def _cum_at(self, t: float) -> float:
-        """Cumulative integral of CI from the first knot to ``t``."""
+        """Cumulative integral of CI from the first knot to ``t``.
+
+        Signed: negative for ``t < times_s[0]`` (linear left-extension at
+        ``values[0]``), which keeps ``integrate(t0, t1)`` exact and
+        consistent with :meth:`at`'s clamp for intervals left of, or
+        straddling, the first knot -- see the class docstring.
+        """
         t0 = float(self.times_s[0])
         if t <= t0:
-            # Clamp-extend to the left at the first value.
+            # Flat left-extension at values[0]: signed linear ramp.
             return float((t - t0) * self.values[0])
         idx = int(np.searchsorted(self.times_s, t, side="right")) - 1
         idx = min(idx, self.values.size - 1)

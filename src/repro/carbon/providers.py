@@ -1,0 +1,393 @@
+"""Pluggable carbon-intensity providers for the online decision service.
+
+The replay engine reads carbon intensity from a static
+:class:`~repro.carbon.intensity.CarbonIntensityTrace`. The serving layer
+(:mod:`repro.service`) instead sources intensity from a *provider*: an
+object that can be polled for fresh data and exposes the data it has as
+a ``CarbonIntensityTrace`` snapshot -- so the ``at``/``integrate`` hot
+path (and every downstream decision component) reads live feeds through
+exactly the code path the replay engine uses.
+
+Three implementations:
+
+- :class:`TraceProvider` wraps an existing trace verbatim. Decisions
+  made against it are bit-identical to replaying the same trace, which
+  is the anchor of the service's equivalence tests.
+- :class:`RecordedFixtureProvider` replays a recorded sample file (JSON)
+  as a stream: :meth:`poll` reveals samples whose timestamp has passed,
+  so staleness, fallback, and health behaviour are all exercisable in
+  fully deterministic tests.
+- :class:`ElectricityMapsProvider` is the live client shape: an
+  injectable fetch callable (defaulting to the Electricity Maps
+  ``/carbon-intensity/forecast`` endpoint over stdlib ``urllib``) with
+  timeout, bounded retry + exponential backoff, fallback to the
+  last-known-good ring on failure, and a ``max_staleness_s`` health
+  guard.
+
+Live providers feed an :class:`IntensityRing`: a bounded, sorted knot
+buffer whose :meth:`IntensityRing.snapshot` is a plain
+``CarbonIntensityTrace`` -- appends are rare (one poll per forecast
+period), reads are the unchanged O(log n) trace queries.
+
+Time domains: every provider method takes ``now_s`` in the *caller's*
+clock domain (the service's event time for replayed arrivals, wall
+seconds for live deployments). Providers never read the wall clock
+themselves; only the retry backoff sleeps, through an injectable
+``sleep``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import time
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.carbon.intensity import CarbonIntensityTrace
+
+#: A forecast/observation point: (time in seconds, intensity in gCO2/kWh).
+IntensityPoint = tuple[float, float]
+
+
+@runtime_checkable
+class CarbonIntensityProvider(Protocol):
+    """What the decision service needs from a carbon-intensity source."""
+
+    #: Human-readable source name (surfaced in /metrics).
+    name: str
+    #: Data older than this (seconds) makes the provider unhealthy.
+    max_staleness_s: float
+
+    def poll(self, now_s: float) -> bool:
+        """Refresh from the source; True if new data landed."""
+        ...
+
+    def trace(self) -> CarbonIntensityTrace:
+        """Snapshot of all known intensity data as a step-function trace."""
+        ...
+
+    def staleness_s(self, now_s: float) -> float:
+        """Age of the newest good data relative to ``now_s`` (seconds)."""
+        ...
+
+    def healthy(self, now_s: float) -> bool:
+        """Whether the feed is fresh enough to decide against."""
+        ...
+
+
+class IntensityRing:
+    """Bounded sorted (time, value) knot buffer with trace snapshots.
+
+    Appends keep knots strictly increasing in time: a point at an
+    existing knot time *revises* that knot (forecast updates), a point
+    earlier than existing knots is dropped (the past is settled), and
+    the buffer trims from the front past ``capacity``. The snapshot is
+    cached and rebuilt only after a mutation, so the decision hot path
+    pays a dict hit, not a trace construction.
+    """
+
+    def __init__(self, capacity: int = 4096, name: str = "live") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self._snapshot: CarbonIntensityTrace | None = None
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def last_time_s(self) -> float | None:
+        return self._times[-1] if self._times else None
+
+    def extend(self, points: Iterable[IntensityPoint]) -> int:
+        """Merge forecast points; returns how many knots changed."""
+        changed = 0
+        for t, value in points:
+            t, value = float(t), float(value)
+            if value < 0.0:
+                raise ValueError(f"carbon intensity must be non-negative: {value}")
+            if not self._times or t > self._times[-1]:
+                self._times.append(t)
+                self._values.append(value)
+                changed += 1
+                continue
+            idx = bisect.bisect_left(self._times, t)
+            if idx < len(self._times) and self._times[idx] == t:
+                if self._values[idx] != value:  # forecast revision
+                    self._values[idx] = value
+                    changed += 1
+            # Points strictly inside the settled past are dropped.
+        if len(self._times) > self.capacity:
+            drop = len(self._times) - self.capacity
+            del self._times[:drop]
+            del self._values[:drop]
+            changed += drop
+        if changed:
+            self._snapshot = None
+        return changed
+
+    def snapshot(self) -> CarbonIntensityTrace:
+        """The ring as a trace (raises if no knot has ever landed)."""
+        if not self._times:
+            raise RuntimeError("intensity ring is empty: poll a provider first")
+        if self._snapshot is None:
+            self._snapshot = CarbonIntensityTrace(
+                times_s=np.array(self._times, dtype=float),
+                values=np.array(self._values, dtype=float),
+                name=self.name,
+            )
+        return self._snapshot
+
+
+class TraceProvider:
+    """A provider view over a fixed trace (replay parity / demos).
+
+    The trace is ground truth for its whole span, so the provider is
+    never stale and :meth:`trace` returns the wrapped object itself --
+    reads are bit-identical to direct trace reads by construction.
+    """
+
+    max_staleness_s = float("inf")
+
+    def __init__(self, trace: CarbonIntensityTrace) -> None:
+        self._trace = trace
+        self.name = f"trace:{trace.name}"
+
+    def poll(self, now_s: float) -> bool:
+        return False
+
+    def trace(self) -> CarbonIntensityTrace:
+        return self._trace
+
+    def staleness_s(self, now_s: float) -> float:
+        return 0.0
+
+    def healthy(self, now_s: float) -> bool:
+        return True
+
+
+class RecordedFixtureProvider:
+    """Streams a recorded sample file -- deterministic live-feed stand-in.
+
+    The fixture is JSON: ``{"name": ..., "samples": [[t_s, gco2_per_kwh],
+    ...]}`` (or a bare list of pairs). :meth:`poll` reveals samples with
+    ``t_s <= now_s + forecast_horizon_s`` into the ring; staleness is the
+    age of the newest *revealed* sample. The first sample is revealed at
+    construction so :meth:`trace` always has a knot.
+
+    ``forecast_horizon_s`` mimics forecast feeds: ``inf`` reveals the
+    whole fixture on the first poll (the shape the bit-identity e2e test
+    uses -- the service then sees exactly the replay trace), ``0``
+    (default) reveals strictly by sample time, which is what the
+    staleness-guard tests want.
+    """
+
+    def __init__(
+        self,
+        source: str | os.PathLike | Sequence[IntensityPoint],
+        max_staleness_s: float = float("inf"),
+        forecast_horizon_s: float = 0.0,
+        ring_capacity: int = 65536,
+    ) -> None:
+        if isinstance(source, (str, os.PathLike)):
+            with open(source, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        else:
+            payload = list(source)
+        if isinstance(payload, dict):
+            name = str(payload.get("name", "fixture"))
+            samples = payload["samples"]
+        else:
+            name = "fixture"
+            samples = payload
+        self._samples: list[IntensityPoint] = [
+            (float(t), float(v)) for t, v in samples
+        ]
+        if not self._samples:
+            raise ValueError("fixture has no samples")
+        if any(
+            b[0] <= a[0] for a, b in zip(self._samples, self._samples[1:])
+        ):
+            raise ValueError("fixture sample times must be strictly increasing")
+        self.name = f"fixture:{name}"
+        self.max_staleness_s = max_staleness_s
+        self.forecast_horizon_s = forecast_horizon_s
+        self._ring = IntensityRing(capacity=ring_capacity, name=self.name)
+        self._next = 0
+        self._last_good_s: float | None = None
+        # A trace needs at least one knot before the first poll.
+        self._reveal(1)
+
+    def _reveal(self, count: int) -> int:
+        take = self._samples[self._next : self._next + count]
+        self._next += len(take)
+        return self._ring.extend(take)
+
+    def poll(self, now_s: float) -> bool:
+        frontier = now_s + self.forecast_horizon_s
+        idx = self._next
+        while idx < len(self._samples) and self._samples[idx][0] <= frontier:
+            idx += 1
+        count = idx - self._next
+        changed = self._reveal(count) if count else 0
+        if changed:
+            self._last_good_s = now_s
+        return changed > 0
+
+    def trace(self) -> CarbonIntensityTrace:
+        return self._ring.snapshot()
+
+    def staleness_s(self, now_s: float) -> float:
+        last = self._ring.last_time_s
+        assert last is not None  # primed at construction
+        return max(now_s - last, 0.0)
+
+    def healthy(self, now_s: float) -> bool:
+        return self.staleness_s(now_s) <= self.max_staleness_s
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every fixture sample has been revealed."""
+        return self._next >= len(self._samples)
+
+
+class ProviderFetchError(RuntimeError):
+    """A live provider exhausted its retries without fresh data."""
+
+
+def _electricity_maps_fetch(
+    zone: str, token: str, horizon_hours: int, timeout_s: float
+) -> Callable[[], list[IntensityPoint]]:  # pragma: no cover - network
+    """Default fetch against the Electricity Maps forecast API."""
+    import urllib.parse
+    import urllib.request
+
+    url = (
+        "https://api.electricitymaps.com/v3/carbon-intensity/forecast?"
+        + urllib.parse.urlencode({"zone": zone, "horizonHours": horizon_hours})
+    )
+
+    def fetch() -> list[IntensityPoint]:
+        request = urllib.request.Request(url, headers={"auth-token": token})
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        points: list[IntensityPoint] = []
+        for entry in payload.get("forecast", []):
+            stamp = str(entry["datetime"]).replace("Z", "+00:00")
+            from datetime import datetime
+
+            epoch = datetime.fromisoformat(stamp).timestamp()
+            points.append((epoch, float(entry["carbonIntensity"])))
+        return points
+
+    return fetch
+
+
+class ElectricityMapsProvider:
+    """Forecast client: timeout, bounded retry/backoff, stale fallback.
+
+    ``fetch`` returns forecast points in the caller's time domain; when
+    omitted, the stdlib ``urllib`` client for the Electricity Maps
+    ``/v3/carbon-intensity/forecast`` endpoint is used (epoch seconds;
+    pass ``t0_epoch_s`` to rebase onto a service timeline). ``sleep`` is
+    injectable so tests can record the backoff schedule instead of
+    waiting it out.
+
+    Failure model: each :meth:`poll` tries the fetch up to
+    ``1 + max_retries`` times with exponential backoff
+    (``backoff_base_s * 2**attempt``, capped at ``backoff_cap_s``). If
+    every attempt fails, the ring keeps serving the last-known-good data
+    and the poll reports no refresh; :meth:`healthy` turns False once
+    ``staleness_s`` exceeds ``max_staleness_s``, at which point the
+    service stops answering rather than deciding on arbitrarily old
+    intensity.
+    """
+
+    def __init__(
+        self,
+        zone: str,
+        token: str | None = None,
+        *,
+        fetch: Callable[[], Sequence[IntensityPoint]] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.5,
+        backoff_cap_s: float = 8.0,
+        max_staleness_s: float = 3600.0,
+        horizon_hours: int = 24,
+        ring_capacity: int = 4096,
+        t0_epoch_s: float = 0.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base_s < 0.0 or backoff_cap_s < 0.0:
+            raise ValueError("backoff must be >= 0")
+        self.name = f"electricity-maps:{zone}"
+        self.zone = zone
+        self.max_staleness_s = max_staleness_s
+        self._t0_epoch_s = t0_epoch_s
+        if fetch is None:  # pragma: no cover - network client
+            if token is None:
+                raise ValueError("token is required without an injected fetch")
+            fetch = _electricity_maps_fetch(zone, token, horizon_hours, timeout_s)
+        self._fetch = fetch
+        self._sleep = sleep
+        self._max_retries = max_retries
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._ring = IntensityRing(capacity=ring_capacity, name=self.name)
+        self._last_good_s: float | None = None
+        self.last_error: str | None = None
+        #: Lifetime telemetry.
+        self.polls = 0
+        self.failures = 0
+        self.retries = 0
+
+    def backoff_s(self, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (0-based), for tests/docs."""
+        return min(self._backoff_base_s * (2.0**attempt), self._backoff_cap_s)
+
+    def poll(self, now_s: float) -> bool:
+        self.polls += 1
+        for attempt in range(self._max_retries + 1):
+            try:
+                points = self._fetch()
+            except Exception as exc:
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if attempt < self._max_retries:
+                    self.retries += 1
+                    self._sleep(self.backoff_s(attempt))
+                continue
+            self._ring.extend(
+                (t - self._t0_epoch_s, v) for t, v in points
+            )
+            self._last_good_s = now_s
+            self.last_error = None
+            return True
+        # All attempts failed: fall back to the last-known-good ring.
+        self.failures += 1
+        return False
+
+    def trace(self) -> CarbonIntensityTrace:
+        if not len(self._ring):
+            raise ProviderFetchError(
+                f"{self.name}: no data ever fetched ({self.last_error})"
+            )
+        return self._ring.snapshot()
+
+    def staleness_s(self, now_s: float) -> float:
+        if self._last_good_s is None:
+            return float("inf")
+        return max(now_s - self._last_good_s, 0.0)
+
+    def healthy(self, now_s: float) -> bool:
+        return len(self._ring) > 0 and (
+            self.staleness_s(now_s) <= self.max_staleness_s
+        )

@@ -200,6 +200,98 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import time
+
+    from repro.carbon.providers import (
+        ElectricityMapsProvider,
+        RecordedFixtureProvider,
+        TraceProvider,
+    )
+    from repro.carbon.regions import REGION_NAMES, region_trace_for
+    from repro.core import EcoLifeConfig
+    from repro.hardware import PAIRS
+    from repro.service import DecisionServer, DecisionService
+    from repro.simulator.engine import SimulationConfig
+
+    if args.pair.upper() not in PAIRS:
+        print(f"unknown pair {args.pair!r}; options: {sorted(PAIRS)}")
+        return 2
+    clock = None
+    if args.provider == "trace":
+        if args.region.upper() not in REGION_NAMES:
+            print(f"unknown region {args.region!r}; options: {sorted(REGION_NAMES)}")
+            return 2
+        provider = TraceProvider(
+            region_trace_for(args.region.upper(), args.hours * 3600.0)
+        )
+    elif args.provider == "fixture":
+        if not args.fixture:
+            print("--fixture PATH is required with --provider fixture")
+            return 2
+        provider = RecordedFixtureProvider(
+            args.fixture,
+            max_staleness_s=args.max_staleness,
+            forecast_horizon_s=args.forecast_horizon,
+        )
+    else:  # electricity-maps
+        token = os.environ.get("ELECTRICITYMAPS_TOKEN")
+        if not token:
+            print("set ELECTRICITYMAPS_TOKEN for --provider electricity-maps")
+            return 2
+        t0 = time.time()
+        provider = ElectricityMapsProvider(
+            zone=args.zone,
+            token=token,
+            max_staleness_s=args.max_staleness,
+            t0_epoch_s=t0,
+        )
+        provider.poll(0.0)
+        clock = lambda: time.time() - t0  # noqa: E731
+
+    service_cls = DecisionService
+    kwargs = dict(
+        provider=provider,
+        pair=PAIRS[args.pair.upper()],
+        config=EcoLifeConfig(seed=args.seed),
+        sim_config=SimulationConfig(
+            pool_capacity_old_gb=args.pool_gb,
+            pool_capacity_new_gb=args.pool_gb,
+            kmax_minutes=args.kmax,
+            measure_decision_overhead=False,
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    if args.restore:
+        service = service_cls.restore(args.restore, **kwargs)
+    else:
+        service = service_cls(**kwargs)
+    server = DecisionServer(
+        service, host=args.host, port=args.port, clock=clock
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"decision service on http://{server.host}:{server.port} "
+            f"(scheduler={service.scheduler_name}, "
+            f"provider={service.provider.name})"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down" + (
+            f" (checkpoint -> {service.checkpoint_dir})"
+            if service.checkpoint_dir
+            else ""
+        ))
+    return 0
+
+
 def _cmd_validate(_args: argparse.Namespace) -> int:
     from repro import validation
 
@@ -320,6 +412,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference scheme for the %%-increase table",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the online HTTP decision service (see docs/service.md)",
+    )
+    serve_p.add_argument(
+        "--provider", choices=["trace", "fixture", "electricity-maps"],
+        default="trace",
+        help="carbon-intensity source: a synthetic region trace, a "
+        "recorded JSON fixture, or the live Electricity Maps forecast "
+        "API (needs ELECTRICITYMAPS_TOKEN)",
+    )
+    serve_p.add_argument("--region", default="CAL", help="trace provider region")
+    serve_p.add_argument(
+        "--hours", type=float, default=24.0, help="trace provider span"
+    )
+    serve_p.add_argument("--fixture", default=None, help="fixture JSON path")
+    serve_p.add_argument(
+        "--zone", default="DE", help="Electricity Maps zone code"
+    )
+    serve_p.add_argument(
+        "--max-staleness", type=float, default=3600.0,
+        help="refuse decisions once intensity data is older than this (s)",
+    )
+    serve_p.add_argument(
+        "--forecast-horizon", type=float, default=0.0,
+        help="fixture provider: reveal samples this far ahead of event time (s)",
+    )
+    serve_p.add_argument("--pair", default="A")
+    serve_p.add_argument("--pool-gb", type=float, default=32.0)
+    serve_p.add_argument("--kmax", type=float, default=30.0)
+    serve_p.add_argument("--seed", type=int, default=2024)
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8044)
+    serve_p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint here on /checkpoint (no body) and graceful shutdown",
+    )
+    serve_p.add_argument(
+        "--restore", default=None,
+        help="restore scheduler + engine state from this checkpoint directory",
+    )
+
     sub.add_parser("catalog", help="print the Table I hardware catalog")
     sub.add_parser(
         "validate", help="re-check the DESIGN.md calibration targets"
@@ -335,6 +469,7 @@ def main(argv: list[str] | None = None) -> int:
         "run-experiment": _cmd_run_experiment,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "catalog": _cmd_catalog,
         "validate": _cmd_validate,
     }

@@ -298,6 +298,36 @@ class ArrivalRegistry:
         if est is not None:
             self._by_name[name] = est
 
+    def export_shelf(self) -> dict[str, ArrivalEstimator]:
+        """Every estimator (live, shelved, and spilled), for checkpoints.
+
+        Non-destructive: spilled estimators are peeked, not taken, so
+        the spill tier (which may sit on a checkpoint directory) keeps
+        its records. Deterministic dict order: live ledger, in-memory
+        shelf, then disk, each in insertion order.
+        """
+        out: dict[str, ArrivalEstimator] = dict(self._by_name)
+        out.update(self._archived)
+        if self._spill is not None:
+            for name in self._spill.names():
+                if name not in out:
+                    out[name] = cast(ArrivalEstimator, self._spill.peek(name))
+        return out
+
+    def import_shelved(self, name: str, est: ArrivalEstimator) -> None:
+        """Adopt one estimator onto the shelf (checkpoint restore).
+
+        It stays archived -- exactly the state after a retirement sweep
+        -- and revives through the normal path on the function's next
+        arrival. Overflow spills to disk as usual.
+        """
+        if name in self._by_name or name in self._archived or (
+            self._spill is not None and name in self._spill
+        ):
+            raise ValueError(f"estimator already present: {name!r}")
+        self._archived[name] = est
+        self._maybe_spill()
+
     def _maybe_spill(self) -> None:
         """Move least-recently-shelved estimators to disk past the cap."""
         if self._spill is None:

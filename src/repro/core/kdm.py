@@ -369,6 +369,63 @@ class KeepAliveDecisionMaker:
         self._touch(name, arch.last_seen)
         self.rehydrated += 1
 
+    # -- checkpoint export/import -------------------------------------------------
+
+    def retire_all(self) -> int:
+        """Archive every live function (checkpoint / graceful shutdown).
+
+        Retire/rehydrate is an identity, so a service that archives its
+        whole live set, exports the archives, and keeps running answers
+        exactly the decisions it would have without the checkpoint --
+        each function rehydrates on its next arrival through the normal
+        path. Requires retirement to be enabled (the online service
+        forces it on with ``retire_after_s=inf``, which legally enables
+        the machinery with zero idle retirement).
+        """
+        if not self._retirement:
+            raise RuntimeError(
+                "retire_all() needs retirement enabled "
+                "(set retire_after_s -- inf works -- or max_live_swarms)"
+            )
+        victims = list(self._last_seen)
+        for name in victims:
+            self._retire(name)
+        if victims and self._fleet is not None:
+            remap = self._fleet.compact()
+            if remap:  # pragma: no cover - retire_all empties the slot map
+                self._slots = {
+                    n: remap.get(s, s) for n, s in self._slots.items()
+                }
+        return len(victims)
+
+    def export_archives(self) -> dict[str, RetiredFunction]:
+        """All archived state, in-memory shelf first then spilled records.
+
+        Non-destructive (spilled records are peeked, not taken) and
+        deterministic: both tiers iterate in their insertion order.
+        Call after :meth:`retire_all` to capture the full per-function
+        state for a checkpoint.
+        """
+        out: dict[str, RetiredFunction] = dict(self._archives)
+        if self._spill is not None:
+            for name in self._spill.names():
+                record = self._spill.peek(name)
+                assert isinstance(record, RetiredFunction)
+                out[name] = record
+        return out
+
+    def import_archive(self, name: str, record: RetiredFunction) -> None:
+        """Adopt one archived function (checkpoint restore).
+
+        The record lands on the in-memory shelf (spilling past the
+        configured cap as usual) and rehydrates through the normal
+        on-arrival path when the function next appears.
+        """
+        if self._has_archive(name) or name in self._last_seen:
+            raise ValueError(f"function state already present: {name!r}")
+        self._archives[name] = record
+        self._maybe_spill()
+
     def _touch(self, name: str, t: float) -> None:
         """Record activity for the idle sweep (and the peak-live gauge).
 

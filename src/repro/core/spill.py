@@ -46,6 +46,7 @@ class ArchiveSpill:
         self.root = pathlib.Path(tempfile.mkdtemp(prefix="kdm-", dir=base))
         self._paths: dict[str, pathlib.Path] = {}
         self._seq = 0
+        self._attached = False
         #: Lifetime gauges (memory-bounds telemetry).
         self.spilled = 0
         self.loaded = 0
@@ -82,9 +83,72 @@ class ArchiveSpill:
         self.loaded += 1
         return record
 
+    def peek(self, name: str) -> object:
+        """Load one record without removing it from the store.
+
+        The checkpoint/restore path reads records non-destructively:
+        a checkpoint directory attached via :meth:`attach` must survive
+        being restored from (restores may happen more than once -- e.g.
+        a crash loop replaying the same checkpoint).
+        """
+        path = self._paths[name]
+        with open(path, "rb") as fh:
+            record = pickle.load(fh)
+        self.loaded += 1
+        return record
+
+    def names(self) -> tuple[str, ...]:
+        """Spilled names in insertion (spill) order."""
+        return tuple(self._paths)
+
+    def manifest(self) -> dict[str, str]:
+        """Name -> filename map (relative to :attr:`root`), for checkpoints.
+
+        The name index lives only in memory; a checkpoint must persist
+        it alongside the record files so :meth:`attach` can rebuild the
+        store in a fresh process.
+        """
+        return {name: path.name for name, path in self._paths.items()}
+
+    @classmethod
+    def attach(
+        cls, root: str | os.PathLike, files: dict[str, str]
+    ) -> "ArchiveSpill":
+        """Open an existing spill directory from its checkpoint manifest.
+
+        Unlike the constructor this does not create a fresh
+        subdirectory: ``root`` is the exact directory holding the
+        record files and ``files`` is a prior :meth:`manifest`. The
+        attached store reads (and may extend) that directory in place.
+        """
+        store = cls.__new__(cls)
+        store.root = pathlib.Path(root)
+        store._paths = {}
+        store._seq = 0
+        store._attached = True
+        store.spilled = 0
+        store.loaded = 0
+        for name, filename in files.items():
+            path = store.root / filename
+            if not path.is_file():
+                raise FileNotFoundError(
+                    f"checkpoint record missing: {path} (for {name!r})"
+                )
+            store._paths[name] = path
+            # Continue sequential naming past the attached records.
+            stem = filename.rsplit(".", 1)[0]
+            try:
+                seq = int(stem.rsplit("-", 1)[-1])
+            except ValueError:
+                seq = -1
+            store._seq = max(store._seq, seq + 1)
+        return store
+
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
-            if not self._paths:
+            # Attached stores sit on a user-owned checkpoint directory;
+            # never remove those, even when fully drained.
+            if not self._paths and not self._attached:
                 shutil.rmtree(self.root, ignore_errors=True)
         except Exception:
             # Interpreter shutdown may have torn down globals already;

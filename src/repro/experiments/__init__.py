@@ -26,6 +26,8 @@ from repro.experiments.runner import (
     RunnerJob,
     ScenarioGrid,
     ScenarioSpec,
+    SummarySchemaError,
+    WorkerCrashError,
     execute_job,
     execute_job_with_records,
     make_scheduler,
@@ -89,6 +91,8 @@ __all__ = [
     "ResultCache",
     "ParallelRunner",
     "GridResult",
+    "SummarySchemaError",
+    "WorkerCrashError",
     "SCHEDULERS",
     "SCHEDULER_NAMES",
     "make_scheduler",

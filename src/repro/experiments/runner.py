@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import pathlib
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -395,8 +396,53 @@ class ResultSummary:
         return json.dumps(dataclasses.asdict(self), sort_keys=True)
 
     @classmethod
+    def schema_token(cls) -> str:
+        """Stable token identifying this summary schema.
+
+        Derived from the ordered field names, so adding/renaming/removing
+        a field changes the token automatically -- no manual version bump
+        to forget. :class:`ResultCache` folds it into the key digest,
+        which turns every pre-change cache entry into a clean miss
+        instead of a ``TypeError`` at load time.
+        """
+        return "fields:" + ",".join(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
     def from_json(cls, text: str) -> "ResultSummary":
-        return cls(**json.loads(text))
+        """Parse a cached summary, tolerating schema drift.
+
+        Unknown keys (written by a *newer* schema) are dropped; a missing
+        required field (written by an *older* schema) raises
+        :class:`SummarySchemaError`, which :meth:`ResultCache.get` treats
+        as a cache miss. Only malformed JSON or a non-object payload is
+        also a schema error -- never a raw ``TypeError``/``KeyError``
+        that would abort a whole sweep.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SummarySchemaError(f"cached summary is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SummarySchemaError(
+                f"cached summary must be a JSON object, got {type(data).__name__}"
+            )
+        fields = dataclasses.fields(cls)
+        known = {f.name for f in fields}
+        missing = [
+            f.name
+            for f in fields
+            if f.name not in data and f.default is dataclasses.MISSING
+        ]
+        if missing:
+            raise SummarySchemaError(
+                f"cached summary is missing required fields {missing} "
+                "(written by an older schema?)"
+            )
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class SummarySchemaError(ValueError):
+    """A cached :class:`ResultSummary` JSON does not match the current schema."""
 
 
 def execute_job(job: RunnerJob) -> ResultSummary:
@@ -428,8 +474,11 @@ def execute_job_with_records(job: RunnerJob) -> tuple[ResultSummary, RecordArray
 class ResultCache:
     """Directory of ``<key>.json`` result summaries.
 
-    The key is ``sha256(scenario label | scheduler | config digest)``; see
-    ``docs/sweep_runner.md`` for the format. Scenario labels are trusted to
+    The key is ``sha256(version | schema token | scenario label |
+    scheduler | config digest)``; see ``docs/sweep_runner.md`` for the
+    format. The schema token (:meth:`ResultSummary.schema_token`) keys
+    entries to the summary's field set, so a schema change makes old
+    entries clean misses. Scenario labels are trusted to
     identify the scenario, which holds for :class:`ScenarioSpec` labels
     (every build parameter is in the label) -- for pre-built scenarios the
     digest additionally covers the simulation config.
@@ -454,6 +503,7 @@ class ResultCache:
     def key(self, job: RunnerJob) -> str:
         parts = [
             self.VERSION,
+            ResultSummary.schema_token(),
             job.scenario_label,
             job.scheduler,
             repr(job.config) if job.config is not None else self._default_token(),
@@ -500,8 +550,16 @@ class ResultCache:
             # re-simulates and fills both files.
             self.misses += 1
             return None
+        try:
+            summary = ResultSummary.from_json(path.read_text())
+        except SummarySchemaError:
+            # A stale-schema entry (e.g. written before a field was
+            # added/renamed, or hand-edited) is a miss, not a crash; the
+            # runner re-simulates and overwrites it.
+            self.misses += 1
+            return None
         self.hits += 1
-        return ResultSummary.from_json(path.read_text())
+        return summary
 
     def put(
         self,
@@ -581,12 +639,41 @@ class GridResult:
         return out
 
 
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-sweep (OOM kill, segfault, ``os._exit``).
+
+    ``concurrent.futures`` surfaces this as a bare ``BrokenProcessPool``
+    that says nothing about *which* jobs were lost. This wrapper names
+    the jobs that had not completed when the pool broke
+    (``failed_labels``) and how many results landed first
+    (``completed``). Completed results were already written to the
+    :class:`ResultCache` (if one is configured), so re-running the same
+    grid resumes from the cache and only re-executes the failed tail.
+    """
+
+    def __init__(self, failed_labels: Sequence[str], completed: int) -> None:
+        self.failed_labels = tuple(failed_labels)
+        self.completed = completed
+        preview = ", ".join(self.failed_labels[:5])
+        if len(self.failed_labels) > 5:
+            preview += f", ... ({len(self.failed_labels) - 5} more)"
+        super().__init__(
+            f"worker process died; {completed} job(s) completed, "
+            f"{len(self.failed_labels)} lost: {preview}. Completed results "
+            "are in the cache (if configured) -- re-run to resume."
+        )
+
+
 class ParallelRunner:
     """Executes runner jobs, optionally in parallel and/or cached.
 
     ``n_workers=1`` runs in-process; ``n_workers>1`` fans out over a
     process pool; ``n_workers=None`` uses the CPU count. Job order is
     always preserved in the returned list.
+
+    If a worker dies mid-sweep the run raises :class:`WorkerCrashError`
+    naming the unfinished jobs; everything that completed before the
+    crash is already in the cache, so re-running the same grid skips it.
     """
 
     def __init__(
@@ -640,11 +727,24 @@ class ParallelRunner:
                     consume(i, entry(jobs[i]))
             else:
                 workers = min(self.n_workers, len(pending))
-                with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                    for i, outcome in zip(
-                        pending, pool.map(entry, [jobs[i] for i in pending])
-                    ):
-                        consume(i, outcome)
+                done = 0
+                try:
+                    with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                        for i, outcome in zip(
+                            pending, pool.map(entry, [jobs[i] for i in pending])
+                        ):
+                            consume(i, outcome)
+                            done += 1
+                except BrokenProcessPool as exc:
+                    # pool.map yields in order, so everything past `done`
+                    # is lost. Results consumed so far are already cached.
+                    failed = [
+                        f"{jobs[i].scheduler} @ {jobs[i].scenario_label}"
+                        for i in pending[done:]
+                    ]
+                    raise WorkerCrashError(
+                        failed, completed=len(jobs) - len(failed)
+                    ) from exc
 
         return list(results)  # type: ignore[arg-type]
 

@@ -1,0 +1,69 @@
+"""Serving telemetry: latency percentiles and decision counters.
+
+Kept deliberately tiny and stdlib-only. The latency window is a bounded
+deque of recent per-decision latencies; percentiles use the
+nearest-rank method over that window (the usual shape for service
+dashboards -- recent behaviour, not lifetime averages).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class LatencyWindow:
+    """Bounded sample window with nearest-rank percentiles."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the window; None when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+
+class ServiceMetrics:
+    """Everything ``/metrics`` reports about one decision service."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self.decisions = 0
+        self.batches = 0
+        self.checkpoints = 0
+        self.latency = LatencyWindow(maxlen=window)
+
+    def observe_batch(self, n_decisions: int, wall_s: float) -> None:
+        """Account one /decide call: n decisions in ``wall_s`` seconds."""
+        self.decisions += n_decisions
+        self.batches += 1
+        if n_decisions > 0:
+            per_decision = wall_s / n_decisions
+            for _ in range(n_decisions):
+                self.latency.observe(per_decision)
+
+    def snapshot(self) -> dict[str, object]:
+        p50 = self.latency.percentile(50.0)
+        p99 = self.latency.percentile(99.0)
+        return {
+            "decisions_total": self.decisions,
+            "decide_batches_total": self.batches,
+            "checkpoints_total": self.checkpoints,
+            "decision_latency_p50_ms": None if p50 is None else p50 * 1e3,
+            "decision_latency_p99_ms": None if p99 is None else p99 * 1e3,
+            "latency_window_samples": len(self.latency),
+        }

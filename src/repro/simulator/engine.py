@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro import units
 from repro.carbon.footprint import CarbonModel
@@ -40,6 +41,7 @@ from repro.simulator.records import (
 )
 from repro.simulator.scheduler import (
     AdjustmentRequest,
+    ArrivalView,
     BaseScheduler,
     KeepAliveRequest,
     PlacementRequest,
@@ -48,6 +50,9 @@ from repro.simulator.scheduler import (
 )
 from repro.workloads.functions import FunctionProfile
 from repro.workloads.trace import InvocationTrace
+
+#: One arrival for the incremental stepping API: (time, function).
+Arrival = tuple[float, FunctionProfile]
 
 
 @dataclass(frozen=True)
@@ -103,7 +108,7 @@ class SimulationEngine:
     def __init__(
         self,
         pair: HardwarePair,
-        trace: InvocationTrace,
+        trace: InvocationTrace | ArrivalView,
         ci_trace: CarbonIntensityTrace,
         config: SimulationConfig | None = None,
         energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
@@ -125,6 +130,9 @@ class SimulationEngine:
         self._token = 0
         self._ran = False
         self._scheduler: BaseScheduler | None = None
+        self._env: SchedulerEnv | None = None
+        self._horizon = 0.0
+        self._wall_start = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -132,6 +140,23 @@ class SimulationEngine:
 
     def run(self, scheduler: BaseScheduler) -> SimulationResult:
         """Replay the full trace and return the aggregated result."""
+        if not isinstance(self.trace, InvocationTrace):
+            raise TypeError(
+                "run() replays an InvocationTrace; feed live arrival "
+                "sources through start()/step_batch()/finish()"
+            )
+        self.start(scheduler)
+        self.step_batch((inv.t, inv.func) for inv in self.trace)
+        return self.finish()
+
+    def start(self, scheduler: BaseScheduler) -> None:
+        """Bind a scheduler and open the engine for incremental stepping.
+
+        ``run()`` is ``start()`` + one full-trace ``step_batch()`` +
+        ``finish()``; the online decision service drives the same three
+        entry points with arrivals from the network instead. Engines
+        remain single-use either way.
+        """
         if self._ran:
             raise RuntimeError("SimulationEngine instances are single-use")
         self._ran = True
@@ -149,36 +174,81 @@ class SimulationEngine:
         )
         scheduler.bind(env)
         self._scheduler = scheduler
-
+        self._env = env
+        self._horizon = 0.0
         # ecolint: disable=ECO002 -- wall_time_s is telemetry only; deterministic_dict() excludes it from replay-compared outputs
-        wall_start = time.perf_counter()
+        self._wall_start = time.perf_counter()
+
+    def step_batch(self, arrivals: Iterable[Arrival]) -> list[InvocationRecord]:
+        """Process time-ordered arrivals incrementally; returns their records.
+
+        Identical decision semantics to ``run()``: batching schedulers
+        get same-tick grouping (any staged group is flushed before this
+        call returns, so callers always see completed decisions), others
+        are stepped one by one. Stepping boundaries never change
+        decisions -- the grouping contract guarantees composition
+        independence (see ``_grouped_steps``).
+        """
+        scheduler = self._require_started()
+        first = len(self.records)
         if scheduler.supports_keepalive_batch:
-            horizon = self._replay_grouped(scheduler)
+            self._horizon = max(
+                self._horizon, self._grouped_steps(scheduler, arrivals)
+            )
         else:
-            horizon = 0.0
-            for inv in self.trace:
-                self._drain_events(until=inv.t)
-                t_end = self._process_invocation(scheduler, inv.t, inv.func)
-                horizon = max(horizon, t_end)
+            for t, func in arrivals:
+                self._drain_events(until=t)
+                t_end = self._process_invocation(scheduler, t, func)
+                self._horizon = max(self._horizon, t_end)
+        return self.records[first:]
+
+    def step_arrival(self, t: float, func: FunctionProfile) -> InvocationRecord:
+        """Process one arrival; returns its completed record."""
+        return self.step_batch([(t, func)])[0]
+
+    def finish(self) -> SimulationResult:
+        """Drain every outstanding event and aggregate the result."""
+        scheduler = self._require_started()
         self._drain_events(until=float("inf"))
         if any(len(self.pools[g]) for g in GENERATIONS):  # pragma: no cover
             raise RuntimeError("pools not empty after final drain")
-        # ecolint: disable=ECO002 -- closes the telemetry-only wall_time_s measurement started above
-        wall = time.perf_counter() - wall_start
+        # ecolint: disable=ECO002 -- closes the telemetry-only wall_time_s measurement started in start()
+        wall = time.perf_counter() - self._wall_start
 
         return SimulationResult(
             scheduler_name=scheduler.name,
             records=self.records,
-            horizon_s=horizon,
+            horizon_s=self._horizon,
             wall_time_s=wall,
         )
+
+    def update_ci_trace(self, ci_trace: CarbonIntensityTrace) -> None:
+        """Point the engine (and the bound scheduler) at a refreshed trace.
+
+        Safe mid-run: decisions read intensity through the env at query
+        time, cost-model caches are CI-independent (intensity is applied
+        per query), and the providers only ever extend or revise knots
+        at or past the last one -- the observed past stays fixed.
+        """
+        self.carbon_model = CarbonModel(
+            trace=ci_trace, energy_model=self.carbon_model.energy_model
+        )
+        if self._env is not None:
+            self._env.retarget_carbon(self.carbon_model)
+
+    def _require_started(self) -> BaseScheduler:
+        if self._scheduler is None:
+            raise RuntimeError("call start() before stepping the engine")
+        return self._scheduler
 
     # ------------------------------------------------------------------
     # Invocation pipeline
     # ------------------------------------------------------------------
 
-    def _replay_grouped(self, scheduler: BaseScheduler) -> float:
-        """Trace replay that batches shared-tick keep-alive decisions.
+    def _grouped_steps(
+        self, scheduler: BaseScheduler, arrivals: Iterable[Arrival]
+    ) -> float:
+        """Arrival stepping that batches shared-tick keep-alive decisions.
 
         Consecutive invocations of *distinct* functions arriving within
         the same decision tick are placed one by one -- each against
@@ -217,19 +287,19 @@ class SimulationEngine:
         names: set[str] = set()
         bucket: float | None = None
         flush_at = float("inf")  # earliest staged completion
-        for inv in self.trace:
-            key = inv.t if quantum <= 0.0 else inv.t // quantum
+        for t, func in arrivals:
+            key = t if quantum <= 0.0 else t // quantum
             if staged and (
-                key != bucket or inv.func.name in names or inv.t >= flush_at
+                key != bucket or func.name in names or t >= flush_at
             ):
                 horizon = max(horizon, self._flush_staged(scheduler, staged))
                 staged, names = [], set()
                 flush_at = float("inf")
             bucket = key
-            self._drain_events(until=inv.t)
-            req = self._place_and_record(scheduler, inv.t, inv.func)
+            self._drain_events(until=t)
+            req = self._place_and_record(scheduler, t, func)
             staged.append(req)
-            names.add(inv.func.name)
+            names.add(func.name)
             flush_at = min(flush_at, req.t_end)
         if staged:
             horizon = max(horizon, self._flush_staged(scheduler, staged))

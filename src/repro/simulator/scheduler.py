@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -38,7 +38,24 @@ from repro.hardware.specs import GENERATIONS, Generation, HardwarePair, ServerSp
 from repro.simulator.containers import WarmContainer, WarmPool
 from repro.simulator.records import InvocationRecord, KeepAliveDecision
 from repro.workloads.functions import FunctionProfile
-from repro.workloads.trace import InvocationTrace
+
+
+class ArrivalView(Protocol):
+    """What the env needs from an arrival source.
+
+    :class:`~repro.workloads.trace.InvocationTrace` satisfies this for
+    replays; the online service substitutes a live arrival log that
+    answers the same trailing-rate query over the arrivals observed so
+    far (and refuses lookahead, which only replayed oracles may use).
+    """
+
+    def rate_per_minute(self, t: float, window_s: float = 60.0) -> float:
+        """Arrivals per minute over the trailing window ending at ``t``."""
+        ...
+
+    def next_arrival(self, name: str, after_t: float) -> float | None:
+        """Next invocation of ``name`` strictly after ``after_t``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -102,7 +119,7 @@ class SchedulerEnv:
         carbon_model: CarbonModel,
         energy_model: EnergyModel,
         pools: dict[Generation, WarmPool],
-        trace: InvocationTrace,
+        trace: ArrivalView,
         setup_delay_s: float,
         kmax_s: float,
         k_step_s: float,
@@ -122,6 +139,20 @@ class SchedulerEnv:
         self._ci_cummax: np.ndarray | None = None
 
     # -- hardware / carbon -----------------------------------------------------
+
+    def retarget_carbon(self, carbon_model: CarbonModel) -> None:
+        """Swap in a refreshed carbon model (live-feed updates).
+
+        The online service calls this when its intensity provider
+        delivers new forecast knots: the env starts reading the new
+        trace and drops the cached running-max (``ci_max_observed``
+        stays causal -- it is recomputed over the refreshed knots, which
+        extend rather than rewrite the observed past; see
+        ``IntensityRing`` append rules).
+        """
+        self.carbon_model = carbon_model
+        self._ci_trace = carbon_model.trace
+        self._ci_cummax = None
 
     def server(self, gen: Generation) -> ServerSpec:
         """The server on one side of the pair."""

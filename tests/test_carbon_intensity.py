@@ -86,6 +86,58 @@ class TestIntegration:
         assert g == pytest.approx(100.0 / 60.0)
 
 
+class TestLeftBoundary:
+    """Pre-first-knot extension contract (see the class docstring).
+
+    The trace extends flat at ``values[0]`` to the left; point queries,
+    integration, and means must all agree on that extension.
+    """
+
+    @pytest.fixture
+    def offset_trace(self):
+        """First knot at t=100 s, so there is room to query left of it."""
+        return CarbonIntensityTrace(
+            times_s=np.array([100.0, 160.0, 220.0]),
+            values=np.array([100.0, 300.0, 200.0]),
+        )
+
+    def test_point_queries_before_first_knot(self, offset_trace):
+        assert offset_trace.at(-50.0) == 100.0
+        assert offset_trace.at(0.0) == 100.0
+        assert offset_trace.at(99.999) == 100.0
+        assert offset_trace.at_many(np.array([-50.0, 0.0, 99.0])).tolist() == [
+            100.0, 100.0, 100.0,
+        ]
+
+    def test_point_query_at_first_knot(self, offset_trace):
+        assert offset_trace.at(100.0) == 100.0
+        assert offset_trace._cum_at(100.0) == 0.0
+
+    def test_interval_fully_left_of_trace(self, offset_trace):
+        # Flat extension at values[0]: integral is width * values[0].
+        assert offset_trace.integrate(0.0, 50.0) == pytest.approx(50.0 * 100.0)
+        assert offset_trace.mean(0.0, 50.0) == pytest.approx(100.0)
+
+    def test_interval_straddling_first_knot(self, offset_trace):
+        # 40 s of left-extension at 100 plus 60 s of segment 0 at 100.
+        assert offset_trace.integrate(60.0, 160.0) == pytest.approx(100.0 * 100.0)
+        assert offset_trace.mean(60.0, 160.0) == pytest.approx(100.0)
+
+    def test_interval_ending_exactly_at_first_knot(self, offset_trace):
+        assert offset_trace.integrate(80.0, 100.0) == pytest.approx(20.0 * 100.0)
+
+    def test_cum_at_is_signed_left_of_first_knot(self, offset_trace):
+        # The signed ramp is what makes integrate() additive across t0.
+        assert offset_trace._cum_at(90.0) == pytest.approx(-10.0 * 100.0)
+        left = offset_trace.integrate(0.0, 100.0)
+        right = offset_trace.integrate(100.0, 200.0)
+        assert left + right == pytest.approx(offset_trace.integrate(0.0, 200.0))
+
+    def test_mean_left_agrees_with_clamped_point_value(self, offset_trace):
+        for t0, t1 in [(-100.0, -10.0), (0.0, 100.0), (-5.0, 5.0)]:
+            assert offset_trace.mean(t0, t1) == pytest.approx(offset_trace.at(t0))
+
+
 class TestStats:
     def test_hourly_series_constant(self):
         tr = CarbonIntensityTrace.from_minute_values([100.0] * 180)

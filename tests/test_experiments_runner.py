@@ -1,6 +1,7 @@
 """Sweep runner: grid expansion, determinism, caching, registry."""
 
 import dataclasses
+import json
 
 import numpy as np
 import pytest
@@ -15,6 +16,8 @@ from repro.experiments.runner import (
     RunnerJob,
     ScenarioGrid,
     ScenarioSpec,
+    SummarySchemaError,
+    WorkerCrashError,
     execute_job,
     execute_job_with_records,
     make_scheduler,
@@ -255,6 +258,109 @@ class TestResultCache:
         assert len(cache) == 1
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+class TestSummarySchemaTolerance:
+    """Stale cache JSON must miss, never crash the sweep (ISSUE 7)."""
+
+    def _summary_dict(self):
+        job = RunnerJob(
+            scheduler="new-only", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        return job, dataclasses.asdict(execute_job(job))
+
+    def test_unknown_keys_are_tolerated(self):
+        _, data = self._summary_dict()
+        data["a_future_field"] = 123.0
+        summary = ResultSummary.from_json(json.dumps(data))
+        assert summary.scheduler_name == data["scheduler_name"]
+
+    def test_missing_required_field_raises_schema_error(self):
+        _, data = self._summary_dict()
+        del data["total_carbon_g"]
+        with pytest.raises(SummarySchemaError, match="total_carbon_g"):
+            ResultSummary.from_json(json.dumps(data))
+
+    def test_malformed_json_raises_schema_error(self):
+        with pytest.raises(SummarySchemaError):
+            ResultSummary.from_json("{not json")
+        with pytest.raises(SummarySchemaError):
+            ResultSummary.from_json("[1, 2, 3]")
+
+    def test_stale_cache_entry_is_a_miss_not_a_crash(self, tmp_path):
+        """Hand-written stale JSON (pre-rename schema) under the current
+        key must read as a miss and be overwritten by a re-run."""
+        cache = ResultCache(tmp_path)
+        job, data = self._summary_dict()
+        # Simulate an entry written before a field was renamed.
+        stale = dict(data)
+        stale["total_co2_g"] = stale.pop("total_carbon_g")
+        cache._path(cache.key(job)).write_text(json.dumps(stale))
+        assert cache.get(job) is None
+        assert cache.misses == 1
+        # The runner then re-simulates and repairs the entry in place.
+        runner = ParallelRunner(n_workers=1, cache=cache)
+        [summary] = runner.run([job])
+        assert summary.total_carbon_g == data["total_carbon_g"]
+        assert cache.get(job) == summary
+
+    def test_schema_token_is_part_of_the_key(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        job = RunnerJob(
+            scheduler="new-only", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        before = cache.key(job)
+        monkeypatch.setattr(
+            ResultSummary, "schema_token", classmethod(lambda cls: "fields:other")
+        )
+        assert cache.key(job) != before
+
+
+class _PoisonTrace:
+    """Pickles fine in the parent; kills the worker during unpickling."""
+
+    def __reduce__(self):
+        import os
+
+        return (os._exit, (13,))
+
+
+def _poison_job(scheduler: str) -> RunnerJob:
+    scenario = quick_scenario(seed=3)
+    scenario = dataclasses.replace(
+        scenario, trace=_PoisonTrace(), label=f"poison-{scheduler}"
+    )
+    return RunnerJob(scheduler=scheduler, scenario=scenario)
+
+
+class TestWorkerCrash:
+    """A worker death surfaces as WorkerCrashError naming the lost jobs,
+    and completed results stay resumable from the cache (ISSUE 7)."""
+
+    def test_crash_names_failed_jobs_and_cache_resumes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = RunnerJob(
+            scheduler="new-only", spec=ScenarioSpec(n_functions=6, hours=0.5)
+        )
+        # Pre-complete the good job so it is a cache hit; both pending
+        # jobs are poison, so the pool path (>= 2 pending) is exercised
+        # deterministically and nothing runs in-process.
+        cache.put(good, execute_job(good))
+        poison = [_poison_job("new-only"), _poison_job("oracle")]
+        runner = ParallelRunner(n_workers=2, cache=cache)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            runner.run([good, *poison])
+        err = excinfo.value
+        assert err.completed == 1
+        assert set(err.failed_labels) == {
+            "new-only @ poison-new-only", "oracle @ poison-oracle"
+        }
+        assert "re-run to resume" in str(err)
+        # Resume: the completed job is served from the cache untouched.
+        hits_before = cache.hits
+        [resumed] = runner.run([good])
+        assert cache.hits == hits_before + 1
+        assert resumed.scheduler_name == "new-only"
 
 
 class TestGridResult:

@@ -1,0 +1,291 @@
+"""Carbon-intensity providers: conformance, staleness, backoff, fallback.
+
+The conformance suite runs the same assertions against all three
+:class:`~repro.carbon.providers.CarbonIntensityProvider` implementations
+(ISSUE 7 satellite); provider-specific behaviour (fixture reveal,
+retry/backoff, last-known-good fallback) has dedicated classes below.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.carbon import (
+    CarbonIntensityProvider,
+    CarbonIntensityTrace,
+    ElectricityMapsProvider,
+    IntensityRing,
+    ProviderFetchError,
+    RecordedFixtureProvider,
+    TraceProvider,
+)
+
+SAMPLES = [(0.0, 100.0), (60.0, 200.0), (120.0, 300.0)]
+
+
+def make_trace_provider():
+    return TraceProvider(
+        CarbonIntensityTrace.from_minute_values([100.0, 200.0, 300.0])
+    )
+
+
+def make_fixture_provider(**kwargs):
+    kwargs.setdefault("forecast_horizon_s", float("inf"))
+    return RecordedFixtureProvider(SAMPLES, **kwargs)
+
+
+def make_em_provider(**kwargs):
+    kwargs.setdefault("fetch", lambda: SAMPLES)
+    kwargs.setdefault("sleep", lambda s: None)
+    return ElectricityMapsProvider("TEST", **kwargs)
+
+
+PROVIDER_FACTORIES = {
+    "trace": make_trace_provider,
+    "fixture": make_fixture_provider,
+    "electricity-maps": make_em_provider,
+}
+
+
+@pytest.fixture(params=sorted(PROVIDER_FACTORIES))
+def provider(request):
+    p = PROVIDER_FACTORIES[request.param]()
+    p.poll(0.0)  # live providers need one poll before trace()
+    return p
+
+
+class TestConformance:
+    """Every implementation satisfies the same provider contract."""
+
+    def test_satisfies_protocol(self, provider):
+        assert isinstance(provider, CarbonIntensityProvider)
+        assert isinstance(provider.name, str) and provider.name
+        assert provider.max_staleness_s > 0.0
+
+    def test_trace_is_a_trace_with_the_sample_values(self, provider):
+        trace = provider.trace()
+        assert isinstance(trace, CarbonIntensityTrace)
+        assert trace.at(0.0) == 100.0
+        assert trace.at(60.0) == 200.0
+        assert trace.at(1e9) == 300.0
+
+    def test_staleness_is_non_negative_and_health_matches_guard(self, provider):
+        for now in (0.0, 60.0, 120.0):
+            staleness = provider.staleness_s(now)
+            assert staleness >= 0.0
+            assert provider.healthy(now) == (
+                staleness <= provider.max_staleness_s
+            )
+
+    def test_poll_returns_bool(self, provider):
+        assert provider.poll(120.0) in (True, False)
+
+    def test_staleness_guard_trips_when_finite(self, provider):
+        """Far enough in the future every finitely-guarded provider goes
+        unhealthy; infinite guards (TraceProvider, default fixture) never
+        do."""
+        far = 1e12
+        if math.isinf(provider.max_staleness_s):
+            assert provider.healthy(far)
+        else:
+            assert not provider.healthy(far)
+
+
+class TestIntensityRing:
+    def test_appends_and_snapshot(self):
+        ring = IntensityRing()
+        assert ring.extend(SAMPLES) == 3
+        trace = ring.snapshot()
+        assert trace.times_s.tolist() == [0.0, 60.0, 120.0]
+        assert trace.values.tolist() == [100.0, 200.0, 300.0]
+
+    def test_snapshot_cached_until_mutation(self):
+        ring = IntensityRing()
+        ring.extend(SAMPLES)
+        first = ring.snapshot()
+        assert ring.snapshot() is first
+        ring.extend([(180.0, 400.0)])
+        second = ring.snapshot()
+        assert second is not first
+        assert second.at(180.0) == 400.0
+
+    def test_revision_at_existing_knot(self):
+        ring = IntensityRing()
+        ring.extend(SAMPLES)
+        assert ring.extend([(60.0, 250.0)]) == 1
+        assert ring.snapshot().at(60.0) == 250.0
+        # An identical re-send changes nothing (and keeps the cache).
+        snap = ring.snapshot()
+        assert ring.extend([(60.0, 250.0)]) == 0
+        assert ring.snapshot() is snap
+
+    def test_points_in_the_settled_past_are_dropped(self):
+        ring = IntensityRing()
+        ring.extend(SAMPLES)
+        assert ring.extend([(30.0, 999.0)]) == 0
+        assert ring.snapshot().at(30.0) == 100.0
+
+    def test_capacity_trims_from_the_front(self):
+        ring = IntensityRing(capacity=2)
+        ring.extend(SAMPLES)
+        assert len(ring) == 2
+        assert ring.snapshot().times_s.tolist() == [60.0, 120.0]
+
+    def test_empty_ring_refuses_snapshot(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            IntensityRing().snapshot()
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IntensityRing().extend([(0.0, -1.0)])
+
+
+class TestTraceProvider:
+    def test_bit_identical_to_direct_trace_reads(self):
+        trace = CarbonIntensityTrace.from_minute_values(
+            [100.0, 250.0, 80.0], name="direct"
+        )
+        provider = TraceProvider(trace)
+        # Same object: every query is the direct read by construction.
+        assert provider.trace() is trace
+        ts = np.linspace(-60.0, 300.0, 37)
+        assert provider.trace().at_many(ts).tolist() == trace.at_many(ts).tolist()
+        for t in ts:
+            assert provider.trace().integrate(0.0, t + 60.0) == trace.integrate(
+                0.0, t + 60.0
+            )
+
+    def test_never_stale(self):
+        provider = make_trace_provider()
+        assert provider.staleness_s(1e15) == 0.0
+        assert provider.healthy(1e15)
+        assert provider.poll(0.0) is False
+
+
+class TestRecordedFixtureProvider:
+    def test_reveals_samples_by_time(self):
+        provider = RecordedFixtureProvider(SAMPLES)  # horizon 0
+        # First sample is primed at construction.
+        assert provider.trace().times_s.tolist() == [0.0]
+        assert provider.poll(59.0) is False
+        assert provider.poll(60.0) is True
+        assert provider.trace().times_s.tolist() == [0.0, 60.0]
+        assert not provider.exhausted
+        assert provider.poll(1e9) is True
+        assert provider.exhausted
+
+    def test_forecast_horizon_reveals_ahead(self):
+        provider = RecordedFixtureProvider(SAMPLES, forecast_horizon_s=60.0)
+        provider.poll(0.0)
+        assert provider.trace().times_s.tolist() == [0.0, 60.0]
+
+    def test_staleness_tracks_newest_revealed_sample(self):
+        provider = RecordedFixtureProvider(SAMPLES, max_staleness_s=90.0)
+        provider.poll(60.0)
+        assert provider.staleness_s(60.0) == 0.0
+        assert provider.staleness_s(100.0) == 40.0
+        assert provider.healthy(150.0)
+        # Beyond the last sample the feed ages out and health trips.
+        provider.poll(1e6)
+        assert provider.staleness_s(1e6) == pytest.approx(1e6 - 120.0)
+        assert not provider.healthy(1e6)
+
+    def test_loads_json_file_both_shapes(self, tmp_path):
+        rich = tmp_path / "rich.json"
+        rich.write_text(json.dumps({"name": "caiso", "samples": SAMPLES}))
+        provider = RecordedFixtureProvider(rich, forecast_horizon_s=float("inf"))
+        assert provider.name == "fixture:caiso"
+        provider.poll(0.0)
+        assert provider.trace().values.tolist() == [100.0, 200.0, 300.0]
+
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(SAMPLES))
+        assert RecordedFixtureProvider(bare).name == "fixture:fixture"
+
+    def test_rejects_bad_fixtures(self):
+        with pytest.raises(ValueError, match="no samples"):
+            RecordedFixtureProvider([])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RecordedFixtureProvider([(0.0, 1.0), (0.0, 2.0)])
+
+
+class TestElectricityMapsProvider:
+    def test_backoff_schedule_doubles_and_caps(self):
+        provider = make_em_provider(
+            backoff_base_s=0.5, backoff_cap_s=8.0, max_retries=6
+        )
+        assert [provider.backoff_s(a) for a in range(6)] == [
+            0.5, 1.0, 2.0, 4.0, 8.0, 8.0,
+        ]
+
+    def test_retries_with_recorded_backoff_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("connection refused")
+            return SAMPLES
+
+        slept = []
+        provider = make_em_provider(
+            fetch=flaky, sleep=slept.append, max_retries=3, backoff_base_s=0.5
+        )
+        assert provider.poll(0.0) is True
+        assert slept == [0.5, 1.0]  # two failures, exponential spacing
+        assert provider.retries == 2 and provider.failures == 0
+        assert provider.last_error is None
+        assert provider.trace().at(60.0) == 200.0
+
+    def test_exhausted_retries_fall_back_to_last_known_good(self):
+        state = {"fail": False}
+
+        def fetch():
+            if state["fail"]:
+                raise TimeoutError("api down")
+            return SAMPLES
+
+        slept = []
+        provider = make_em_provider(
+            fetch=fetch, sleep=slept.append, max_retries=2, max_staleness_s=600.0
+        )
+        assert provider.poll(0.0) is True
+        snapshot = provider.trace()
+        state["fail"] = True
+        assert provider.poll(100.0) is False
+        assert provider.failures == 1
+        assert len(slept) == 2  # bounded: max_retries sleeps, then give up
+        assert "TimeoutError" in provider.last_error
+        # Last-known-good data keeps serving while within the guard...
+        assert provider.trace() is snapshot
+        assert provider.healthy(500.0)
+        assert provider.staleness_s(500.0) == 500.0
+        # ...and the staleness guard trips past max_staleness_s.
+        assert not provider.healthy(601.0)
+
+    def test_no_data_ever_is_a_fetch_error_and_unhealthy(self):
+        def broken():
+            raise OSError("no route to host")
+
+        provider = make_em_provider(fetch=broken, max_retries=0)
+        assert provider.poll(0.0) is False
+        assert provider.staleness_s(0.0) == float("inf")
+        assert not provider.healthy(0.0)
+        with pytest.raises(ProviderFetchError, match="no data ever fetched"):
+            provider.trace()
+
+    def test_t0_rebase_shifts_epoch_times(self):
+        epoch = [(1_700_000_000.0, 100.0), (1_700_000_060.0, 200.0)]
+        provider = make_em_provider(
+            fetch=lambda: epoch, t0_epoch_s=1_700_000_000.0
+        )
+        provider.poll(0.0)
+        assert provider.trace().times_s.tolist() == [0.0, 60.0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            make_em_provider(max_retries=-1)
+        with pytest.raises(ValueError, match="token is required"):
+            ElectricityMapsProvider("TEST")

@@ -233,14 +233,19 @@ class Eco002WallClock(Rule):
     description = (
         "No wall-clock reads, environment reads, or OS entropy inside the "
         "simulator/optimizer/core hot paths: replay results must be a pure "
-        "function of (trace, config, seed). Telemetry-only clock reads need "
-        "an explicit suppression explaining why they cannot leak into "
-        "deterministic outputs."
+        "function of (trace, config, seed). The serving layer and the live "
+        "carbon providers are in scope too -- their decision path is the "
+        "replay engine, so ambient reads there would silently break the "
+        "replay-equivalence contract. Telemetry-only clock reads (serving "
+        "latency, retry backoff sleeps) need an explicit suppression "
+        "explaining why they cannot leak into deterministic outputs."
     )
     scope = (
         "src/repro/simulator/",
         "src/repro/optimizers/",
         "src/repro/core/",
+        "src/repro/service/",
+        "src/repro/carbon/providers.py",
     )
 
     def check(self, tree: ast.AST, relpath: str) -> list[Violation]:
