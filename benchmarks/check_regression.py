@@ -110,6 +110,29 @@ SUITES: dict[str, dict] = {
         ),
         "threshold": 0.25,
     },
+    "distributed": {
+        # Executor-backend comparison from bench_runner.py (script
+        # mode): the gated metrics are the *correctness* flags -- every
+        # backend's summaries must equal the serial reference
+        # field-for-field (1.0 or bust; the threshold is irrelevant for
+        # a 0/1 metric). Wall-clock numbers are info-only: at bench
+        # scale the grid is seconds long, so executor overhead -- not
+        # simulation throughput -- dominates, and the TCP fabric's win
+        # only shows on multi-machine sweeps CI can't run.
+        "gated": (
+            "local_pool.identical",
+            "tcp.identical",
+        ),
+        "info": (
+            "n_jobs",
+            "serial.wall_s",
+            "local_pool.wall_s",
+            "tcp.wall_s",
+            "tcp.retries",
+            "tcp.expired_leases",
+        ),
+        "threshold": 0.25,
+    },
     "service": {
         # End-to-end serving numbers from bench_service.py. Throughput
         # is higher-is-better; the p99 per-decision latency is gated in

@@ -6,6 +6,8 @@ Examples::
     ecolife run-experiment fig7 --quick
     ecolife simulate --scheduler ecolife --functions 40 --hours 4
     ecolife sweep --regions CAL TEN --seeds 1 2 --workers 4
+    ecolife sweep --regions CAL TEN --executor tcp://0.0.0.0:7044
+    ecolife work tcp://sweep-host:7044
     ecolife catalog
 """
 
@@ -64,6 +66,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_swarms=not args.no_batch_swarms,
         decision_quantum_s=args.decision_quantum,
+        adaptive_decision_quantum=args.adaptive_quantum,
         # None = keep the env-driven default (ECOLIFE_RNG_MODE).
         **({"rng_mode": args.rng_mode} if args.rng_mode else {}),
     )
@@ -95,8 +98,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import grid_gap_rows, grid_gap_table, worst_margins
+    from repro.experiments.registry import list_schedulers
     from repro.experiments.runner import (
-        SCHEDULER_NAMES,
         ParallelRunner,
         ResultCache,
         ScenarioGrid,
@@ -110,9 +113,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.carbon.regions import REGION_NAMES
     from repro.hardware import PAIRS
 
-    unknown = [s for s in args.schedulers if s not in SCHEDULER_NAMES]
+    known = list_schedulers()
+    unknown = [s for s in args.schedulers if s not in known]
     if unknown:
-        print(f"unknown schedulers {unknown}; options: {sorted(SCHEDULER_NAMES)}")
+        print(f"unknown schedulers {unknown}; options: {list(known)}")
+        return 2
+    if args.executor != "local" and not args.executor.startswith("tcp://"):
+        print(
+            f"unknown executor {args.executor!r}; "
+            "options: local, tcp://host:port"
+        )
         return 2
     bad_regions = [r for r in args.regions if r.upper() not in REGION_NAMES]
     if bad_regions:
@@ -154,8 +164,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.cache_dir
         else None
     )
-    runner = ParallelRunner(n_workers=args.workers, cache=cache)
-    result = runner.run_grid(grid, args.schedulers)
+    executor = None
+    if args.executor != "local":
+        from repro.distributed import TcpExecutor
+
+        executor = TcpExecutor(bind=args.executor, cache=cache)
+        print(
+            f"job server on {executor.address} -- attach workers with "
+            f"`ecolife work {executor.address}` "
+            "(no workers -> jobs degrade to local execution)"
+        )
+    runner = ParallelRunner(
+        n_workers=args.workers, cache=cache, executor=executor
+    )
+    try:
+        result = runner.run_grid(grid, args.schedulers)
+        if executor is not None:
+            stats = executor.stats()
+            print(
+                f"distributed: {stats['done']} done, "
+                f"{stats['retries_total']} retries, "
+                f"{stats['expired_leases']} expired leases, "
+                f"{len(stats['workers'])} worker(s)"
+            )
+    finally:
+        if executor is not None:
+            executor.shutdown()
     by_scenario = result.by_scenario()
 
     n_jobs = len(result)
@@ -197,6 +231,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({args.cache_dir})")
         if args.store_records:
             print(f"per-invocation records: {cache.record_count()} npz entries")
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.distributed import run_worker
+
+    try:
+        completed = run_worker(
+            args.address,
+            name=args.name,
+            plugins=tuple(args.imports),
+            max_jobs=args.max_jobs,
+            exit_when_drained=args.exit_when_drained,
+        )
+    except (ConnectionError, ValueError) as exc:
+        print(f"worker: {exc}")
+        return 1
+    except KeyboardInterrupt:
+        print("worker interrupted")
+        return 130
+    print(f"worker exiting: {completed} job(s) completed")
     return 0
 
 
@@ -370,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="group continuous-trace decisions into shared ticks of "
         "this many seconds (0 = off; accuracy knob, see docs)",
     )
+    sim_p.add_argument(
+        "--adaptive-quantum", action="store_true",
+        help="clamp the decision tick to the observed minimum service "
+        "time (self-tuning batching width; bit-identical results)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="run a scenario grid (regions x pairs x seeds x pools)"
@@ -410,6 +470,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--relative-to", default="oracle",
         help="reference scheme for the %%-increase table",
+    )
+    sweep_p.add_argument(
+        "--executor", default="local", metavar="SPEC",
+        help="execution backend: 'local' (process pool) or "
+        "'tcp://host:port' to host a job server leasing jobs to "
+        "`ecolife work` clients (port 0 picks a free port; with no "
+        "workers attached, jobs degrade to local execution)",
+    )
+
+    work_p = sub.add_parser(
+        "work",
+        help="serve sweep jobs as a TCP worker (see docs/distributed.md)",
+    )
+    work_p.add_argument("address", help="job server address, tcp://host:port")
+    work_p.add_argument(
+        "--name", default=None,
+        help="worker name in the server's stats table (default host:pid)",
+    )
+    work_p.add_argument(
+        "--import", dest="imports", action="append", default=[],
+        metavar="MODULE",
+        help="import this module before serving, for its "
+        "@register_scheduler side effects (repeatable)",
+    )
+    work_p.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after completing this many jobs",
+    )
+    work_p.add_argument(
+        "--exit-when-drained", action="store_true",
+        help="exit once the server reports every job terminal",
     )
 
     serve_p = sub.add_parser(
@@ -469,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         "run-experiment": _cmd_run_experiment,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "work": _cmd_work,
         "serve": _cmd_serve,
         "catalog": _cmd_catalog,
         "validate": _cmd_validate,

@@ -136,6 +136,17 @@ class EcoLifeConfig:
     #: arrival density within one in-flight service time (measured by
     #: ``benchmarks/bench_swarm.py``; see ``docs/optimizers.md``).
     decision_quantum_s: float = 0.0
+    #: Clamp the decision tick to the *observed minimum service time*:
+    #: the engine tracks the shortest completed-request duration seen so
+    #: far and uses ``min(decision_quantum_s, observed_min)`` as the
+    #: effective tick (with ``decision_quantum_s == 0`` the observed
+    #: minimum alone drives the width, so batching self-tunes on
+    #: continuous traces without hand-picking a quantum). Since replays
+    #: are bit-identical at *any* tick width -- including a varying one
+    #: (see above) -- this is purely a look-ahead heuristic: a tick
+    #: wider than the shortest service time cannot batch further anyway
+    #: because groups close at the earliest staged completion.
+    adaptive_decision_quantum: bool = False
     # State retirement under function churn (both default off = today's
     # unbounded per-function state). Retirement archives a function's
     # optimizer/swarm state (including its RNG stream state), arrival

@@ -60,6 +60,12 @@ class EcoLifeScheduler(BaseScheduler):
             if self.supports_keepalive_batch
             else 0.0
         )
+        # Self-tuning tick width off the observed minimum service time;
+        # equally meaningless without the batch path.
+        self.adaptive_decision_quantum = (
+            self.config.adaptive_decision_quantum
+            and self.supports_keepalive_batch
+        )
         # Expiry notifications drive KDM retirement sweeps during quiet
         # periods (no decision traffic); pointless without retirement.
         self.wants_expiry_events = self.config.retirement_enabled

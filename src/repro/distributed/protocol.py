@@ -1,0 +1,109 @@
+"""Line protocol for the TCP job fabric.
+
+One message per line: a JSON object with a ``type`` field, terminated
+by ``\\n``. Binary payloads (pickled :class:`~repro.experiments.runner.RunnerJob`
+instances and job outcomes) ride inside the JSON as base64 strings, so
+the whole protocol stays greppable with ``nc``/``socat`` and needs no
+length-prefixed framing.
+
+Message types (client -> server unless noted):
+
+========== =========================================================
+``hello``       first message on a connection; ``worker`` names the
+                client for the stats table.
+``hello_ack``   (server) reply carrying ``heartbeat_interval_s`` and
+                ``lease_timeout_s`` so clients pace themselves off the
+                server's clock policy, not their own defaults.
+``request``     ask for work.
+``lease``       (server) one job: ``job_id``, base64-pickle ``data``
+                of ``(job, with_records)``, and the 1-based ``attempt``.
+``idle``        (server) no work right now; retry in ``retry_in_s``
+                seconds. ``drained`` is true once every submitted job
+                reached a terminal state, letting batch workers exit.
+``heartbeat``   lease keep-alive for ``job_id`` while executing.
+``result``      completed ``job_id`` with base64-pickle ``data`` of the
+                outcome and the worker-side ``busy_s``.
+``error``       ``job_id`` raised; ``error`` is the formatted cause.
+``stats``       request (empty) and (server) reply -- queue depth,
+                lease ages, retry/duplicate counters, per-worker
+                throughput. See :meth:`JobServer.stats_payload`.
+========== =========================================================
+
+Trust boundary: payloads are **pickles**, so the fabric must only span
+machines under one operator's control (same trust domain as the shared
+``ResultCache`` directory). Never expose a :class:`JobServer` port to
+untrusted networks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+from typing import Any
+
+#: StreamReader line limit. Job outcomes can carry per-invocation
+#: record arrays, so the default 64 KiB asyncio limit is far too small.
+STREAM_LIMIT = 1 << 26  # 64 MiB
+
+#: Scheme prefix for executor address specs.
+TCP_SCHEME = "tcp://"
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``.
+
+    The scheme is mandatory: a bare ``host:port`` is rejected so the
+    CLI can tell an executor spec from a path or a scheduler name.
+    """
+    if not address.startswith(TCP_SCHEME):
+        raise ValueError(
+            f"address must look like 'tcp://host:port', got {address!r}"
+        )
+    rest = address[len(TCP_SCHEME):]
+    host, sep, port_s = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address must look like 'tcp://host:port', got {address!r}"
+        )
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"invalid port in address {address!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in address {address!r}")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    return f"{TCP_SCHEME}{host}:{port}"
+
+
+def pack(obj: Any) -> str:
+    """Pickle ``obj`` and base64 it for transport inside JSON."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(data: str) -> Any:
+    """Inverse of :func:`pack`."""
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+async def send(writer: asyncio.StreamWriter, **fields: Any) -> None:
+    """Write one message (``fields`` must include ``type``)."""
+    writer.write(json.dumps(fields, separators=(",", ":")).encode() + b"\n")
+    await writer.drain()
+
+
+async def read_msg(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one message; ``None`` on EOF (peer closed the connection)."""
+    line = await reader.readline()
+    if not line:
+        return None
+    msg = json.loads(line)
+    if not isinstance(msg, dict) or "type" not in msg:
+        raise ValueError(f"malformed protocol message: {line[:200]!r}")
+    return msg

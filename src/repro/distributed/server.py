@@ -1,0 +1,437 @@
+"""Asyncio job server: leases runner jobs to TCP worker clients.
+
+The server owns the authoritative job state machine::
+
+    queued --lease--> leased --result--> done
+      ^                 |
+      |   expiry / disconnect / worker error (attempt budget left)
+      +-----------------+
+                        |  budget exhausted
+                        +--------------------> failed
+
+Fault model (mirrors the runner's crash semantics):
+
+- **Lease expiry.** Workers heartbeat while executing; a lease whose
+  last heartbeat is older than ``lease_timeout_s`` is presumed lost and
+  the job is retried. A worker that merely stalled may still deliver a
+  late result -- whichever attempt lands first wins (results are
+  deterministic, so "first" is also "correct"); later deliveries are
+  counted as duplicates and dropped.
+- **Disconnect.** A closing connection immediately requeues its leases
+  (faster than waiting out the timeout).
+- **Bounded retry.** Each requeue burns one attempt out of
+  ``1 + max_retries`` and is delayed by the same capped exponential
+  backoff shape as :class:`repro.carbon.providers.ElectricityMapsProvider`:
+  ``min(backoff_base_s * 2**attempt, backoff_cap_s)``. Exhausting the
+  budget fails the job's future with
+  :class:`~repro.experiments.runner.JobFailedError`.
+- **At-most-once commit.** When the server holds a
+  :class:`~repro.experiments.runner.ResultCache`, the first outcome per
+  job is written to it exactly once, server-side, as it lands -- so a
+  partially-completed distributed sweep resumes from the cache like a
+  local one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.experiments.runner import (
+    JobFailedError,
+    JobOutcome,
+    ResultCache,
+    RunnerJob,
+    unpack_outcome,
+)
+
+from repro.distributed.protocol import (
+    format_address,
+    pack,
+    read_msg,
+    send,
+    unpack,
+    STREAM_LIMIT,
+)
+
+
+def backoff_s(attempt: int, base_s: float, cap_s: float) -> float:
+    """Capped exponential backoff, attempt 0 -> ``base_s``."""
+    return min(base_s * 2.0**attempt, cap_s)
+
+
+@dataclass
+class _JobRecord:
+    """Server-side state for one submitted job."""
+
+    job_id: str
+    job: RunnerJob
+    with_records: bool
+    future: "asyncio.Future[JobOutcome]"
+    status: str = "queued"  # queued | leased | done | failed
+    attempts: int = 0  # leases handed out so far
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.job.scheduler} @ {self.job.scenario_label}"
+
+
+@dataclass
+class _Lease:
+    job_id: str
+    worker: str
+    t_leased: float
+    t_heartbeat: float
+
+
+@dataclass
+class _WorkerStats:
+    name: str
+    connected: bool = True
+    completed: int = 0
+    errors: int = 0
+    busy_s: float = 0.0
+
+
+class JobServer:
+    """Lease-based job queue over the line protocol.
+
+    Single-threaded within one event loop; every public coroutine must
+    run on that loop (the :class:`~repro.distributed.executor.TcpExecutor`
+    bridges from other threads via ``run_coroutine_threadsafe``).
+    ``clock`` is injectable so lease-expiry tests do not sleep.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache: ResultCache | None = None,
+        lease_timeout_s: float = 30.0,
+        heartbeat_interval_s: float | None = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.host = host
+        self.port = port
+        self.cache = cache
+        self.lease_timeout_s = float(lease_timeout_s)
+        self.heartbeat_interval_s = float(
+            heartbeat_interval_s
+            if heartbeat_interval_s is not None
+            else lease_timeout_s / 4.0
+        )
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.clock = clock
+
+        self._jobs: dict[str, _JobRecord] = {}
+        self._ready: deque[str] = deque()
+        self._leases: dict[str, _Lease] = {}
+        self._workers: dict[str, _WorkerStats] = {}
+        self._next_job_id = 0
+        self._next_worker_id = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._reaper: asyncio.Task[None] | None = None
+        self._client_tasks: dict["asyncio.Task[None]", asyncio.StreamWriter] = {}
+        self._requeues: dict[str, asyncio.TimerHandle] = {}
+        # Counters for the stats reply.
+        self.retries_total = 0
+        self.expired_leases = 0
+        self.duplicate_results = 0
+
+    # -- lifecycle ---------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=STREAM_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.get_running_loop().create_task(
+            self._reap_expired_leases()
+        )
+
+    async def close(self) -> None:
+        """Stop serving. Workers observe EOF on their next read and exit."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            self._reaper = None
+        for handle in self._requeues.values():
+            handle.cancel()
+        self._requeues.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Python 3.11's wait_closed() does not wait for per-connection
+        # handlers; close their transports so each handler observes EOF
+        # and exits before loop teardown (cancellation would trip the
+        # stream protocol's connection_made callback on 3.11).
+        for writer in self._client_tasks.values():
+            writer.close()
+        if self._client_tasks:
+            _, pending = await asyncio.wait(set(self._client_tasks), timeout=5.0)
+            for task in pending:
+                task.cancel()
+            self._client_tasks.clear()
+
+    @property
+    def address(self) -> str:
+        return format_address(self.host, self.port)
+
+    def worker_count(self) -> int:
+        return sum(1 for w in self._workers.values() if w.connected)
+
+    # -- job intake --------------------------------------------------
+
+    def submit(
+        self, job: RunnerJob, with_records: bool = False
+    ) -> "asyncio.Future[JobOutcome]":
+        """Queue one job; the future resolves with its outcome."""
+        self._next_job_id += 1
+        job_id = f"j{self._next_job_id}"
+        record = _JobRecord(
+            job_id=job_id,
+            job=job,
+            with_records=with_records,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._jobs[job_id] = record
+        self._ready.append(job_id)
+        return record.future
+
+    def drained(self) -> bool:
+        """True once every submitted job reached ``done`` or ``failed``.
+
+        An empty server (nothing submitted yet) is *not* drained:
+        ``--exit-when-drained`` workers may attach before the sweep
+        submits its grid, and must wait for it rather than exit.
+        """
+        return bool(self._jobs) and all(
+            r.status in ("done", "failed") for r in self._jobs.values()
+        )
+
+    # -- lease bookkeeping -------------------------------------------
+
+    def try_lease(self, worker: str) -> _JobRecord | None:
+        """Pop the next ready job and lease it to ``worker``."""
+        while self._ready:
+            job_id = self._ready.popleft()
+            record = self._jobs[job_id]
+            if record.status != "queued":  # raced with a late result
+                continue
+            record.status = "leased"
+            record.attempts += 1
+            now = self.clock()
+            self._leases[job_id] = _Lease(
+                job_id=job_id, worker=worker, t_leased=now, t_heartbeat=now
+            )
+            return record
+        return None
+
+    def heartbeat(self, job_id: str) -> None:
+        lease = self._leases.get(job_id)
+        if lease is not None:
+            lease.t_heartbeat = self.clock()
+
+    def _requeue_after_failure(self, record: _JobRecord, error: str) -> None:
+        """One attempt burned; retry after backoff or fail permanently."""
+        self._leases.pop(record.job_id, None)
+        record.errors.append(error)
+        if record.attempts > self.max_retries:
+            record.status = "failed"
+            if not record.future.done():
+                record.future.set_exception(
+                    JobFailedError(record.label, record.attempts, error)
+                )
+            return
+        record.status = "queued"
+        self.retries_total += 1
+        delay = backoff_s(
+            record.attempts - 1, self.backoff_base_s, self.backoff_cap_s
+        )
+        loop = asyncio.get_running_loop()
+
+        def requeue() -> None:
+            self._requeues.pop(record.job_id, None)
+            if record.status == "queued":
+                self._ready.append(record.job_id)
+
+        self._requeues[record.job_id] = loop.call_later(delay, requeue)
+
+    def complete(self, job_id: str, outcome: JobOutcome) -> bool:
+        """Commit one outcome; returns False for duplicates/unknown ids.
+
+        The first delivery wins: the cache write and the future
+        resolution happen at most once per job, even when an expired
+        lease's straggler and the retry both report back.
+        """
+        record = self._jobs.get(job_id)
+        if record is None:
+            return False
+        self._leases.pop(job_id, None)
+        if record.status in ("done", "failed"):
+            self.duplicate_results += 1
+            return False
+        handle = self._requeues.pop(job_id, None)
+        if handle is not None:
+            handle.cancel()
+        record.status = "done"
+        if self.cache is not None:
+            summary, records = unpack_outcome(outcome)
+            self.cache.put(record.job, summary, records=records)
+        if not record.future.done():
+            record.future.set_result(outcome)
+        return True
+
+    def fail_attempt(self, job_id: str, error: str) -> None:
+        """A worker reported an execution error for its lease."""
+        record = self._jobs.get(job_id)
+        if record is None or record.status != "leased":
+            return
+        self._requeue_after_failure(record, error)
+
+    async def _reap_expired_leases(self) -> None:
+        interval = max(self.heartbeat_interval_s, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            now = self.clock()
+            expired = [
+                lease
+                for lease in self._leases.values()
+                if now - lease.t_heartbeat > self.lease_timeout_s
+            ]
+            for lease in expired:
+                record = self._jobs[lease.job_id]
+                if record.status != "leased":
+                    continue
+                self.expired_leases += 1
+                self._requeue_after_failure(
+                    record,
+                    f"lease expired on worker {lease.worker!r} "
+                    f"(no heartbeat for {now - lease.t_heartbeat:.1f}s)",
+                )
+
+    # -- connection handling -----------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_worker_id += 1
+        worker = f"conn{self._next_worker_id}"
+        stats: _WorkerStats | None = None
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks[task] = writer
+        try:
+            while True:
+                msg = await read_msg(reader)
+                if msg is None:
+                    break
+                kind = msg["type"]
+                if kind == "hello":
+                    worker = f"{msg.get('worker', worker)}#{self._next_worker_id}"
+                    stats = self._workers.setdefault(worker, _WorkerStats(worker))
+                    stats.connected = True
+                    await send(
+                        writer,
+                        type="hello_ack",
+                        worker=worker,
+                        heartbeat_interval_s=self.heartbeat_interval_s,
+                        lease_timeout_s=self.lease_timeout_s,
+                    )
+                elif kind == "request":
+                    record = self.try_lease(worker)
+                    if record is None:
+                        await send(
+                            writer,
+                            type="idle",
+                            retry_in_s=self.heartbeat_interval_s,
+                            drained=self.drained(),
+                        )
+                    else:
+                        await send(
+                            writer,
+                            type="lease",
+                            job_id=record.job_id,
+                            data=pack((record.job, record.with_records)),
+                            attempt=record.attempts,
+                        )
+                elif kind == "heartbeat":
+                    self.heartbeat(msg["job_id"])
+                elif kind == "result":
+                    committed = self.complete(msg["job_id"], unpack(msg["data"]))
+                    if stats is not None and committed:
+                        stats.completed += 1
+                        stats.busy_s += float(msg.get("busy_s", 0.0))
+                elif kind == "error":
+                    if stats is not None:
+                        stats.errors += 1
+                    self.fail_attempt(msg["job_id"], str(msg.get("error", "")))
+                elif kind == "stats":
+                    await send(writer, **self.stats_payload())
+                else:
+                    raise ValueError(f"unknown message type {kind!r}")
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._client_tasks.pop(task, None)
+            if stats is not None:
+                stats.connected = False
+            self._requeue_worker_leases(worker)
+            writer.close()
+
+    def _requeue_worker_leases(self, worker: str) -> None:
+        """A connection died: retry every lease it still held."""
+        held = [le for le in self._leases.values() if le.worker == worker]
+        for lease in held:
+            record = self._jobs[lease.job_id]
+            if record.status != "leased":
+                continue
+            self._requeue_after_failure(
+                record, f"worker {worker!r} disconnected mid-lease"
+            )
+
+    # -- stats -------------------------------------------------------
+
+    def stats_payload(self) -> dict[str, Any]:
+        """The ``stats`` reply: queue/lease/retry/throughput snapshot."""
+        now = self.clock()
+        statuses = [r.status for r in self._jobs.values()]
+        return {
+            "type": "stats",
+            "address": self.address,
+            "queue_depth": len(self._ready),
+            "leased": len(self._leases),
+            "lease_ages_s": sorted(
+                round(now - lease.t_leased, 3) for lease in self._leases.values()
+            ),
+            "submitted": len(self._jobs),
+            "done": statuses.count("done"),
+            "failed": statuses.count("failed"),
+            "retries_total": self.retries_total,
+            "expired_leases": self.expired_leases,
+            "duplicate_results": self.duplicate_results,
+            "workers": {
+                name: {
+                    "connected": w.connected,
+                    "completed": w.completed,
+                    "errors": w.errors,
+                    "busy_s": round(w.busy_s, 6),
+                }
+                for name, w in sorted(self._workers.items())
+            },
+        }

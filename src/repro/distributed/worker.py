@@ -1,0 +1,175 @@
+"""TCP worker client: lease, execute, heartbeat, report.
+
+Run from the CLI as ``python -m repro.cli work tcp://host:port``. The
+worker resolves leased jobs through the same
+:func:`~repro.experiments.runner.execute_job` entry points as every
+other backend, so its results are bit-identical to a local run.
+Out-of-tree schedulers join via ``--import package.module`` -- the
+module's import-time :func:`~repro.experiments.registry.register_scheduler`
+side effects make the names resolvable before any lease arrives.
+
+While a job executes (in a thread, so the event loop stays live) the
+worker heartbeats at the server-advertised interval; a worker that is
+killed simply stops heartbeating and the server re-leases its job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import os
+import socket
+import time
+import traceback
+from typing import Callable, Sequence
+
+from repro.experiments.runner import (
+    JobOutcome,
+    RunnerJob,
+    execute_job,
+    execute_job_with_records,
+)
+
+from repro.distributed.protocol import (
+    STREAM_LIMIT,
+    pack,
+    parse_address,
+    read_msg,
+    send,
+    unpack,
+)
+
+
+def default_worker_name() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def load_plugins(modules: Sequence[str]) -> None:
+    """Import plugin modules for their scheduler-registration side effects."""
+    for module in modules:
+        importlib.import_module(module)
+
+
+async def _connect(
+    host: str, port: int, *, attempts: int, delay_s: float
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial the server, retrying refused connections with linear delay.
+
+    Lets workers start before the server (or across a server restart)
+    without a supervisor loop around the CLI.
+    """
+    last: OSError | None = None
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port, limit=STREAM_LIMIT)
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < attempts:
+                await asyncio.sleep(delay_s)
+    raise ConnectionError(
+        f"could not reach job server at tcp://{host}:{port} "
+        f"after {attempts} attempt(s): {last}"
+    )
+
+
+async def _execute_with_heartbeat(
+    writer: asyncio.StreamWriter,
+    job_id: str,
+    job: RunnerJob,
+    with_records: bool,
+    heartbeat_interval_s: float,
+) -> None:
+    """Run one lease in a thread, heartbeating until it settles."""
+    entry: Callable[[RunnerJob], JobOutcome] = (
+        execute_job_with_records if with_records else execute_job
+    )
+    t0 = time.monotonic()
+    task = asyncio.ensure_future(asyncio.to_thread(entry, job))
+    try:
+        while True:
+            done, _ = await asyncio.wait([task], timeout=heartbeat_interval_s)
+            if done:
+                break
+            await send(writer, type="heartbeat", job_id=job_id)
+    except BaseException:
+        task.cancel()
+        raise
+    try:
+        outcome = task.result()
+    except Exception:
+        await send(
+            writer,
+            type="error",
+            job_id=job_id,
+            error=traceback.format_exc(limit=20),
+        )
+        return
+    await send(
+        writer,
+        type="result",
+        job_id=job_id,
+        data=pack(outcome),
+        busy_s=time.monotonic() - t0,
+    )
+
+
+async def worker_loop(
+    address: str,
+    *,
+    name: str | None = None,
+    plugins: Sequence[str] = (),
+    max_jobs: int | None = None,
+    exit_when_drained: bool = False,
+    connect_attempts: int = 20,
+    connect_delay_s: float = 0.25,
+) -> int:
+    """Serve leases until the server closes (or limits are hit).
+
+    Returns the number of jobs this worker completed. ``max_jobs``
+    bounds the session (handy for tests and canary deploys);
+    ``exit_when_drained`` stops once the server reports every job
+    terminal, which is what the CI smoke workers use.
+    """
+    load_plugins(plugins)
+    host, port = parse_address(address)
+    reader, writer = await _connect(
+        host, port, attempts=connect_attempts, delay_s=connect_delay_s
+    )
+    completed = 0
+    try:
+        await send(writer, type="hello", worker=name or default_worker_name())
+        ack = await read_msg(reader)
+        if ack is None or ack["type"] != "hello_ack":
+            raise ConnectionError(f"bad handshake from {address}: {ack!r}")
+        heartbeat_interval_s = float(ack["heartbeat_interval_s"])
+        while max_jobs is None or completed < max_jobs:
+            await send(writer, type="request")
+            msg = await read_msg(reader)
+            if msg is None:
+                break  # server shut down
+            if msg["type"] == "lease":
+                job, with_records = unpack(msg["data"])
+                await _execute_with_heartbeat(
+                    writer,
+                    msg["job_id"],
+                    job,
+                    with_records,
+                    heartbeat_interval_s,
+                )
+                completed += 1
+            elif msg["type"] == "idle":
+                if exit_when_drained and msg.get("drained"):
+                    break
+                await asyncio.sleep(float(msg["retry_in_s"]))
+            else:
+                raise ValueError(f"unexpected message type {msg['type']!r}")
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass  # server went away; a worker just exits
+    finally:
+        writer.close()
+    return completed
+
+
+def run_worker(address: str, **kwargs: object) -> int:
+    """Synchronous wrapper around :func:`worker_loop` (the CLI entry)."""
+    return asyncio.run(worker_loop(address, **kwargs))  # type: ignore[arg-type]

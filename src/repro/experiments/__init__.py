@@ -16,10 +16,21 @@ from repro.experiments.common import (
     run_suite,
     workload_scenario,
 )
+from repro.experiments.registry import (
+    create_scheduler,
+    is_registered,
+    list_schedulers,
+    register_scheduler,
+    scheduler_factory,
+    unregister_scheduler,
+)
 from repro.experiments.runner import (
     SCHEDULER_NAMES,
     SCHEDULERS,
+    Executor,
     GridResult,
+    JobFailedError,
+    LocalPoolExecutor,
     ParallelRunner,
     ResultCache,
     ResultSummary,
@@ -96,6 +107,15 @@ __all__ = [
     "SCHEDULERS",
     "SCHEDULER_NAMES",
     "make_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
+    "list_schedulers",
+    "is_registered",
+    "scheduler_factory",
+    "create_scheduler",
+    "Executor",
+    "LocalPoolExecutor",
+    "JobFailedError",
     "execute_job",
     "execute_job_with_records",
     "run_fig01",

@@ -1,0 +1,110 @@
+"""Public scheduler registry for the sweep runner.
+
+Jobs reference schedulers by *name* so they stay picklable across
+process and machine boundaries (:class:`~repro.experiments.runner.RunnerJob`
+ships only the string; the executing worker resolves it back to a
+factory here). Historically the name table was a hard-coded dict inside
+``experiments/runner.py``; this module makes it an open registry so
+out-of-tree schedulers -- learned policies, remote-worker plugins --
+can join a sweep without editing runner code::
+
+    from repro.experiments.registry import register_scheduler
+
+    @register_scheduler("my-policy")
+    def _make_my_policy(config):
+        return MyPolicyScheduler(config or EcoLifeConfig())
+
+Distributed workers load such plugin modules with
+``ecolife work tcp://host:port --import my_package.schedulers`` -- the
+registration side effect runs at import time, after which leased jobs
+naming ``my-policy`` resolve exactly like the built-ins.
+
+Factories take ``EcoLifeConfig | None`` (baseline schedulers are free
+to ignore it) and must return a fresh scheduler per call: the engine
+binds schedulers to one run's environment, so sharing instances across
+runs would leak state between scenarios.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import TYPE_CHECKING, Callable, Mapping
+
+if TYPE_CHECKING:
+    from repro.core import EcoLifeConfig
+    from repro.simulator import BaseScheduler
+
+#: A named scheduler recipe: ``factory(config) -> fresh scheduler``.
+SchedulerFactory = Callable[["EcoLifeConfig | None"], "BaseScheduler"]
+
+#: The live name table. Exposed read-only through
+#: :func:`list_schedulers` / :func:`scheduler_factory`; mutate it only
+#: through :func:`register_scheduler` / :func:`unregister_scheduler` so
+#: double registrations stay loud.
+_REGISTRY: dict[str, SchedulerFactory] = {}
+
+#: Read-only live view of the registry, for callers that want mapping
+#: semantics (``name in REGISTRY``, ``REGISTRY[name]``) without write
+#: access. :data:`repro.experiments.runner.SCHEDULERS` aliases this.
+REGISTRY: Mapping[str, SchedulerFactory] = types.MappingProxyType(_REGISTRY)
+
+
+def register_scheduler(
+    name: str, *, replace: bool = False
+) -> Callable[[SchedulerFactory], SchedulerFactory]:
+    """Class/function decorator: register ``factory`` under ``name``.
+
+    Registering an already-taken name raises unless ``replace=True`` --
+    a silent overwrite would make sweep results depend on module import
+    order, which is exactly the ambiguity a by-name job protocol cannot
+    afford.
+    """
+    if not name or name != name.strip():
+        raise ValueError(f"scheduler name must be a non-empty token, got {name!r}")
+
+    def decorate(factory: SchedulerFactory) -> SchedulerFactory:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not factory and not replace:
+            raise ValueError(
+                f"scheduler {name!r} is already registered "
+                f"({existing!r}); pass replace=True to override"
+            )
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove ``name`` from the registry (missing names are a no-op).
+
+    Exists for tests and plugin reloads; the built-in names re-register
+    when :mod:`repro.experiments.runner` is (re)imported.
+    """
+    _REGISTRY.pop(name, None)
+
+
+def list_schedulers() -> tuple[str, ...]:
+    """All registered scheduler names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def scheduler_factory(name: str) -> SchedulerFactory:
+    """Look up one factory; unknown names raise with the valid options."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; registered: {list(list_schedulers())}"
+        ) from None
+
+
+def create_scheduler(
+    name: str, config: "EcoLifeConfig | None" = None
+) -> "BaseScheduler":
+    """Instantiate a fresh registered scheduler by name."""
+    return scheduler_factory(name)(config)

@@ -12,17 +12,26 @@ multiply that by a scenario grid. This module makes such sweeps practical:
   are referenced by registry name so jobs stay picklable; per-job
   determinism comes from the spec's seed plus the scheduler's own config
   seed (the KDM already derives per-function RNGs stably from those).
-- :class:`ParallelRunner` -- fans jobs out over
-  :class:`concurrent.futures.ProcessPoolExecutor` (or runs them serially
-  for ``n_workers=1`` -- both paths execute the identical
-  :func:`execute_job`, so results are byte-identical), with an optional
-  on-disk :class:`ResultCache` keyed by (scenario label, scheduler name,
-  config hash).
+- :class:`ParallelRunner` -- executes jobs through a pluggable
+  :class:`Executor` backend: in-process for ``n_workers=1``, a
+  :class:`LocalPoolExecutor` over
+  :class:`concurrent.futures.ProcessPoolExecutor` for ``n_workers>1``,
+  or any user-supplied backend (e.g.
+  :class:`repro.distributed.TcpExecutor`, which leases jobs to TCP
+  worker clients on other hosts). Every backend runs the identical
+  :func:`execute_job`, so results are byte-identical across all of
+  them. An optional on-disk :class:`ResultCache` keyed by (scenario
+  label, scheduler name, config hash) makes reruns free.
 
 Workers return :class:`ResultSummary`, a frozen aggregate that mirrors the
 ``SimulationResult`` properties the analysis layer consumes
 (``total_carbon_g``, ``mean_service_s``, ``warm_ratio``, ...), so the
 "% vs oracle" helpers work on both.
+
+Scheduler names resolve through the open registry in
+:mod:`repro.experiments.registry`; the paper's 13 built-in schemes are
+registered below, and plugins add their own with
+``@register_scheduler("name")``.
 """
 
 from __future__ import annotations
@@ -35,117 +44,126 @@ import os
 import pathlib
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.core import EcoLifeConfig, EcoLifeScheduler
 from repro.experiments.common import Scenario, run_scheduler, workload_scenario
+from repro.experiments.registry import (
+    REGISTRY,
+    create_scheduler,
+    is_registered,
+    list_schedulers,
+    register_scheduler,
+)
 from repro.hardware.specs import Generation
 from repro.simulator import BaseScheduler, RecordArrays, SimulationResult
 from repro.workloads.generators import AZURE_WORKLOAD, WorkloadSpec
 
 # ---------------------------------------------------------------------------
-# Scheduler registry (names -> picklable factories).
+# Built-in schedulers (names -> factories, via the public registry).
 # ---------------------------------------------------------------------------
 
 
+@register_scheduler("ecolife")
 def _make_ecolife(config: EcoLifeConfig | None) -> BaseScheduler:
     return EcoLifeScheduler(config or EcoLifeConfig())
 
 
+@register_scheduler("ecolife-no-dpso")
 def _make_ecolife_no_dpso(config: EcoLifeConfig | None) -> BaseScheduler:
     return EcoLifeScheduler.without_dpso(config)
 
 
+@register_scheduler("ecolife-no-adjust")
 def _make_ecolife_no_adjust(config: EcoLifeConfig | None) -> BaseScheduler:
     return EcoLifeScheduler.without_adjustment(config)
 
 
+@register_scheduler("eco-old")
 def _make_eco_old(config: EcoLifeConfig | None) -> BaseScheduler:
     return EcoLifeScheduler.single_generation(Generation.OLD, config)
 
 
+@register_scheduler("eco-new")
 def _make_eco_new(config: EcoLifeConfig | None) -> BaseScheduler:
     return EcoLifeScheduler.single_generation(Generation.NEW, config)
 
 
+@register_scheduler("ecolife-ga")
 def _make_ecolife_ga(config: EcoLifeConfig | None) -> BaseScheduler:
     from repro.baselines import ga_scheduler
 
     return ga_scheduler(config)
 
 
+@register_scheduler("ecolife-sa")
 def _make_ecolife_sa(config: EcoLifeConfig | None) -> BaseScheduler:
     from repro.baselines import sa_scheduler
 
     return sa_scheduler(config)
 
 
+@register_scheduler("co2-opt")
 def _make_co2_opt(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001 - baselines ignore the config
     from repro.baselines import co2_opt
 
     return co2_opt()
 
 
+@register_scheduler("service-time-opt")
 def _make_service_time_opt(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import service_time_opt
 
     return service_time_opt()
 
 
+@register_scheduler("energy-opt")
 def _make_energy_opt(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import energy_opt
 
     return energy_opt()
 
 
+@register_scheduler("oracle")
 def _make_oracle(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import oracle
 
     return oracle()
 
 
+@register_scheduler("new-only")
 def _make_new_only(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import new_only
 
     return new_only()
 
 
+@register_scheduler("old-only")
 def _make_old_only(config: EcoLifeConfig | None) -> BaseScheduler:  # noqa: ARG001
     from repro.baselines import old_only
 
     return old_only()
 
 
-#: Scheduler registry. Module-level functions only: jobs reference
-#: schedulers by name, and workers resolve the name back here.
-SCHEDULERS: dict[str, Callable[[EcoLifeConfig | None], BaseScheduler]] = {
-    "ecolife": _make_ecolife,
-    "ecolife-no-dpso": _make_ecolife_no_dpso,
-    "ecolife-no-adjust": _make_ecolife_no_adjust,
-    "ecolife-ga": _make_ecolife_ga,
-    "ecolife-sa": _make_ecolife_sa,
-    "eco-old": _make_eco_old,
-    "eco-new": _make_eco_new,
-    "co2-opt": _make_co2_opt,
-    "service-time-opt": _make_service_time_opt,
-    "energy-opt": _make_energy_opt,
-    "oracle": _make_oracle,
-    "new-only": _make_new_only,
-    "old-only": _make_old_only,
-}
+#: Back-compat alias: the live (read-only) registry mapping. Jobs
+#: reference schedulers by name, and the executing worker resolves the
+#: name through :mod:`repro.experiments.registry`; register new entries
+#: with ``@register_scheduler("name")``, not by mutating this mapping.
+SCHEDULERS = REGISTRY
 
+#: The built-in (paper) scheme names, frozen at import time in their
+#: historical order. Dynamically registered plugins appear in
+#: :func:`repro.experiments.registry.list_schedulers`, not here.
 SCHEDULER_NAMES: tuple[str, ...] = tuple(SCHEDULERS)
 
 
 def make_scheduler(name: str, config: EcoLifeConfig | None = None) -> BaseScheduler:
-    """Instantiate a registered scheduler by name."""
-    try:
-        factory = SCHEDULERS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; registered: {sorted(SCHEDULERS)}"
-        ) from None
-    return factory(config)
+    """Instantiate a registered scheduler by name.
+
+    Thin back-compat wrapper over
+    :func:`repro.experiments.registry.create_scheduler`.
+    """
+    return create_scheduler(name, config)
 
 
 # ---------------------------------------------------------------------------
@@ -320,10 +338,10 @@ class RunnerJob:
     def __post_init__(self) -> None:
         if (self.spec is None) == (self.scenario is None):
             raise ValueError("exactly one of spec/scenario must be provided")
-        if self.scheduler not in SCHEDULERS:
+        if not is_registered(self.scheduler):
             raise KeyError(
                 f"unknown scheduler {self.scheduler!r}; "
-                f"registered: {sorted(SCHEDULERS)}"
+                f"registered: {list(list_schedulers())}"
             )
 
     @property
@@ -466,6 +484,20 @@ def execute_job_with_records(job: RunnerJob) -> tuple[ResultSummary, RecordArray
     return summary, result.record_arrays()
 
 
+#: What one executed job yields: a bare summary (:func:`execute_job`) or
+#: a (summary, records) pair (:func:`execute_job_with_records`).
+JobOutcome = ResultSummary | tuple[ResultSummary, RecordArrays]
+
+
+def unpack_outcome(
+    outcome: ResultSummary | tuple[ResultSummary, RecordArrays],
+) -> tuple[ResultSummary, RecordArrays | None]:
+    """Normalise either job-entry-point result to (summary, records?)."""
+    if isinstance(outcome, tuple):
+        return outcome
+    return outcome, None
+
+
 # ---------------------------------------------------------------------------
 # On-disk result cache.
 # ---------------------------------------------------------------------------
@@ -575,6 +607,33 @@ class ResultCache:
         tmp.write_text(summary.to_json())
         tmp.replace(path)
 
+    def fetch_or_run(
+        self,
+        job: RunnerJob,
+        run: Callable[[RunnerJob], JobOutcome] | None = None,
+    ) -> ResultSummary:
+        """Return the cached summary for ``job``, or execute-and-commit.
+
+        The single primitive behind every get/execute/put dance in the
+        repo: a hit returns the cached summary; a miss invokes ``run``
+        (default: :func:`execute_job`, or
+        :func:`execute_job_with_records` when this cache persists
+        records), writes the outcome back -- records included -- and
+        returns the fresh summary. Hit/miss accounting matches calling
+        :meth:`get` followed by :meth:`put` exactly. ``get``/``put``
+        stay public for callers that need the halves separately (the
+        distributed job server commits worker results it did not run
+        itself), but in-repo code should prefer this entry point.
+        """
+        cached = self.get(job)
+        if cached is not None:
+            return cached
+        if run is None:
+            run = execute_job_with_records if self.store_records else execute_job
+        summary, records = unpack_outcome(run(job))
+        self.put(job, summary, records=records)
+        return summary
+
     def get_records(self, job: RunnerJob) -> RecordArrays | None:
         """Load one job's persisted per-invocation records (or None)."""
         path = self._records_path(self.key(job))
@@ -639,6 +698,119 @@ class GridResult:
         return out
 
 
+# ---------------------------------------------------------------------------
+# Execution backends.
+# ---------------------------------------------------------------------------
+
+
+class Executor(Protocol):
+    """Pluggable execution backend for :class:`ParallelRunner`.
+
+    An executor turns submitted :class:`RunnerJob`\\ s into future-like
+    handles (plain :class:`concurrent.futures.Future` objects resolving
+    to a :data:`JobOutcome`) and streams them back as they finish. Two
+    capability flags tell the runner how the backend behaves:
+
+    - ``commits_results`` (cache locality): ``True`` means the backend
+      already commits summaries/records into the shared
+      :class:`ResultCache` as they land (the TCP job server commits
+      server-side, at most once per job), so the runner must not write
+      them again. ``False`` means the runner owns the cache write.
+    - ``retries_jobs`` (crash semantics): ``True`` means a lost worker
+      is retried internally and a *failed future* signals an exhausted
+      retry budget (:class:`JobFailedError`). ``False`` means a worker
+      crash breaks the whole backend (``BrokenProcessPool``) and every
+      unfinished future fails at once.
+
+    Shipped backends: :class:`LocalPoolExecutor` (this module) and
+    :class:`repro.distributed.TcpExecutor`.
+    """
+
+    commits_results: bool
+    retries_jobs: bool
+
+    def submit(
+        self, job: RunnerJob, with_records: bool = False
+    ) -> concurrent.futures.Future[JobOutcome]:
+        """Queue one job; the future resolves to its outcome."""
+        ...
+
+    def as_completed(self) -> Iterator[concurrent.futures.Future[JobOutcome]]:
+        """Yield outstanding submitted futures as they complete."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent)."""
+        ...
+
+
+class JobFailedError(RuntimeError):
+    """One job failed permanently inside an executor backend.
+
+    Set as a job future's exception by backends with internal retry
+    (``retries_jobs=True``) once the job's bounded retry budget is
+    exhausted -- e.g. the TCP fabric after repeated lease expiries or
+    worker-side errors. :class:`ParallelRunner` aggregates these
+    (together with ``BrokenProcessPool``) into one
+    :class:`WorkerCrashError` naming every lost job.
+    """
+
+    def __init__(self, label: str, attempts: int, last_error: str) -> None:
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"job {label} failed permanently after {attempts} attempt(s); "
+            f"last error: {last_error}"
+        )
+
+
+class LocalPoolExecutor:
+    """The classic single-host backend: a local process pool.
+
+    Behaviour-identical to the pre-executor ``ParallelRunner`` fan-out
+    (the pool workers run the exact same :func:`execute_job` /
+    :func:`execute_job_with_records` entry points, so results are
+    bit-identical), with the crash semantics preserved: a worker death
+    breaks the pool and every unfinished future fails with
+    ``BrokenProcessPool``, which the runner wraps into
+    :class:`WorkerCrashError`.
+    """
+
+    commits_results = False
+    retries_jobs = False
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = (
+            int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
+        )
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._outstanding: list[concurrent.futures.Future[JobOutcome]] = []
+
+    def submit(
+        self, job: RunnerJob, with_records: bool = False
+    ) -> concurrent.futures.Future[JobOutcome]:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(self.n_workers)
+        entry: Callable[[RunnerJob], JobOutcome] = (
+            execute_job_with_records if with_records else execute_job
+        )
+        future = self._pool.submit(entry, job)
+        self._outstanding.append(future)
+        return future
+
+    def as_completed(self) -> Iterator[concurrent.futures.Future[JobOutcome]]:
+        outstanding, self._outstanding = self._outstanding, []
+        yield from concurrent.futures.as_completed(outstanding)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
 class WorkerCrashError(RuntimeError):
     """A pool worker died mid-sweep (OOM kill, segfault, ``os._exit``).
 
@@ -649,6 +821,12 @@ class WorkerCrashError(RuntimeError):
     (``completed``). Completed results were already written to the
     :class:`ResultCache` (if one is configured), so re-running the same
     grid resumes from the cache and only re-executes the failed tail.
+
+    Backends with internal retry (:class:`repro.distributed.TcpExecutor`)
+    raise the same error once a job's retry budget is exhausted -- there
+    ``failed_labels`` names the poison jobs while every healthy job's
+    result is already committed, so a re-run likewise resumes from the
+    cache.
     """
 
     def __init__(self, failed_labels: Sequence[str], completed: int) -> None:
@@ -665,21 +843,29 @@ class WorkerCrashError(RuntimeError):
 
 
 class ParallelRunner:
-    """Executes runner jobs, optionally in parallel and/or cached.
+    """Executes runner jobs through a pluggable backend, cache-first.
 
     ``n_workers=1`` runs in-process; ``n_workers>1`` fans out over a
-    process pool; ``n_workers=None`` uses the CPU count. Job order is
-    always preserved in the returned list.
+    :class:`LocalPoolExecutor`; ``n_workers=None`` uses the CPU count.
+    Passing ``executor=`` swaps the backend: an :class:`Executor`
+    instance, ``"local"`` (the default pool), or a ``"tcp://host:port"``
+    spec that lazily hosts a :class:`repro.distributed.TcpExecutor` job
+    server at that address (call :meth:`close` when done with a
+    string-built backend). Every backend runs the same
+    :func:`execute_job` entry point, so results are bit-identical
+    regardless of where they ran. Job order is always preserved in the
+    returned list.
 
-    If a worker dies mid-sweep the run raises :class:`WorkerCrashError`
-    naming the unfinished jobs; everything that completed before the
-    crash is already in the cache, so re-running the same grid skips it.
+    If workers die mid-sweep the run raises :class:`WorkerCrashError`
+    naming the lost jobs; everything that completed before the crash is
+    already in the cache, so re-running the same grid skips it.
     """
 
     def __init__(
         self,
         n_workers: int | None = 1,
         cache: ResultCache | None = None,
+        executor: "Executor | str | None" = None,
     ) -> None:
         self.n_workers = (
             int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
@@ -687,10 +873,60 @@ class ParallelRunner:
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.cache = cache
+        self._executor: Executor | None = None
+        self._executor_spec: str | None = None
+        self._owns_executor = False
+        if isinstance(executor, str):
+            spec = executor.strip()
+            if spec and spec != "local" and not spec.startswith("tcp://"):
+                raise ValueError(
+                    f"unknown executor spec {executor!r}; "
+                    "expected 'local' or 'tcp://host:port'"
+                )
+            self._executor_spec = spec or None
+        elif executor is not None:
+            self._executor = executor
+
+    def _resolve_executor(self) -> "Executor | None":
+        """Materialise a string executor spec on first use."""
+        if self._executor is not None:
+            return self._executor
+        spec = self._executor_spec
+        if spec is None or spec == "local":
+            return None
+        # Lazy import: repro.distributed imports this module for the job
+        # and entry-point types.
+        from repro.distributed import TcpExecutor
+
+        self._executor = TcpExecutor(bind=spec, cache=self.cache)
+        self._owns_executor = True
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down an executor this runner built from a string spec.
+
+        Backends passed in as instances belong to the caller and are
+        left running; idempotent either way.
+        """
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._owns_executor = False
+
+    def _entry(self) -> Callable[[RunnerJob], JobOutcome]:
+        # A record-persisting cache needs the per-invocation columns
+        # back from the worker; otherwise ship only the summary.
+        if self.cache is not None and self.cache.store_records:
+            return execute_job_with_records
+        return execute_job
 
     def run(self, jobs: Sequence[RunnerJob]) -> list[ResultSummary]:
         """Execute all jobs (cache-first), preserving job order."""
         jobs = list(jobs)
+        executor = self._resolve_executor()
+        if executor is None and self.n_workers == 1:
+            return self._run_serial(jobs)
+
         results: list[ResultSummary | None] = [None] * len(jobs)
         pending: list[int] = []
         for i, job in enumerate(jobs):
@@ -701,52 +937,79 @@ class ParallelRunner:
                 pending.append(i)
 
         if pending:
-            # A record-persisting cache needs the per-invocation columns
-            # back from the worker; otherwise ship only the summary.
-            with_records = self.cache is not None and self.cache.store_records
-            entry = execute_job_with_records if with_records else execute_job
-
-            def consume(
-                i: int,
-                outcome: "ResultSummary | tuple[ResultSummary, RecordArrays]",
-            ) -> None:
-                # Write each result as it lands so record arrays are
-                # dropped immediately -- peak memory stays one in-flight
-                # result per worker, not the whole grid's records.
-                records: RecordArrays | None
-                if isinstance(outcome, tuple):
-                    summary, records = outcome
-                else:
-                    summary, records = outcome, None
+            if executor is None and len(pending) == 1:
+                # A single miss is not worth a pool spin-up.
+                [i] = pending
+                summary, records = unpack_outcome(self._entry()(jobs[i]))
                 results[i] = summary
                 if self.cache is not None:
                     self.cache.put(jobs[i], summary, records=records)
-
-            if self.n_workers == 1 or len(pending) == 1:
-                for i in pending:
-                    consume(i, entry(jobs[i]))
-            else:
-                workers = min(self.n_workers, len(pending))
-                done = 0
+            elif executor is None:
+                local = LocalPoolExecutor(min(self.n_workers, len(pending)))
                 try:
-                    with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                        for i, outcome in zip(
-                            pending, pool.map(entry, [jobs[i] for i in pending])
-                        ):
-                            consume(i, outcome)
-                            done += 1
-                except BrokenProcessPool as exc:
-                    # pool.map yields in order, so everything past `done`
-                    # is lost. Results consumed so far are already cached.
-                    failed = [
-                        f"{jobs[i].scheduler} @ {jobs[i].scenario_label}"
-                        for i in pending[done:]
-                    ]
-                    raise WorkerCrashError(
-                        failed, completed=len(jobs) - len(failed)
-                    ) from exc
+                    self._run_on(local, jobs, pending, results)
+                finally:
+                    local.shutdown()
+            else:
+                self._run_on(executor, jobs, pending, results)
 
         return list(results)  # type: ignore[arg-type]
+
+    def _run_serial(self, jobs: Sequence[RunnerJob]) -> list[ResultSummary]:
+        """In-process path: one cache round-trip per job, in order."""
+        if self.cache is None:
+            return [execute_job(job) for job in jobs]
+        entry = self._entry()
+        return [self.cache.fetch_or_run(job, entry) for job in jobs]
+
+    def _run_on(
+        self,
+        executor: "Executor",
+        jobs: Sequence[RunnerJob],
+        pending: Sequence[int],
+        results: "list[ResultSummary | None]",
+    ) -> None:
+        """Fan the pending jobs out over ``executor`` and collect.
+
+        Results are committed as they land so record arrays are dropped
+        immediately -- peak memory stays one in-flight result per
+        worker, not the whole grid's records. Crash-type failures
+        (``BrokenProcessPool`` from the local pool, retry-exhausted
+        :class:`JobFailedError` from retrying backends) are aggregated
+        into one :class:`WorkerCrashError`; any other exception is a
+        bug in the job itself and re-raises directly.
+        """
+        cache = self.cache if not executor.commits_results else None
+        with_records = self.cache is not None and self.cache.store_records
+        index_of: dict[concurrent.futures.Future[JobOutcome], int] = {
+            executor.submit(jobs[i], with_records=with_records): i
+            for i in pending
+        }
+        failed: list[int] = []
+        first_exc: BaseException | None = None
+        for future in executor.as_completed():
+            i = index_of[future]
+            exc = future.exception()
+            if exc is None:
+                summary, records = unpack_outcome(future.result())
+                results[i] = summary
+                if cache is not None:
+                    cache.put(jobs[i], summary, records=records)
+            elif isinstance(exc, (BrokenProcessPool, JobFailedError)):
+                failed.append(i)
+                if first_exc is None:
+                    first_exc = exc
+            else:
+                raise exc
+
+        if failed:
+            labels = [
+                f"{jobs[i].scheduler} @ {jobs[i].scenario_label}"
+                for i in sorted(failed)
+            ]
+            raise WorkerCrashError(
+                labels, completed=len(jobs) - len(failed)
+            ) from first_exc
 
     def run_grid(
         self,

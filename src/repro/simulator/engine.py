@@ -282,13 +282,25 @@ class SimulationEngine:
         width is capped by arrivals per in-flight service time).
         """
         quantum = scheduler.decision_quantum_s
+        adaptive = scheduler.adaptive_decision_quantum
+        # Adaptive width: clamp the tick to the shortest service time
+        # observed so far (a wider tick cannot batch further anyway --
+        # the flush_at trigger closes the group at the earliest staged
+        # completion). Exactness is width-independent, so a width that
+        # *varies* as the running minimum tightens stays bit-identical.
+        min_service = float("inf")
         horizon = 0.0
         staged: list[KeepAliveRequest] = []
         names: set[str] = set()
         bucket: float | None = None
         flush_at = float("inf")  # earliest staged completion
         for t, func in arrivals:
-            key = t if quantum <= 0.0 else t // quantum
+            width = quantum
+            if adaptive and min_service < float("inf"):
+                width = (
+                    min(quantum, min_service) if quantum > 0.0 else min_service
+                )
+            key = t if width <= 0.0 else t // width
             if staged and (
                 key != bucket or func.name in names or t >= flush_at
             ):
@@ -301,6 +313,8 @@ class SimulationEngine:
             staged.append(req)
             names.add(func.name)
             flush_at = min(flush_at, req.t_end)
+            if adaptive:
+                min_service = min(min_service, req.t_end - t)
         if staged:
             horizon = max(horizon, self._flush_staged(scheduler, staged))
         return horizon

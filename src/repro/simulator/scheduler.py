@@ -260,6 +260,14 @@ class BaseScheduler(abc.ABC):
     #: preserving sequential event ordering exactly (see
     #: ``docs/optimizers.md``).
     decision_quantum_s: float = 0.0
+    #: Clamp the decision tick to the observed minimum service time:
+    #: the engine tracks the shortest completed-request duration and
+    #: uses ``min(decision_quantum_s, observed_min)`` as the effective
+    #: width (or the observed minimum alone when the static width is 0).
+    #: A pure look-ahead heuristic -- replays are bit-identical at any,
+    #: even varying, width. Only honoured alongside
+    #: :attr:`supports_keepalive_batch`.
+    adaptive_decision_quantum: bool = False
     #: Schedulers that want :meth:`on_container_expired` notifications
     #: (e.g. to drive state-retirement sweeps without depending on
     #: decision traffic) set this True.

@@ -1,0 +1,82 @@
+"""Opt-in live integration test for :class:`ElectricityMapsProvider`.
+
+Skipped unless ``ECOLIFE_EMAPS_TOKEN`` is set (a real Electricity Maps
+API token): the default test run must stay hermetic -- no network, no
+secrets. CI exercises this through the manual
+``emaps-integration`` workflow (``workflow_dispatch``), which injects
+the token from the repository secrets; locally::
+
+    ECOLIFE_EMAPS_TOKEN=... ECOLIFE_EMAPS_ZONE=DE \
+        python -m pytest tests/test_emaps_integration.py -v
+
+Everything the hermetic suite can check (retry/backoff schedule, stale
+fallback, ring semantics, rebasing) lives in ``tests/test_providers.py``
+against an injected fetch; this file only proves the real endpoint +
+auth + payload parsing still line up with those assumptions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+TOKEN = os.environ.get("ECOLIFE_EMAPS_TOKEN", "")
+ZONE = os.environ.get("ECOLIFE_EMAPS_ZONE", "DE")
+
+pytestmark = pytest.mark.skipif(
+    not TOKEN,
+    reason="set ECOLIFE_EMAPS_TOKEN to run the live Electricity Maps test",
+)
+
+
+@pytest.fixture(scope="module")
+def provider():
+    from repro.carbon.providers import ElectricityMapsProvider
+
+    t0 = time.time()
+    p = ElectricityMapsProvider(
+        zone=ZONE,
+        token=TOKEN,
+        t0_epoch_s=t0,
+        max_retries=2,
+        backoff_base_s=1.0,
+        backoff_cap_s=4.0,
+    )
+    refreshed = p.poll(0.0)
+    assert refreshed, f"live poll failed: {p.last_error}"
+    return p
+
+
+class TestLiveForecast:
+    def test_poll_marks_provider_healthy(self, provider):
+        assert provider.healthy(0.0)
+        assert provider.staleness_s(0.0) == 0.0
+        assert provider.last_error is None
+
+    def test_forecast_spans_a_usable_horizon(self, provider):
+        trace = provider.trace()
+        # The forecast is rebased onto the service timeline (t0 = poll
+        # time), so a usable horizon extends hours past "now".
+        assert trace.duration_s >= 3600.0
+
+    def test_intensities_are_physical(self, provider):
+        trace = provider.trace()
+        horizon = trace.duration_s
+        samples = [trace.at(frac * horizon) for frac in (0.0, 0.25, 0.5, 0.75)]
+        # gCO2/kWh: positive, and below any grid ever observed.
+        assert all(0.0 < s < 2000.0 for s in samples)
+
+    def test_decision_service_accepts_the_live_trace(self, provider):
+        # The real consumer: a DecisionService boots on the live
+        # forecast and answers a decision without raising.
+        from repro.core import EcoLifeConfig
+        from repro.service import DecisionService
+
+        service = DecisionService(
+            provider=provider, config=EcoLifeConfig(seed=7)
+        )
+        name = next(iter(service.functions))
+        decisions = service.decide([(0.0, name)])
+        assert len(decisions) == 1

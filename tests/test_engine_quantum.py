@@ -179,3 +179,73 @@ class TestQuantumOn:
     def test_config_validation(self):
         with pytest.raises(ValueError, match="decision_quantum_s"):
             EcoLifeConfig(decision_quantum_s=-1.0)
+
+
+class TestAdaptiveQuantum:
+    """``adaptive_decision_quantum``: the engine clamps the tick to the
+    observed minimum service time. Pure look-ahead heuristic -- replays
+    must be bit-identical to the static setting (and to quantum off),
+    even though the effective width varies as the running min tightens.
+    """
+
+    def test_adaptive_matches_static_bit_identical(self):
+        trace = continuous_trace()
+        q = 2.0 * min_service_s(trace)  # wider than the clamp target
+        adaptive, _ = replay(
+            trace,
+            EcoLifeConfig(decision_quantum_s=q, adaptive_decision_quantum=True),
+        )
+        static, _ = replay(trace, EcoLifeConfig(decision_quantum_s=q))
+        assert_records_identical(adaptive, static)
+
+    def test_adaptive_without_static_width_matches_off(self):
+        """quantum=0 + adaptive: the observed min alone drives the
+        width; results still match the sequential replay exactly."""
+        trace = continuous_trace(n_funcs=12, horizon_s=1200.0, mean_iat=8.0)
+        adaptive, _ = replay(
+            trace, EcoLifeConfig(adaptive_decision_quantum=True)
+        )
+        off, _ = replay(trace, EcoLifeConfig())
+        assert_records_identical(adaptive, off)
+
+    def test_adaptive_engages_batching_without_tuning(self):
+        """Self-tuning: with no hand-picked quantum, groups still form
+        on a dense continuous trace once a service time is observed."""
+        cfg = EcoLifeConfig(adaptive_decision_quantum=True)
+        if not EcoLifeScheduler(cfg).supports_keepalive_batch:
+            pytest.skip("fleet disabled via ECOLIFE_BATCH_SWARMS")
+        trace = continuous_trace(n_funcs=12, horizon_s=1200.0, mean_iat=2.0)
+        _, sched = replay(trace, cfg, RecordingScheduler)
+        assert max(sched.batch_sizes) > 1
+
+    def test_adaptive_requires_batch_support(self):
+        cfg = EcoLifeConfig(batch_swarms=False, adaptive_decision_quantum=True)
+        sched = EcoLifeScheduler(cfg)
+        assert sched.adaptive_decision_quantum is False
+        trace = continuous_trace(n_funcs=4, horizon_s=300.0)
+        on, _ = replay(trace, cfg)
+        plain, _ = replay(trace, EcoLifeConfig(batch_swarms=False))
+        assert_records_identical(on, plain)
+
+    def test_adaptive_under_memory_pressure_bit_identical(self):
+        trace = continuous_trace(n_funcs=12, horizon_s=900.0, mean_iat=6.0)
+
+        def tight(config):
+            engine = SimulationEngine(
+                pair=PAIR_A,
+                trace=trace,
+                ci_trace=CarbonIntensityTrace.constant(250.0),
+                config=SimulationConfig(
+                    measure_decision_overhead=False,
+                    pool_capacity_old_gb=1.5,
+                    pool_capacity_new_gb=1.5,
+                ),
+            )
+            return engine.run(EcoLifeScheduler(config))
+
+        on = tight(
+            EcoLifeConfig(decision_quantum_s=20.0, adaptive_decision_quantum=True)
+        )
+        off = tight(EcoLifeConfig())
+        assert off.evicted_count + off.spilled_count > 0
+        assert_records_identical(on, off)
