@@ -16,6 +16,9 @@ gated is per **suite** (``--suite``, default ``swarm``):
   state-retirement sweep against slowing replays down).
 - ``service``    -- end-to-end /decide throughput and p99 per-decision
   latency from ``bench_service.py``.
+- ``shard``      -- the sharded-replay bit-identity flags (2/4 shards,
+  thread and process transports) from ``bench_swarm.py``'s shard
+  section; speedups are info-only at CI scale.
 
 A metric regresses when it drops more than ``--threshold`` below the
 baseline value (higher is better for ``gated`` metrics); suites may
@@ -130,6 +133,32 @@ SUITES: dict[str, dict] = {
             "tcp.wall_s",
             "tcp.retries",
             "tcp.expired_leases",
+        ),
+        "threshold": 0.25,
+    },
+    "shard": {
+        # Sharded-replay curve from bench_swarm.py's shard section: the
+        # gated metrics are the *bit-identity* flags at every point of
+        # the 2/4-shard x thread/process curve (1.0 or bust; the
+        # threshold is irrelevant for a 0/1 metric). Wall clocks and
+        # speedups stay info-only -- the quick bench runs on whatever
+        # core count CI hands out (sharding can only lose on one core),
+        # and the >=1.8x @ 4 shards acceptance assert lives inside the
+        # bench itself, applied on full runs on >=4-core hosts.
+        "gated": (
+            "curve[2].thread_identical",
+            "curve[2].process_identical",
+            "curve[4].thread_identical",
+            "curve[4].process_identical",
+        ),
+        "info": (
+            "n_invocations",
+            "cpu_count",
+            "sequential_wall_s",
+            "curve[2].thread_speedup",
+            "curve[2].process_speedup",
+            "curve[4].thread_speedup",
+            "curve[4].process_speedup",
         ),
         "threshold": 0.25,
     },

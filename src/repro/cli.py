@@ -91,8 +91,75 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         pair=args.pair,
         pool_gb=args.pool_gb,
     )
+    if args.shards > 1:
+        return _simulate_sharded(args, scenario, factories, config)
     result = run_scheduler(factories[args.scheduler], scenario)
     print(result.summary())
+    return 0
+
+
+def _simulate_sharded(args, scenario, factories, config) -> int:
+    """The ``simulate --shards N`` path (bit-identical to 1 process).
+
+    Transports: ``thread`` (in-process runner), ``process`` (local worker
+    processes via the TCP coordinator), or ``tcp://host:port`` (bind a
+    coordinator and wait for ``ecolife work ADDR --shard`` processes --
+    the CI smoke mode).
+    """
+    if not getattr(factories[args.scheduler](), "supports_sharding", False):
+        print(
+            f"scheduler {args.scheduler!r} does not support sharded replay "
+            "(needs supports_sharding + place_foreign; see docs/sharding.md)"
+        )
+        return 2
+    transport = args.shard_transport
+    if transport == "thread":
+        from repro.experiments import run_scheduler
+
+        result = run_scheduler(
+            factories[args.scheduler], scenario, shards=args.shards
+        )
+    elif transport == "process" or transport.startswith("tcp://"):
+        from repro.distributed import ShardJob, run_sharded_tcp
+        from repro.distributed.protocol import parse_address
+
+        job = ShardJob(
+            scheduler=args.scheduler,
+            pair=scenario.pair,
+            trace=scenario.trace,
+            ci_trace=scenario.ci_trace,
+            n_shards=args.shards,
+            config=config,
+            sim_config=scenario.sim_config,
+        )
+        if transport == "process":
+            result = run_sharded_tcp(job)
+        else:
+            host, port = parse_address(transport)
+            print(
+                f"shard coordinator on tcp://{host}:{port} -- attach "
+                f"{args.shards} worker(s) with "
+                f"`ecolife work tcp://{host}:{port} --shard`"
+            )
+            result = run_sharded_tcp(job, host=host, port=port, spawn_workers=False)
+        result.meta["scenario"] = scenario.label
+    else:
+        print(
+            f"unknown shard transport {transport!r}; "
+            "options: thread, process, tcp://host:port"
+        )
+        return 2
+    print(result.summary())
+    print(
+        f"shards: {result.meta.get('n_shards')} "
+        f"(transport={result.meta.get('transport', 'thread')}"
+        + (
+            f", reassignments={result.meta['reassignments']}"
+            if "reassignments" in result.meta
+            else ""
+        )
+        + ")"
+    )
     return 0
 
 
@@ -149,6 +216,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.store_records and not args.cache_dir:
         print("--store-records requires --cache-dir")
         return 2
+    if args.shards > 1:
+        from repro.experiments.runner import make_scheduler
+
+        unsupported = [
+            s
+            for s in args.schedulers
+            if not getattr(make_scheduler(s), "supports_sharding", False)
+        ]
+        if unsupported:
+            print(
+                f"schedulers {unsupported} do not support sharded replay "
+                "(--shards); see docs/sharding.md"
+            )
+            return 2
     grid = ScenarioGrid(
         regions=tuple(args.regions),
         pairs=tuple(args.pairs),
@@ -178,7 +259,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_workers=args.workers, cache=cache, executor=executor
     )
     try:
-        result = runner.run_grid(grid, args.schedulers)
+        result = runner.run_grid(grid, args.schedulers, shards=args.shards)
         if executor is not None:
             stats = executor.stats()
             print(
@@ -237,6 +318,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_work(args: argparse.Namespace) -> int:
     from repro.distributed import run_worker
 
+    if args.shard:
+        from repro.distributed import run_shard_worker
+
+        for module in args.imports:
+            __import__(module)
+        try:
+            shard_id = run_shard_worker(args.address, name=args.name)
+        except (ConnectionError, ValueError) as exc:
+            print(f"shard worker: {exc}")
+            return 1
+        except KeyboardInterrupt:
+            print("shard worker interrupted")
+            return 130
+        print(f"shard worker exiting: shard {shard_id} complete")
+        return 0
     try:
         completed = run_worker(
             args.address,
@@ -268,7 +364,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.carbon.regions import REGION_NAMES, region_trace_for
     from repro.core import EcoLifeConfig
     from repro.hardware import PAIRS
-    from repro.service import DecisionServer, DecisionService
+    from repro.service import (
+        DecisionServer,
+        DecisionService,
+        ShardedDecisionService,
+    )
     from repro.simulator.engine import SimulationConfig
 
     if args.pair.upper() not in PAIRS:
@@ -306,6 +406,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         provider.poll(0.0)
         clock = lambda: time.time() - t0  # noqa: E731
 
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}")
+        return 2
     service_cls = DecisionService
     kwargs = dict(
         provider=provider,
@@ -319,6 +422,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         checkpoint_dir=args.checkpoint_dir,
     )
+    if args.shards > 1:
+        # One front door, per-shard services: /decide batches route by
+        # the stable function-name hash (see docs/sharding.md).
+        service_cls = ShardedDecisionService
+        kwargs["n_shards"] = args.shards
     if args.restore:
         service = service_cls.restore(args.restore, **kwargs)
     else:
@@ -430,6 +538,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="clamp the decision tick to the observed minimum service "
         "time (self-tuning batching width; bit-identical results)",
     )
+    sim_p.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the replay by function across this many shards "
+        "(bit-identical at any count; see docs/sharding.md)",
+    )
+    sim_p.add_argument(
+        "--shard-transport", default="thread", metavar="SPEC",
+        help="shard execution: 'thread' (in-process), 'process' (local "
+        "worker processes), or 'tcp://host:port' to bind a coordinator "
+        "and wait for `ecolife work ADDR --shard` workers",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="run a scenario grid (regions x pairs x seeds x pools)"
@@ -472,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference scheme for the %%-increase table",
     )
     sweep_p.add_argument(
+        "--shards", type=int, default=1,
+        help="run every job's replay function-partitioned across this "
+        "many in-process shards (bit-identical; cache entries are "
+        "shared with 1-shard runs)",
+    )
+    sweep_p.add_argument(
         "--executor", default="local", metavar="SPEC",
         help="execution backend: 'local' (process pool) or "
         "'tcp://host:port' to host a job server leasing jobs to "
@@ -501,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
     work_p.add_argument(
         "--exit-when-drained", action="store_true",
         help="exit once the server reports every job terminal",
+    )
+    work_p.add_argument(
+        "--shard", action="store_true",
+        help="join a sharded single-simulation replay instead of the "
+        "sweep job fabric (address is a ShardCoordinator; see "
+        "docs/sharding.md)",
     )
 
     serve_p = sub.add_parser(
@@ -543,6 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--restore", default=None,
         help="restore scheduler + engine state from this checkpoint directory",
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=1,
+        help="route /decide batches across this many per-shard decision "
+        "services by stable function-name hash (see docs/sharding.md)",
     )
 
     sub.add_parser("catalog", help="print the Table I hardware catalog")

@@ -69,6 +69,9 @@ class EcoLifeScheduler(BaseScheduler):
         # Expiry notifications drive KDM retirement sweeps during quiet
         # periods (no decision traffic); pointless without retirement.
         self.wants_expiry_events = self.config.retirement_enabled
+        # Placement is a pure function of (warm locations, CI at t), so
+        # foreign arrivals replay exactly; see place_foreign.
+        self.supports_sharding = True
         # Components are created at bind() time (they need the env).
         self.arrivals: ArrivalRegistry | None = None
         self.kdm: KeepAliveDecisionMaker | None = None
@@ -121,6 +124,16 @@ class EcoLifeScheduler(BaseScheduler):
         # Rehydrate any retired state for this function *before* the
         # estimator observes the arrival (keeps histories bit-identical).
         self.kdm.on_arrival(req.func.name, req.t)
+        self.arrivals.observe(req.func.name, req.t)
+        return self.epdm.choose(req.func, req.t, req.warm_locations)
+
+    def place_foreign(self, req: PlacementRequest) -> Generation:
+        # Foreign arrivals still feed the estimator (the warm-pool
+        # adjuster's arrival-mass ranking reads every function's p_warm),
+        # and their placement replays bit-identically because the EPDM
+        # choice depends only on the warm locations in the request and
+        # the shared carbon-intensity clock -- never on KDM/swarm state.
+        # No kdm.on_arrival: the owning shard keeps the only swarm.
         self.arrivals.observe(req.func.name, req.t)
         return self.epdm.choose(req.func, req.t, req.warm_locations)
 

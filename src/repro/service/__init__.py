@@ -10,6 +10,7 @@ server; carbon intensity comes from the pluggable providers in
 from repro.service.http import DecisionServer
 from repro.service.metrics import LatencyWindow, ServiceMetrics
 from repro.service.online import DecisionService, LiveArrivalLog, StaleCarbonFeed
+from repro.service.sharded import ShardedDecisionService
 
 __all__ = [
     "DecisionServer",
@@ -17,5 +18,6 @@ __all__ = [
     "LatencyWindow",
     "LiveArrivalLog",
     "ServiceMetrics",
+    "ShardedDecisionService",
     "StaleCarbonFeed",
 ]

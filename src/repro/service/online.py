@@ -58,7 +58,10 @@ from repro.simulator.records import InvocationRecord
 from repro.workloads.functions import FunctionProfile
 from repro.workloads.sebs import SEBS_FUNCTIONS
 
-CHECKPOINT_VERSION = 1
+#: Version 2: the engine's single push counter became the deterministic
+#: pair (expiry-only ``seq``, global invocation ``next_index``) when the
+#: sharded replay landed; v1 checkpoints cannot restore the split.
+CHECKPOINT_VERSION = 2
 
 
 class StaleCarbonFeed(RuntimeError):
@@ -341,7 +344,8 @@ class DecisionService:
         runtime = {
             "records": self._engine.records,
             "events": self._engine._events,
-            "seq": self._engine._seq,
+            "seq": self._engine._expiry_seq,
+            "next_index": self._engine._next_index,
             "token": self._engine._token,
             "horizon": self._engine._horizon,
             "pools": dict(self._engine.pools),
@@ -440,7 +444,8 @@ class DecisionService:
         engine = service._engine
         engine.records[:] = runtime["records"]
         engine._events[:] = runtime["events"]
-        engine._seq = runtime["seq"]
+        engine._expiry_seq = runtime["seq"]
+        engine._next_index = runtime["next_index"]
         engine._token = runtime["token"]
         engine._horizon = runtime["horizon"]
         # engine.pools is shared by reference with the scheduler env's

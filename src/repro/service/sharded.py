@@ -1,0 +1,209 @@
+"""Multi-worker serving: one front door, per-shard decision services.
+
+:class:`ShardedDecisionService` fronts ``n_shards`` independent
+:class:`~repro.service.online.DecisionService` instances and routes
+every arrival in a ``/decide`` batch by the stable function-name hash
+(:func:`repro.workloads.trace.shard_of`) -- the same partition the
+sharded replay uses, so a function's estimator history and swarm always
+live on exactly one shard no matter which process or request carried the
+arrival.
+
+Unlike the sharded *replay* (which needs barriers because shards share
+warm pools), serving shards here are fully independent worlds: each
+shard's engine owns the pools for its functions. That is the right
+trade for the online path -- decisions stream out with no cross-shard
+synchronization -- and matches how a fleet would actually deploy: N
+service processes behind a router, each sized for its partition. The
+shared capacity semantics stay the replay's job.
+
+The facade mirrors the single service's surface (``decide``,
+``healthy``, ``metrics_snapshot``, ``checkpoint``/``restore``,
+``last_t``), so :class:`~repro.service.http.DecisionServer` serves
+either without knowing which it holds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.carbon.providers import CarbonIntensityProvider
+from repro.hardware.catalog import DEFAULT_PAIR
+from repro.hardware.specs import HardwarePair
+from repro.service.online import DecisionService
+from repro.simulator.engine import SimulationConfig
+from repro.workloads.functions import FunctionProfile
+from repro.workloads.trace import shard_of
+
+
+class ShardedDecisionService:
+    """Route ``/decide`` batches across per-shard decision services."""
+
+    def __init__(
+        self,
+        provider: CarbonIntensityProvider,
+        n_shards: int,
+        pair: HardwarePair = DEFAULT_PAIR,
+        config=None,
+        sim_config: SimulationConfig | None = None,
+        functions: Mapping[str, FunctionProfile] | None = None,
+        checkpoint_dir: str | None = None,
+        shards: Sequence[DecisionService] | None = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.provider = provider
+        self.checkpoint_dir = checkpoint_dir
+        if shards is not None:
+            if len(shards) != n_shards:
+                raise ValueError("shards must match n_shards")
+            self.shards = list(shards)
+        else:
+            # Every shard knows the full catalog: routing (not catalog
+            # membership) decides ownership, so registrations and
+            # restores stay symmetric.
+            self.shards = [
+                DecisionService(
+                    provider=provider,
+                    pair=pair,
+                    config=config,
+                    sim_config=sim_config,
+                    functions=functions,
+                    checkpoint_dir=(
+                        None
+                        if checkpoint_dir is None
+                        else f"{checkpoint_dir}/shard-{i}"
+                    ),
+                )
+                for i in range(n_shards)
+            ]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # -- single-service facade ----------------------------------------------
+
+    @property
+    def last_t(self) -> float:
+        return max(s.last_t for s in self.shards)
+
+    @property
+    def scheduler_name(self) -> str:
+        return f"{self.shards[0].scheduler_name}@{self.n_shards}shards"
+
+    def healthy(self, now_s: float | None = None) -> bool:
+        return self.provider.healthy(self.last_t if now_s is None else now_s)
+
+    def register_function(self, profile: FunctionProfile) -> None:
+        for s in self.shards:
+            s.register_function(profile)
+
+    def metrics_snapshot(self, now_s: float | None = None) -> dict[str, object]:
+        now = self.last_t if now_s is None else now_s
+        shards = [s.metrics_snapshot(now) for s in self.shards]
+        out: dict[str, object] = {
+            "scheduler": self.scheduler_name,
+            "provider": self.provider.name,
+            "provider_staleness_s": self.provider.staleness_s(now),
+            "provider_healthy": self.provider.healthy(now),
+            "event_time_s": self.last_t,
+            "n_shards": self.n_shards,
+            "shards": shards,
+        }
+        for key in (
+            "decisions_total",
+            "decide_batches_total",
+            "checkpoints_total",
+            "swarms_live",
+            "swarms_archived",
+            "swarms_retired_total",
+            "swarms_rehydrated_total",
+        ):
+            out[key] = sum(int(s[key] or 0) for s in shards)  # type: ignore[call-overload]
+        return out
+
+    # -- the decision path ---------------------------------------------------
+
+    def decide(
+        self, arrivals: Sequence[tuple[float, str]]
+    ) -> list[dict[str, object]]:
+        """Route one time-ordered batch and reassemble in arrival order.
+
+        Routing is stable-hash by function name, so sub-batches stay
+        time-ordered; responses come back in the input order with
+        ``shard`` annotated. Validation (time order, unknown functions,
+        stale intensity) happens in the owning shard services exactly as
+        unsharded.
+        """
+        if not arrivals:
+            return []
+        routed: dict[int, list[tuple[int, tuple[float, str]]]] = {}
+        for pos, (t_s, name) in enumerate(arrivals):
+            routed.setdefault(shard_of(str(name), self.n_shards), []).append(
+                (pos, (float(t_s), str(name)))
+            )
+        out: list[dict[str, object] | None] = [None] * len(arrivals)
+        for shard_id in sorted(routed):
+            positions = [pos for pos, _ in routed[shard_id]]
+            decisions = self.shards[shard_id].decide(
+                [arr for _, arr in routed[shard_id]]
+            )
+            for pos, decision in zip(positions, decisions):
+                decision["shard"] = shard_id
+                out[pos] = decision
+        assert all(d is not None for d in out)
+        return out  # type: ignore[return-value]
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self, directory: str | None = None) -> dict[str, object]:
+        """Checkpoint every shard into ``<dir>/shard-<i>`` subdirectories."""
+        target = directory or self.checkpoint_dir
+        if target is None:
+            raise ValueError("no checkpoint directory configured")
+        infos = [
+            s.checkpoint(f"{target}/shard-{i}")
+            for i, s in enumerate(self.shards)
+        ]
+        return {
+            "path": str(target),
+            "n_shards": self.n_shards,
+            "shards": infos,
+            "records": sum(int(i["records"]) for i in infos),  # type: ignore[call-overload]
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        provider: CarbonIntensityProvider,
+        n_shards: int,
+        pair: HardwarePair = DEFAULT_PAIR,
+        config=None,
+        sim_config: SimulationConfig | None = None,
+        functions: Mapping[str, FunctionProfile] | None = None,
+        checkpoint_dir: str | None = None,
+    ) -> "ShardedDecisionService":
+        """Rebuild every shard from a :meth:`checkpoint` directory."""
+        shards = [
+            DecisionService.restore(
+                f"{directory}/shard-{i}",
+                provider=provider,
+                pair=pair,
+                config=config,
+                sim_config=sim_config,
+                functions=functions,
+                checkpoint_dir=(
+                    None
+                    if (checkpoint_dir or directory) is None
+                    else f"{checkpoint_dir or directory}/shard-{i}"
+                ),
+            )
+            for i in range(n_shards)
+        ]
+        return cls(
+            provider=provider,
+            n_shards=n_shards,
+            checkpoint_dir=checkpoint_dir or directory,
+            shards=shards,
+        )

@@ -1,7 +1,15 @@
 """Serverless cluster simulator: containers, pools, engine, scheduler API."""
 
 from repro.simulator.containers import PoolFullError, WarmContainer, WarmPool
-from repro.simulator.engine import SimulationConfig, SimulationEngine
+from repro.simulator.engine import ShardStep, SimulationConfig, SimulationEngine
+from repro.simulator.shard import (
+    BarrierTransport,
+    ShardDecision,
+    ShardEngine,
+    ThreadBarrier,
+    ThreadShardRunner,
+    barrier_width_s,
+)
 from repro.simulator.records import (
     InvocationRecord,
     KeepAliveDecision,
@@ -35,4 +43,11 @@ __all__ = [
     "AdjustmentRequest",
     "PoolCandidate",
     "DEFAULT_KEEPALIVE_S",
+    "BarrierTransport",
+    "ShardDecision",
+    "ShardEngine",
+    "ShardStep",
+    "ThreadBarrier",
+    "ThreadShardRunner",
+    "barrier_width_s",
 ]

@@ -122,11 +122,25 @@ class SimulationEngine:
             for g in GENERATIONS
         }
         self.records: list[InvocationRecord] = []
-        # Deferred-event heap: (time, priority, seq, kind, payload).
+        # Deferred-event heap: (time, priority, key, kind, payload).
         # Activations (a container becoming warm at execution end) sort
-        # before expiries at equal timestamps via their priority.
+        # before expiries at equal timestamps via their priority. The
+        # tiebreaker key is *deterministic*, not a push counter: an
+        # activation is keyed by its decider's global invocation index
+        # and an expiry by a dedicated expiry-only counter. In the
+        # sequential engine both reproduce push order exactly (decisions
+        # finish in record-index order; expiries are scheduled in pop
+        # order), and because the keys do not depend on *when* an event
+        # was pushed, a sharded replay that learns about remote
+        # activations late (at a barrier) still pops every event in the
+        # exact sequential order.
         self._events: list[tuple[float, int, int, str, object]] = []
-        self._seq = 0
+        self._expiry_seq = 0
+        #: Global invocation counter: the index of the next record. In a
+        #: sharded replay this advances for *every* arrival of the merged
+        #: trace (own and foreign alike), so record indices are globally
+        #: unique and stable across any shard count.
+        self._next_index = 0
         self._token = 0
         self._ran = False
         self._scheduler: BaseScheduler | None = None
@@ -280,44 +294,16 @@ class SimulationEngine:
         quantum therefore trades nothing away; it only bounds how far
         ahead the engine looks for batchable arrivals (effective batch
         width is capped by arrivals per in-flight service time).
+
+        The grouping state machine itself lives in :class:`ShardStep` so
+        the sharded replay (``repro.simulator.shard``) can drive the
+        identical unit between its synchronization barriers.
         """
-        quantum = scheduler.decision_quantum_s
-        adaptive = scheduler.adaptive_decision_quantum
-        # Adaptive width: clamp the tick to the shortest service time
-        # observed so far (a wider tick cannot batch further anyway --
-        # the flush_at trigger closes the group at the earliest staged
-        # completion). Exactness is width-independent, so a width that
-        # *varies* as the running minimum tightens stays bit-identical.
-        min_service = float("inf")
-        horizon = 0.0
-        staged: list[KeepAliveRequest] = []
-        names: set[str] = set()
-        bucket: float | None = None
-        flush_at = float("inf")  # earliest staged completion
+        step = ShardStep(self, scheduler)
         for t, func in arrivals:
-            width = quantum
-            if adaptive and min_service < float("inf"):
-                width = (
-                    min(quantum, min_service) if quantum > 0.0 else min_service
-                )
-            key = t if width <= 0.0 else t // width
-            if staged and (
-                key != bucket or func.name in names or t >= flush_at
-            ):
-                horizon = max(horizon, self._flush_staged(scheduler, staged))
-                staged, names = [], set()
-                flush_at = float("inf")
-            bucket = key
-            self._drain_events(until=t)
-            req = self._place_and_record(scheduler, t, func)
-            staged.append(req)
-            names.add(func.name)
-            flush_at = min(flush_at, req.t_end)
-            if adaptive:
-                min_service = min(min_service, req.t_end - t)
-        if staged:
-            horizon = max(horizon, self._flush_staged(scheduler, staged))
-        return horizon
+            step.feed(t, func)
+        step.flush()
+        return step.horizon
 
     def _flush_staged(
         self, scheduler: BaseScheduler, staged: list[KeepAliveRequest]
@@ -376,7 +362,7 @@ class SimulationEngine:
                 t=t,
                 func=func,
                 warm_locations=warm_locations,
-                invocation_index=len(self.records),
+                invocation_index=self._next_index,
             ),
         )
 
@@ -395,7 +381,7 @@ class SimulationEngine:
             server, func.mem_gb, busy, overhead
         )
         record = InvocationRecord(
-            index=len(self.records),
+            index=self._next_index,
             t=t,
             func_name=func.name,
             mem_gb=func.mem_gb,
@@ -408,6 +394,7 @@ class SimulationEngine:
             service_energy_wh=service_energy,
             decision_wall_s=wall_place,
         )
+        self._next_index += 1
         self.records.append(record)
         return KeepAliveRequest(
             t_end=t + record.service_s,
@@ -440,8 +427,10 @@ class SimulationEngine:
             decider_index=record.index,
             token=self._new_token(),
         )
-        self._seq += 1
-        heapq.heappush(self._events, (t, 0, self._seq, "activate", container))
+        # Keyed by the decider's global index: deterministic, and equal
+        # to push order in the sequential engine (decisions finish in
+        # record-index order).
+        heapq.heappush(self._events, (t, 0, record.index, "activate", container))
 
     def _activate(self, container: WarmContainer) -> None:
         """Make a container warm at its execution-end timestamp."""
@@ -463,8 +452,18 @@ class SimulationEngine:
             container.location,
             container,
             t,
-            self.records[container.decider_index],
+            self._decider(container.decider_index),
         )
+
+    def _decider(self, index: int) -> InvocationRecord | None:
+        """The record that decided a container's keep-alive.
+
+        ``None`` means the deciding invocation is not tracked by this
+        engine -- a sharded replay returns ``None`` for containers whose
+        function belongs to another shard (their carbon/flags are billed
+        by the owning shard's identical replay of the same events).
+        """
+        return self.records[index]
 
     def _run_adjustment(
         self,
@@ -472,7 +471,7 @@ class SimulationEngine:
         gen: Generation,
         incoming: WarmContainer,
         t: float,
-        record: InvocationRecord,
+        record: InvocationRecord | None,
     ) -> None:
         """Overflow path: rank, pack, spill, drop (paper Fig. 6)."""
         pool = self.pools[gen]
@@ -494,7 +493,8 @@ class SimulationEngine:
             t=t, generation=gen, candidates=candidates, capacity_gb=pool.capacity_gb
         )
         ranked, wall = self._timed(scheduler.rank_keepalive_candidates, request)
-        record.decision_wall_s += wall
+        if record is not None:
+            record.decision_wall_s += wall
         if sorted(c.name for c in ranked) != sorted(c.name for c in candidates):
             raise RuntimeError(
                 f"{scheduler.name}: adjustment ranking must be a permutation of "
@@ -525,11 +525,12 @@ class SimulationEngine:
         # Spill losers to the other generation (no cascading adjustment).
         other_pool = self.pools[gen.other]
         for cand in losers:
-            decider = (
-                record
+            decider_index = (
+                incoming.decider_index
                 if cand.is_incoming
-                else self.records[cand.container.decider_index]
+                else cand.container.decider_index
             )
+            decider = record if cand.is_incoming else self._decider(decider_index)
             can_spill = (
                 scheduler.allow_spill
                 and other_pool.fits(cand.mem_gb)
@@ -541,13 +542,14 @@ class SimulationEngine:
                     location=gen.other,
                     segment_start_s=t,
                     expire_s=cand.expire_s,
-                    decider_index=decider.index,
+                    decider_index=decider_index,
                     token=self._new_token(),
                 )
                 other_pool.insert(moved)
                 self._schedule_expiry(moved)
-                decider.spilled = True
-            else:
+                if decider is not None:
+                    decider.spilled = True
+            elif decider is not None:
                 decider.evicted = True
                 if cand.is_incoming:
                     decider.dropped = True
@@ -579,23 +581,29 @@ class SimulationEngine:
             raise RuntimeError(
                 f"keep-alive segment for {container.name!r} closes before it opens"
             )
+        decider = self._decider(container.decider_index)
+        if decider is None:
+            # Foreign container in a sharded replay: the owning shard
+            # bills the identical segment against its own record.
+            return
         server = self.pair.server(container.location)
         carbon = self.carbon_model.keepalive(server, container.mem_gb, t0, t_close)
         energy = self.carbon_model.keepalive_energy_wh(
             server, container.mem_gb, t_close - t0
         )
-        self.records[container.decider_index].add_keepalive(
-            carbon, energy, t_close - t0
-        )
+        decider.add_keepalive(carbon, energy, t_close - t0)
 
     def _schedule_expiry(self, container: WarmContainer) -> None:
-        self._seq += 1
+        # Expiry-only counter: expiries are scheduled while popping the
+        # heap (activations, spills), which happens in the same
+        # deterministic order on every shard of a sharded replay.
+        self._expiry_seq += 1
         heapq.heappush(
             self._events,
             (
                 container.expire_s,
                 1,  # expiries sort after activations at equal times
-                self._seq,
+                self._expiry_seq,
                 "expire",
                 (container.name, container.location, container.token),
             ),
@@ -614,3 +622,92 @@ class SimulationEngine:
         result = fn(*args)
         # ecolint: disable=ECO002 -- closes the decision_wall_s measurement started above
         return result, time.perf_counter() - start
+
+
+class ShardStep:
+    """The quantum-grouping state machine behind ``_grouped_steps``.
+
+    One instance batches a time-ordered arrival stream into shared-tick
+    keep-alive decision groups: ``feed`` places each arrival against
+    drained engine state and stages its KDM ask; the group closes (and
+    is decided in one ``keepalive_batch``) on a bucket change, a
+    repeated function name, or an arrival at/past the earliest staged
+    completion time -- the exact triggers documented on
+    :meth:`SimulationEngine._grouped_steps`.
+
+    It is a separate unit (rather than a loop body) so the sharded
+    replay (``repro.simulator.shard``) can drive the identical machine
+    between its synchronization barriers: a shard feeds only the
+    arrivals it owns, calls :meth:`sync` before replaying foreign
+    arrivals or crossing a barrier, and :meth:`flush` when its round
+    ends. Flushing at those extra boundaries is behaviour-preserving by
+    the batch-composition-independence contract (grouping never changes
+    decisions); ``sync`` additionally keeps the ``flush_at`` exactness
+    guarantee intact when time advances without a ``feed``.
+    """
+
+    def __init__(self, engine: SimulationEngine, scheduler: BaseScheduler) -> None:
+        self._engine = engine
+        self._scheduler = scheduler
+        self._quantum = scheduler.decision_quantum_s
+        self._adaptive = scheduler.adaptive_decision_quantum
+        # Adaptive width: clamp the tick to the shortest service time
+        # observed so far (a wider tick cannot batch further anyway --
+        # the flush_at trigger closes the group at the earliest staged
+        # completion). Exactness is width-independent, so a width that
+        # *varies* as the running minimum tightens stays bit-identical.
+        self._min_service = float("inf")
+        #: Largest execution-end time decided so far.
+        self.horizon = 0.0
+        self._staged: list[KeepAliveRequest] = []
+        self._names: set[str] = set()
+        self._bucket: float | None = None
+        self._flush_at = float("inf")  # earliest staged completion
+
+    def feed(self, t: float, func: FunctionProfile) -> None:
+        """Place one owned arrival and stage its keep-alive decision."""
+        width = self._quantum
+        if self._adaptive and self._min_service < float("inf"):
+            width = (
+                min(self._quantum, self._min_service)
+                if self._quantum > 0.0
+                else self._min_service
+            )
+        key = t if width <= 0.0 else t // width
+        if self._staged and (
+            key != self._bucket or func.name in self._names or t >= self._flush_at
+        ):
+            self.flush()
+        self._bucket = key
+        self._engine._drain_events(until=t)
+        req = self._engine._place_and_record(self._scheduler, t, func)
+        self._staged.append(req)
+        self._names.add(func.name)
+        self._flush_at = min(self._flush_at, req.t_end)
+        if self._adaptive:
+            self._min_service = min(self._min_service, req.t_end - t)
+
+    def sync(self, t: float) -> None:
+        """Flush if the world is about to advance to ``t`` without a feed.
+
+        The sharded replay processes foreign arrivals (and barrier
+        crossings) outside this machine, and those drain the event heap
+        up to their own timestamps. A staged group must be decided
+        before any drain reaches its earliest completion time -- the
+        same exactness rule the ``t >= flush_at`` trigger enforces for
+        fed arrivals.
+        """
+        if self._staged and t >= self._flush_at:
+            self.flush()
+
+    def flush(self) -> None:
+        """Decide any staged group now."""
+        if not self._staged:
+            return
+        self.horizon = max(
+            self.horizon,
+            self._engine._flush_staged(self._scheduler, self._staged),
+        )
+        self._staged = []
+        self._names = set()
+        self._flush_at = float("inf")

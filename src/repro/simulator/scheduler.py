@@ -272,6 +272,10 @@ class BaseScheduler(abc.ABC):
     #: (e.g. to drive state-retirement sweeps without depending on
     #: decision traffic) set this True.
     wants_expiry_events: bool = False
+    #: Schedulers that can replay foreign placements set this True (see
+    #: :meth:`place_foreign`); it gates the function-sharded replay in
+    #: ``repro.simulator.shard``.
+    supports_sharding: bool = False
 
     def __init__(self) -> None:
         self.env: SchedulerEnv | None = None
@@ -289,6 +293,25 @@ class BaseScheduler(abc.ABC):
     @abc.abstractmethod
     def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
         """Choose keep-alive location and period (KDM)."""
+
+    def place_foreign(self, req: PlacementRequest) -> Generation:
+        """Replay the placement of an arrival owned by another shard.
+
+        A sharded replay feeds every shard the full merged arrival
+        stream; arrivals of functions the shard does not own still move
+        the world (warm hits consume pool entries, estimators observe
+        all arrivals) but make no keep-alive decision locally. This hook
+        must reproduce exactly the :class:`Generation` that
+        :meth:`place` returns for the same request on the owning shard,
+        while touching only state every shard replicates (the placement
+        decision must be a pure function of the request plus globally
+        shared inputs such as the carbon-intensity clock). Only called
+        when :attr:`supports_sharding` is set.
+        """
+        raise NotImplementedError(
+            f"{self.name}: sharded replay requires place_foreign "
+            "(set supports_sharding = True only with an implementation)"
+        )
 
     def keepalive_batch(
         self, reqs: Sequence[KeepAliveRequest]

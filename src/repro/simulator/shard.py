@@ -1,0 +1,403 @@
+"""Function-sharded replay of one simulation, bit-identical at any shard count.
+
+One huge replay is split across N shards by *function*: every shard
+receives the **full merged trace** but owns the decisions of only its
+partition (``InvocationTrace.partition_names``). The trick that makes
+this exact rather than approximate is that shards do not simulate
+disjoint worlds -- they all replay the *same* world:
+
+- **Own arrivals** run the full pipeline: placement, service billing, an
+  :class:`~repro.simulator.records.InvocationRecord`, and a keep-alive
+  decision (the expensive KDM/swarm work -- this is what parallelises).
+- **Foreign arrivals** are replayed lightly: the event heap is drained to
+  the arrival instant, the placement is reproduced through the
+  scheduler's :meth:`~repro.simulator.scheduler.BaseScheduler.place_foreign`
+  hook (a pure function of the warm locations and the shared
+  carbon-intensity clock), a warm hit consumes the pool entry and closes
+  its segment **without billing** (the owning shard bills the identical
+  segment), and the global invocation counter advances. No record, no
+  KDM work.
+- **Keep-alive decisions** are the only information shards must tell
+  each other. They are collected in an outbox and exchanged at
+  synchronization **barriers**; after the exchange every shard pushes
+  the merged, index-sorted decisions onto its own event heap, so all N
+  event heaps evolve identically (same containers, same tokens, same
+  pops).
+
+Why barrier-time delivery is exact: the barrier width is
+
+    ``B = min over (func, generation) of setup_delay + exec_time``
+
+(:func:`barrier_width_s`), so a decision made for an arrival in round
+``q`` (times in ``[qB, (q+1)B)``) activates at ``t_end >= (q+1)B`` -- at
+or past the next barrier. Events only act when a drain passes their
+timestamp, and within round ``q`` no drain goes past ``(q+1)B``;
+exchanging outboxes at every transition between non-empty rounds
+therefore inserts every activation into the heap *before* any drain can
+reach it, which (together with the engine's push-time-independent heap
+keys) reproduces the sequential pop order event for event. Empty rounds
+collapse: all shards iterate the same merged trace, so they agree on
+every transition and label it with the same barrier sequence number.
+
+Shard-local vs shared state is declared in
+:attr:`ShardEngine._SHARD_STATE_PLAN` and cross-checked by ecolint's
+ECO005 project contract: any future field added to the shard engine must
+say which side of the barrier it lives on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, Sequence
+
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.hardware.power import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.hardware.specs import GENERATIONS, HardwarePair
+from repro.simulator.containers import WarmContainer
+from repro.simulator.engine import ShardStep, SimulationConfig, SimulationEngine
+from repro.simulator.records import SimulationResult
+from repro.simulator.scheduler import BaseScheduler, PlacementRequest
+from repro.workloads.functions import FunctionProfile
+from repro.workloads.trace import InvocationTrace
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """One keep-alive decision crossing a barrier.
+
+    Exactly the facts every other shard needs to replay the container:
+    who decided (the global invocation index -- also the deterministic
+    heap key), for which function, where, for how long, and when the
+    execution ends (the activation instant).
+    """
+
+    index: int
+    func_name: str
+    location_value: str  # Generation.value; kept primitive for the wire
+    duration_s: float
+    t_end: float
+
+
+class BarrierTransport(Protocol):
+    """How shards exchange outboxes at a barrier.
+
+    ``exchange`` blocks until every shard of the round has contributed,
+    then returns the union of all outboxes (own included, in any order
+    -- the engine sorts by decider index before applying). ``seq`` is
+    the barrier sequence number: shards derive it identically from the
+    shared merged trace, and a crash-resumed shard re-exchanges from
+    ``seq == 0``, so transports may serve repeated rounds from cache.
+    """
+
+    def exchange(
+        self, seq: int, shard_id: int, outbox: Sequence[ShardDecision]
+    ) -> list[ShardDecision]: ...
+
+
+def barrier_width_s(
+    trace: InvocationTrace, pair: HardwarePair, config: SimulationConfig
+) -> float:
+    """The widest exact barrier: the minimum warm service time.
+
+    Any decision's activation lands at least one service time after its
+    arrival, so synchronizing every ``B`` seconds delivers all of a
+    round's decisions before any shard can drain past them.
+    """
+    width = float("inf")
+    for func in trace.functions.values():
+        for gen in GENERATIONS:
+            width = min(
+                width,
+                config.setup_delay_s + func.exec_time_s(pair.server(gen)),
+            )
+    if width <= 0.0:
+        raise ValueError("barrier width must be positive (zero service time?)")
+    return width
+
+
+class ShardEngine(SimulationEngine):
+    """One shard of a function-partitioned replay.
+
+    Same accounting machinery as :class:`SimulationEngine`; what changes
+    is ownership: records exist only for owned functions (tracked by
+    global index in ``_by_index``; foreign deciders resolve to ``None``
+    and skip billing/flags), and keep-alive admissions detour through an
+    outbox that the barrier transport merges across shards.
+    """
+
+    #: Barrier/checkpoint contract for every piece of shard state
+    #: (enforced by ecolint ECO005): ``exchanged`` crosses the barrier,
+    #: ``replicated`` is identical on all shards by construction and
+    #: never needs to cross, ``shard-local`` is private and absent from
+    #: merged results. Extend this map when adding fields to __init__.
+    _SHARD_STATE_PLAN = {
+        "shard_id": "replicated",
+        "n_shards": "replicated",
+        "own_names": "replicated",
+        "_transport": "exchanged",
+        "_outbox": "exchanged",
+        "_by_index": "shard-local",
+        "_barrier_seq": "replicated",
+    }
+
+    def __init__(
+        self,
+        pair: HardwarePair,
+        trace: InvocationTrace,
+        ci_trace: CarbonIntensityTrace,
+        shard_id: int,
+        n_shards: int,
+        own_names: Iterable[str],
+        transport: BarrierTransport,
+        config: SimulationConfig | None = None,
+        energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    ) -> None:
+        super().__init__(
+            pair=pair,
+            trace=trace,
+            ci_trace=ci_trace,
+            config=config,
+            energy_model=energy_model,
+        )
+        if not 0 <= shard_id < n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range for {n_shards}")
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.own_names = frozenset(own_names)
+        self._transport = transport
+        self._outbox: list[ShardDecision] = []
+        self._by_index: dict[int, object] = {}
+        self._barrier_seq = 0
+
+    # -- ownership hooks ----------------------------------------------------
+
+    def _place_and_record(self, scheduler, t, func):
+        req = super()._place_and_record(scheduler, t, func)
+        self._by_index[req.record.index] = req.record
+        return req
+
+    def _decider(self, index):
+        return self._by_index.get(index)
+
+    def _admit_keepalive(self, scheduler, func, decision, t, record) -> None:
+        # Detour: decisions become world-visible only at the barrier
+        # (safe -- t >= next barrier by the width bound), where every
+        # shard pushes the identical merged set.
+        self._outbox.append(
+            ShardDecision(
+                index=record.index,
+                func_name=func.name,
+                location_value=decision.location.value,
+                duration_s=decision.duration_s,
+                t_end=t,
+            )
+        )
+
+    # -- the sharded replay loop --------------------------------------------
+
+    def run_shard(self, scheduler: BaseScheduler) -> SimulationResult:
+        """Replay the full merged trace, deciding only owned functions."""
+        if not scheduler.supports_sharding:
+            raise ValueError(
+                f"{scheduler.name} does not support sharded replay "
+                "(supports_sharding is False)"
+            )
+        if not isinstance(self.trace, InvocationTrace):
+            raise TypeError("sharded replay requires a full InvocationTrace")
+        self.start(scheduler)
+        width = barrier_width_s(self.trace, self.pair, self.config)
+        step = ShardStep(self, scheduler)
+        current_round: float | None = None
+        for t, name in zip(self.trace.times_s, self.trace.func_names):
+            t = float(t)
+            r = t // width
+            if current_round is None:
+                current_round = r
+            elif r != current_round:
+                # Transition between non-empty rounds: flush and
+                # exchange. All shards derive the same transitions from
+                # the same merged trace, so barrier seqs line up.
+                step.flush()
+                self._exchange_barrier()
+                current_round = r
+            func = self.trace.functions[name]
+            if name in self.own_names:
+                step.feed(t, func)
+            else:
+                self._replay_foreign(scheduler, step, t, func)
+        step.flush()
+        self._exchange_barrier()
+        self._horizon = max(self._horizon, step.horizon)
+        result = self.finish()
+        result.meta["shard_id"] = self.shard_id
+        result.meta["n_shards"] = self.n_shards
+        return result
+
+    def _replay_foreign(
+        self,
+        scheduler: BaseScheduler,
+        step: ShardStep,
+        t: float,
+        func: FunctionProfile,
+    ) -> None:
+        """Advance the world past an arrival owned by another shard."""
+        # A staged group must be decided before this arrival's drain can
+        # reach its earliest completion (same rule as the fed path).
+        step.sync(t)
+        self._drain_events(until=t)
+        warm_locations = tuple(
+            g for g in GENERATIONS if func.name in self.pools[g]
+        )
+        placement = scheduler.place_foreign(
+            PlacementRequest(
+                t=t,
+                func=func,
+                warm_locations=warm_locations,
+                invocation_index=self._next_index,
+            )
+        )
+        if placement in warm_locations:
+            # The warm hit consumes the pool entry here exactly as it
+            # does everywhere; _close_segment skips billing because the
+            # decider record lives on the owning shard.
+            hit = self.pools[placement].remove(func.name)
+            self._close_segment(hit, t)
+        self._next_index += 1
+
+    def _exchange_barrier(self) -> None:
+        merged = self._transport.exchange(
+            self._barrier_seq, self.shard_id, self._outbox
+        )
+        self._barrier_seq += 1
+        self._outbox = []
+        # Index order == the sequential engine's push order; with the
+        # deterministic heap keys this makes tokens and pops identical
+        # on every shard.
+        for d in sorted(merged, key=lambda d: d.index):
+            func = self.trace.functions[d.func_name]
+            location = next(g for g in GENERATIONS if g.value == d.location_value)
+            container = WarmContainer(
+                func=func,
+                location=location,
+                segment_start_s=d.t_end,
+                expire_s=d.t_end + d.duration_s,
+                decider_index=d.index,
+                token=self._new_token(),
+            )
+            heapq.heappush(
+                self._events, (d.t_end, 0, d.index, "activate", container)
+            )
+
+
+class ThreadBarrier:
+    """In-process :class:`BarrierTransport` over a condition variable.
+
+    Caches each round's merged outboxes by sequence number, so a shard
+    re-running from round zero (crash resume in tests) is served
+    instantly from cache while live shards wait at the frontier.
+    """
+
+    def __init__(self, n_shards: int, timeout_s: float = 120.0) -> None:
+        self.n_shards = n_shards
+        self.timeout_s = timeout_s
+        self._cond = threading.Condition()
+        self._contrib: dict[int, dict[int, list[ShardDecision]]] = {}
+        self._merged: dict[int, list[ShardDecision]] = {}
+        self._failed: BaseException | None = None
+
+    def fail(self, exc: BaseException) -> None:
+        """Wake every waiter with a failure (a sibling shard died)."""
+        with self._cond:
+            self._failed = exc
+            self._cond.notify_all()
+
+    def exchange(
+        self, seq: int, shard_id: int, outbox: Sequence[ShardDecision]
+    ) -> list[ShardDecision]:
+        with self._cond:
+            if seq not in self._merged:
+                contrib = self._contrib.setdefault(seq, {})
+                contrib[shard_id] = list(outbox)
+                if len(contrib) == self.n_shards:
+                    self._merged[seq] = [
+                        d for s in sorted(contrib) for d in contrib[s]
+                    ]
+                    self._cond.notify_all()
+                else:
+                    ok = self._cond.wait_for(
+                        lambda: seq in self._merged or self._failed is not None,
+                        timeout=self.timeout_s,
+                    )
+                    if self._failed is not None:
+                        raise RuntimeError(
+                            f"sibling shard failed: {self._failed!r}"
+                        ) from self._failed
+                    if not ok:
+                        raise TimeoutError(
+                            f"barrier {seq}: not all {self.n_shards} shards "
+                            f"arrived within {self.timeout_s}s"
+                        )
+            return list(self._merged[seq])
+
+
+class ThreadShardRunner:
+    """Run an N-shard replay on threads and merge the results.
+
+    The in-process coordinator: exact on any machine (synchronization
+    correctness does not need true parallelism), which is what the
+    identity tests use. Real speedups come from the process coordinator
+    in ``repro.distributed.shard``.
+    """
+
+    def __init__(self, n_shards: int, by: str = "hash") -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = n_shards
+        self.by = by
+
+    def run(
+        self,
+        pair: HardwarePair,
+        trace: InvocationTrace,
+        ci_trace: CarbonIntensityTrace,
+        scheduler_factory: Callable[[], BaseScheduler],
+        config: SimulationConfig | None = None,
+    ) -> SimulationResult:
+        buckets = trace.partition_names(self.n_shards, by=self.by)
+        barrier = ThreadBarrier(self.n_shards)
+        results: list[SimulationResult | None] = [None] * self.n_shards
+        errors: list[BaseException] = []
+
+        def work(i: int) -> None:
+            try:
+                engine = ShardEngine(
+                    pair=pair,
+                    trace=trace,
+                    ci_trace=ci_trace,
+                    shard_id=i,
+                    n_shards=self.n_shards,
+                    own_names=buckets[i],
+                    transport=barrier,
+                    config=config,
+                )
+                results[i] = engine.run_shard(scheduler_factory())
+            except BaseException as exc:  # noqa: BLE001 -- relayed below
+                errors.append(exc)
+                barrier.fail(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,), name=f"shard-{i}")
+            for i in range(self.n_shards)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        if errors:
+            raise errors[0]
+        done = [r for r in results if r is not None]
+        merged = SimulationResult.merge(done)
+        merged.meta["transport"] = "thread"
+        return merged

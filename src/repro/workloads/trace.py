@@ -11,12 +11,26 @@ which requires knowing when each function is invoked next.
 from __future__ import annotations
 
 import bisect
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.workloads.functions import FunctionProfile
+
+
+def shard_of(name: str, n_shards: int) -> int:
+    """Stable shard assignment for a function name.
+
+    CRC32 of the UTF-8 name, reduced modulo the shard count: the same
+    deterministic-hash idiom the KDM uses for seeding, and -- unlike
+    builtin ``hash`` -- independent of ``PYTHONHASHSEED``, so every
+    worker process (and every future run) agrees on the assignment.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    return zlib.crc32(name.encode("utf-8")) % n_shards
 
 
 @dataclass(frozen=True)
@@ -156,3 +170,43 @@ class InvocationTrace:
             else self.times_s,
             func_names=[n for n in self.func_names if n in keep],
         )
+
+    # -- sharding --------------------------------------------------------------
+
+    def partition_names(self, n_shards: int, by: str = "hash") -> list[set[str]]:
+        """Assign every function to exactly one of ``n_shards`` buckets.
+
+        ``by="hash"`` uses :func:`shard_of` (stable across processes and
+        runs; what the sharded replay and the sharded decision service
+        use, since both sides of a wire only share the name). ``by="load"``
+        balances invocation counts instead: functions are placed
+        heaviest-first onto the currently lightest shard, with
+        deterministic (count-then-name) ordering so the split is
+        reproducible. Zero-invocation functions are assigned too -- the
+        buckets are a disjoint cover of ``self.functions``.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        buckets: list[set[str]] = [set() for _ in range(n_shards)]
+        if by == "hash":
+            for name in self.functions:
+                buckets[shard_of(name, n_shards)].add(name)
+        elif by == "load":
+            counts = self.invocation_counts()
+            loads = [0] * n_shards
+            for name in sorted(counts, key=lambda n: (-counts[n], n)):
+                lightest = min(range(n_shards), key=lambda i: (loads[i], i))
+                buckets[lightest].add(name)
+                loads[lightest] += counts[name]
+        else:
+            raise ValueError(f"unknown partition strategy {by!r}")
+        return buckets
+
+    def partition(self, n_shards: int, by: str = "hash") -> list["InvocationTrace"]:
+        """Split into ``n_shards`` disjoint per-function sub-traces.
+
+        Each shard trace keeps the original arrival ordering of the
+        functions it owns (it is exactly ``subset(bucket)``), so the
+        concatenation-by-time of all shards reproduces the full trace.
+        """
+        return [self.subset(b) for b in self.partition_names(n_shards, by=by)]

@@ -1,0 +1,139 @@
+"""Multi-worker serving: hash-routed per-shard decision services.
+
+The sharded front door must be a pure router: every decision it returns
+is bit-identical to what a standalone :class:`DecisionService` holding
+only that shard's arrival stream would have produced, and responses come
+back in the input batch order regardless of how the batch interleaves
+shards.
+"""
+
+import pytest
+
+from repro.carbon import TraceProvider
+from repro.core import EcoLifeConfig
+from repro.experiments import workload_scenario
+from repro.service import DecisionService, ShardedDecisionService
+from repro.workloads.trace import shard_of
+
+
+def scenario():
+    return workload_scenario(workload="azure", n_functions=18, hours=1.0, seed=13)
+
+
+def build(scn, n_shards, **kwargs):
+    functions = {inv.func.name: inv.func for inv in scn.trace}
+    return ShardedDecisionService(
+        TraceProvider(scn.ci_trace),
+        n_shards=n_shards,
+        pair=scn.pair,
+        config=EcoLifeConfig(),
+        sim_config=scn.sim_config,
+        functions=functions,
+        **kwargs,
+    )
+
+
+def arrivals_of(scn):
+    return [(inv.t, inv.func.name) for inv in scn.trace]
+
+
+class TestRouting:
+    def test_decisions_match_standalone_per_shard_services(self):
+        scn = scenario()
+        arrivals = arrivals_of(scn)
+        sharded = build(scn, 3)
+        got = sharded.decide(arrivals)
+
+        functions = {inv.func.name: inv.func for inv in scn.trace}
+        for shard_id in range(3):
+            solo = DecisionService(
+                TraceProvider(scn.ci_trace),
+                pair=scn.pair,
+                config=EcoLifeConfig(),
+                sim_config=scn.sim_config,
+                functions=functions,
+            )
+            own = [(t, n) for t, n in arrivals if shard_of(n, 3) == shard_id]
+            expected = solo.decide(own)
+            mine = [d for d in got if d["shard"] == shard_id]
+            assert len(mine) == len(expected)
+            for d, e in zip(mine, expected):
+                stripped = {k: v for k, v in d.items() if k != "shard"}
+                assert stripped == e
+
+    def test_responses_preserve_input_order(self):
+        scn = scenario()
+        arrivals = arrivals_of(scn)
+        sharded = build(scn, 4)
+        got = sharded.decide(arrivals)
+        assert [(d["t_s"], d["function"]) for d in got] == [
+            (t, n) for t, n in arrivals
+        ]
+        for d in got:
+            assert d["shard"] == shard_of(str(d["function"]), 4)
+
+    def test_one_shard_degenerates_to_single_service(self):
+        scn = scenario()
+        arrivals = arrivals_of(scn)[:50]
+        functions = {inv.func.name: inv.func for inv in scn.trace}
+        solo = DecisionService(
+            TraceProvider(scn.ci_trace),
+            pair=scn.pair,
+            config=EcoLifeConfig(),
+            sim_config=scn.sim_config,
+            functions=functions,
+        )
+        sharded = build(scn, 1)
+        expected = solo.decide(arrivals)
+        got = sharded.decide(arrivals)
+        assert [{k: v for k, v in d.items() if k != "shard"} for d in got] == expected
+
+    def test_empty_batch_and_validation(self):
+        scn = scenario()
+        sharded = build(scn, 2)
+        assert sharded.decide([]) == []
+        with pytest.raises(ValueError):
+            sharded.decide([(1.0, "no-such-function")])
+        with pytest.raises(ValueError):
+            ShardedDecisionService(TraceProvider(scn.ci_trace), n_shards=0)
+
+
+class TestFacade:
+    def test_metrics_aggregate_across_shards(self):
+        scn = scenario()
+        sharded = build(scn, 2)
+        arrivals = arrivals_of(scn)[:40]
+        sharded.decide(arrivals)
+        snap = sharded.metrics_snapshot()
+        assert snap["n_shards"] == 2
+        assert snap["decisions_total"] == 40
+        assert len(snap["shards"]) == 2
+        assert snap["scheduler"].endswith("@2shards")
+        per_shard = sum(s["decisions_total"] for s in snap["shards"])
+        assert per_shard == 40
+
+    def test_checkpoint_restore_round_trip(self, tmp_path):
+        scn = scenario()
+        arrivals = arrivals_of(scn)
+        half = len(arrivals) // 2
+        sharded = build(scn, 2)
+        first = sharded.decide(arrivals[:half])
+        info = sharded.checkpoint(str(tmp_path / "ckpt"))
+        assert info["n_shards"] == 2
+        assert info["records"] == half
+
+        functions = {inv.func.name: inv.func for inv in scn.trace}
+        restored = ShardedDecisionService.restore(
+            str(tmp_path / "ckpt"),
+            provider=TraceProvider(scn.ci_trace),
+            n_shards=2,
+            pair=scn.pair,
+            config=EcoLifeConfig(),
+            sim_config=scn.sim_config,
+            functions=functions,
+        )
+        assert restored.last_t == sharded.last_t
+        rest = sharded.decide(arrivals[half:])
+        rest_restored = restored.decide(arrivals[half:])
+        assert rest == rest_restored
+        assert len(first) == half

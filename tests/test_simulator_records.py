@@ -168,3 +168,68 @@ class TestRecordArrays:
         back = RecordArrays.from_npz(path)
         for name, col in self._columns(ra).items():
             assert np.array_equal(getattr(back, name), col), name
+
+
+class TestOrderInsensitiveAggregation:
+    """ISSUE 9 satellite: merged shard results must report totals that
+    depend only on the record *multiset*, never on the summation order.
+    ``math.fsum`` is correctly rounded, so any permutation of the same
+    records produces the exact same float totals -- naive ``sum()``
+    drifts by ULPs under reordering, which would break the sharded
+    replay's bit-identity contract at the aggregate level."""
+
+    def _adversarial_records(self):
+        # Magnitude spread chosen so naive left-to-right addition loses
+        # low-order bits depending on ordering.
+        ops = [1e16, 1.0, -1e16, 1e-3, 3.14159, 1e8, -1e8, 2.5e-7] * 4
+        return [_record(i=i, op=op) for i, op in enumerate(ops)]
+
+    def test_totals_invariant_under_permutation(self):
+        records = self._adversarial_records()
+        base = SimulationResult(scheduler_name="s", records=records, horizon_s=1.0)
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            perm = [records[j] for j in rng.permutation(len(records))]
+            shuffled = SimulationResult(
+                scheduler_name="s", records=perm, horizon_s=1.0
+            )
+            assert shuffled.total_carbon_g == base.total_carbon_g
+            assert shuffled.total_operational_g == base.total_operational_g
+            assert shuffled.total_service_s == base.total_service_s
+            assert shuffled.total_energy_wh == base.total_energy_wh
+            assert shuffled.mean_service_s == base.mean_service_s
+
+    def test_merge_matches_unsharded_totals(self):
+        records = self._adversarial_records()
+        whole = SimulationResult(scheduler_name="s", records=records, horizon_s=9.0)
+        parts = [
+            SimulationResult(
+                scheduler_name="s",
+                records=[r for r in records if r.index % 3 == k],
+                horizon_s=9.0,
+            )
+            for k in range(3)
+        ]
+        merged = SimulationResult.merge(parts)
+        assert merged.total_carbon_g == whole.total_carbon_g
+        assert merged.total_service_s == whole.total_service_s
+        assert [r.index for r in merged.records] == list(range(len(records)))
+
+    def test_concat_sorts_by_time_then_name(self):
+        records = self._adversarial_records()
+        whole = SimulationResult(scheduler_name="s", records=records, horizon_s=9.0)
+        arrays = RecordArrays.from_result(whole)
+        parts = [
+            RecordArrays.from_result(
+                SimulationResult(
+                    scheduler_name="s",
+                    records=[r for r in records if r.index % 2 == k],
+                    horizon_s=9.0,
+                )
+            )
+            for k in (1, 0)  # deliberately out of order
+        ]
+        merged = RecordArrays.concat(parts)
+        assert np.array_equal(merged.t, arrays.t)
+        assert np.array_equal(merged.func_name, arrays.func_name)
+        assert np.array_equal(merged.carbon_g, arrays.carbon_g)

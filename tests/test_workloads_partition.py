@@ -1,0 +1,119 @@
+"""Property tests for ``InvocationTrace.partition`` (ISSUE 9 satellite).
+
+The partition is the sharded replay's ownership map, so three properties
+are load-bearing: the shards are a *disjoint cover* of the trace, each
+shard preserves the original arrival order, and the hash assignment is
+independent of ``PYTHONHASHSEED`` (it is crc32, not ``hash()``) -- a
+function must land on the same shard in every process of a run.
+"""
+
+import zlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.workloads import FunctionProfile, InvocationTrace
+from repro.workloads.trace import shard_of
+
+names = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+
+
+def trace_of(func_names, seed=0, mean_events=6):
+    rng = np.random.default_rng(seed)
+    funcs = [
+        FunctionProfile(name=n, mem_gb=0.5, exec_ref_s=1.0, cold_ref_s=0.5)
+        for n in func_names
+    ]
+    events = []
+    t = 0.0
+    for _ in range(mean_events * len(funcs)):
+        t += float(rng.exponential(5.0))
+        events.append((t, funcs[int(rng.integers(len(funcs)))]))
+    return InvocationTrace.from_events(events)
+
+
+@given(names=names, n_shards=st.integers(min_value=1, max_value=7))
+@settings(max_examples=50, deadline=None)
+def test_partition_names_is_a_disjoint_cover(names, n_shards):
+    trace = trace_of(names)
+    buckets = trace.partition_names(n_shards, by="hash")
+    assert len(buckets) == n_shards
+    union = set().union(*buckets)
+    # Every function -- including any with zero invocations -- is owned
+    # by exactly one shard.
+    assert union == set(trace.functions)
+    assert sum(len(b) for b in buckets) == len(union)
+
+
+@given(names=names, n_shards=st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_partition_preserves_arrival_order(names, n_shards):
+    trace = trace_of(names)
+    shards = trace.partition(n_shards, by="hash")
+    for shard in shards:
+        times = shard.times_s
+        assert np.all(np.diff(times) >= 0.0)
+        # A shard's events are exactly the original events of its
+        # functions, in the original order.
+        own = set(shard.functions)
+        expected = [
+            (t, f) for t, f in zip(trace.times_s, trace.func_names) if f in own
+        ]
+        got = list(zip(shard.times_s, shard.func_names))
+        assert got == expected
+    # Cover: all events accounted for.
+    assert sum(len(s) for s in shards) == len(trace)
+
+
+@given(names=names, n_shards=st.integers(min_value=2, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_hash_assignment_matches_crc32(names, n_shards):
+    for name in names:
+        assert shard_of(name, n_shards) == zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+def test_shard_of_is_hashseed_independent():
+    # Pinned constants: crc32 is a wire-stable checksum, so these values
+    # hold on every platform and under every PYTHONHASHSEED -- unlike
+    # builtin hash(), whose str salt changes per process.
+    assert zlib.crc32(b"video-processing") == 2927974575
+    assert shard_of("video-processing", 4) == 3
+    assert shard_of("graph-bfs", 4) == zlib.crc32(b"graph-bfs") % 4
+    assert shard_of("f0", 1) == 0
+    with pytest.raises(ValueError):
+        shard_of("f0", 0)
+
+
+@given(names=names)
+@settings(max_examples=30, deadline=None)
+def test_load_partition_balances_invocation_counts(names):
+    trace = trace_of(names, mean_events=8)
+    buckets = trace.partition_names(3, by="load")
+    assert set().union(*buckets) == set(trace.functions)
+    counts = {}
+    for f in trace.func_names:
+        counts[f] = counts.get(f, 0) + 1
+    loads = [sum(counts.get(n, 0) for n in b) for b in buckets]
+    # Greedy longest-processing-time bound: no bucket exceeds the ideal
+    # share by more than the largest single function.
+    if counts:
+        assert max(loads) - min(loads) <= max(counts.values())
+
+
+def test_partition_rejects_bad_arguments():
+    trace = trace_of(["a", "b"])
+    with pytest.raises(ValueError):
+        trace.partition_names(0)
+    with pytest.raises(ValueError):
+        trace.partition_names(2, by="alphabetical")
