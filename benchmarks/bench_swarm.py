@@ -1,6 +1,6 @@
 """Swarm-fleet benchmark: fused stepping vs per-function loops.
 
-Five measurements:
+Six measurements:
 
 1. **Step throughput** -- N live DPSO swarms advanced for one EcoLife
    decision (perceive + refresh + iterations) as N independent
@@ -26,6 +26,12 @@ Five measurements:
    processes). Bit-identity to the sequential replay is asserted at
    every point of the curve; full runs on >=4-core hosts additionally
    assert the >=1.8x @ 4 shards throughput acceptance bar.
+6. **Trace files** -- the Azure-day sample written, compiled to the
+   columnar format, and replayed from mmap: compiler rows/s, the
+   foreign-replay fast path vs per-event replay (bit-identical; >=3x
+   asserted on full >=4-core runs), and shard-worker peak RSS via mmap
+   vs a fully materialized per-event Python trace (mmap must stay
+   below, asserted on full runs).
 
 Run directly (no pytest-benchmark dependency, so CI can invoke it as a
 plain script)::
@@ -551,6 +557,348 @@ def bench_shard(
 
 
 # ---------------------------------------------------------------------------
+# 6. Trace files: compile throughput, foreign fast path, mmap RSS.
+# ---------------------------------------------------------------------------
+
+
+_RSS_WORKER = '''\
+"""Peak-RSS probe: replay a compiled trace file, mmap vs materialized."""
+import resource
+import sys
+
+from repro.carbon.regions import region_trace_for
+from repro.core import EcoLifeConfig, EcoLifeScheduler
+from repro.hardware import PAIR_A
+from repro.simulator import SimulationConfig, SimulationEngine
+from repro.workloads import InvocationTrace
+
+
+def peak_kb():
+    # VmHWM belongs to this exec's fresh mm; ru_maxrss (the fallback)
+    # is a per-task watermark that survives fork+exec on Linux, so a
+    # child of a fat parent would inherit the parent's peak.
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+mode, path, kmax, pool = sys.argv[1:5]
+trace = InvocationTrace.open(path, mmap=(mode == "mmap"))
+rows = None
+if mode == "inmem":
+    # The counterfactual representation the columnar format replaced:
+    # one Python object per event, held live for the whole replay.
+    names = trace.names
+    rows = [
+    (t, names[fid])
+    for t, fid in zip(trace.times_s.tolist(), trace.func_ids.tolist())
+    ]
+ci = region_trace_for("CAL", trace.duration_s + 3600.0, seed=7)
+sim = SimulationConfig(
+    pool_capacity_old_gb=float(pool),
+    pool_capacity_new_gb=float(pool),
+    kmax_minutes=float(kmax),
+    measure_decision_overhead=False,
+)
+engine = SimulationEngine(pair=PAIR_A, trace=trace, ci_trace=ci, config=sim)
+result = engine.run(EcoLifeScheduler(EcoLifeConfig(seed=7)))
+keep = (len(result.records), 0 if rows is None else len(rows))
+print(peak_kb(), *keep)
+'''
+
+
+def bench_trace(
+    n_functions: int,
+    duration_hours: float,
+    median_iat_s: float,
+    exec_floor_s: float,
+    kmax_minutes: float,
+    pool_gb: float,
+    rss_duration_hours: float,
+    repeats: int,
+    quick: bool,
+) -> dict:
+    """Azure-day trace files: compiler, foreign fast path, mmap worker RSS.
+
+    Three measurements on the bundled Azure-shaped sample (written and
+    compiled into a temp dir, so the bench is self-contained):
+
+    - **Compile throughput** -- CSV rows/s through the chunked compiler.
+    - **Foreign-replay throughput** -- shard 0 of 4 replays the merged
+      trace with the foreign fast path on vs off (per-event), barrier
+      rounds served from a cache so only replay cost is on the clock.
+      The metric is *net of drain/flush time*: heap drains and staged
+      flushes do identical work in both modes (same events, same pops),
+      so subtracting them isolates the foreign-replay machinery the
+      fast path actually replaces. CPU time (``process_time``), best of
+      ``repeats``, to shrug off preemption on shared runners. Shard-0
+      results must be bit-identical between modes (asserted), and the
+      merged 2- and 4-shard replays must be bit-identical to the
+      one-process engine (asserted). The >=3x acceptance bar applies to
+      full runs on >=4-core hosts.
+    - **Worker RSS** -- peak resident set of a subprocess replaying the
+      compiled sample via mmap vs the same replay holding a fully
+      materialized per-event Python trace. The mmap worker must stay
+      below the in-memory one (asserted on full runs, where the RSS
+      sample is big enough that the gap dwarfs allocator noise).
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+    import threading
+
+    from repro.carbon.regions import region_trace_for
+    from repro.simulator import ThreadShardRunner
+    from repro.simulator.shard import ShardEngine, ThreadBarrier
+    from repro.workloads.tracefile import (
+        compile_azure_csv,
+        write_azure_sample_csv,
+    )
+
+    config = EcoLifeConfig(seed=7)
+    sim_config = SimulationConfig(
+        pool_capacity_old_gb=pool_gb,
+        pool_capacity_new_gb=pool_gb,
+        kmax_minutes=kmax_minutes,
+        measure_decision_overhead=False,
+    )
+
+    def identical(a, b) -> float:
+        if len(a.records) != len(b.records):
+            return 0.0
+        ok = all(
+            ra.cold == rb.cold
+            and ra.location is rb.location
+            and ra.keepalive_decision == rb.keepalive_decision
+            and ra.keepalive_s == rb.keepalive_s
+            and ra.keepalive_carbon == rb.keepalive_carbon
+            for ra, rb in zip(a.records, b.records)
+        )
+        return 1.0 if ok and a.total_carbon_g == b.total_carbon_g else 0.0
+
+    with tempfile.TemporaryDirectory(prefix="bench-trace-") as td:
+        tdir = pathlib.Path(td)
+        csv_path = tdir / "sample.csv"
+        npz_path = tdir / "sample.npz"
+        n_rows = write_azure_sample_csv(
+            csv_path,
+            n_functions=n_functions,
+            duration_hours=duration_hours,
+            seed=11,
+            median_interarrival_s=median_iat_s,
+            exec_floor_s=exec_floor_s,
+        )
+        t0 = time.perf_counter()
+        compile_azure_csv(csv_path, npz_path)
+        compile_s = time.perf_counter() - t0
+
+        trace = InvocationTrace.open(npz_path)
+        ci = region_trace_for("CAL", trace.duration_s + 3600.0, seed=7)
+
+        # Merged sharded replay vs the one-process engine, mmap-backed.
+        baseline = SimulationEngine(
+            pair=PAIR_A, trace=trace, ci_trace=ci, config=sim_config
+        ).run(EcoLifeScheduler(config))
+        identity = {}
+        for n in (2, 4):
+            merged = ThreadShardRunner(n).run(
+                pair=PAIR_A,
+                trace=trace,
+                ci_trace=ci,
+                scheduler_factory=lambda: EcoLifeScheduler(config),
+                config=sim_config,
+            )
+            flag = identical(merged, baseline)
+            assert flag == 1.0, (
+                f"{n}-shard trace-file replay diverged from one-process"
+            )
+            identity[f"shards{n}"] = flag
+
+        # Foreign-replay throughput: shard 0 of 4, rounds from cache.
+        buckets = trace.partition_names(4)
+        prep = ThreadBarrier(4)
+
+        def _prep_shard(i: int) -> None:
+            ShardEngine(
+                pair=PAIR_A,
+                trace=trace,
+                ci_trace=ci,
+                shard_id=i,
+                n_shards=4,
+                own_names=buckets[i],
+                transport=prep,
+                config=sim_config,
+            ).run_shard(EcoLifeScheduler(config))
+
+        threads = [
+            threading.Thread(target=_prep_shard, args=(i,)) for i in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        class _CachedBarrier:
+            def __init__(self, merged_rounds):
+                self._merged = merged_rounds
+
+            def exchange(self, seq, shard_id, outbox):
+                return list(self._merged[seq])
+
+        class _TimedEngine(ShardEngine):
+            """Accumulate foreign-replay CPU time net of drain/flush."""
+
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self.foreign_cpu_s = 0.0
+                self.inner_engine_s = 0.0
+                self._depth = 0
+
+            def _foreign_timed(self, fn, *a, **kw):
+                t0 = time.process_time()
+                # ecolint: disable=ECO003 -- integer recursion depth counter, exact +1/-1 pairs in try/finally; not a float ledger
+                self._depth += 1
+                try:
+                    return fn(*a, **kw)
+                finally:
+                    # ecolint: disable=ECO003 -- integer recursion depth counter, exact +1/-1 pairs in try/finally; not a float ledger
+                    self._depth -= 1
+                    if self._depth == 0:
+                        self.foreign_cpu_s += time.process_time() - t0
+
+            def _replay_foreign_run(self, *a, **kw):
+                return self._foreign_timed(
+                    super()._replay_foreign_run, *a, **kw
+                )
+
+            def _replay_foreign(self, *a, **kw):
+                return self._foreign_timed(super()._replay_foreign, *a, **kw)
+
+            def _drain_events(self, until):
+                if self._depth == 0:
+                    return super()._drain_events(until)
+                t0 = time.process_time()
+                try:
+                    return super()._drain_events(until)
+                finally:
+                    self.inner_engine_s += time.process_time() - t0
+
+            def _flush_staged(self, *a, **kw):
+                if self._depth == 0:
+                    return super()._flush_staged(*a, **kw)
+                t0 = time.process_time()
+                try:
+                    return super()._flush_staged(*a, **kw)
+                finally:
+                    self.inner_engine_s += time.process_time() - t0
+
+        n_foreign = int((~trace.event_mask(buckets[0])).sum())
+        nets = {}
+        shard0 = {}
+        for fast in (True, False):
+            best = float("inf")
+            for _ in range(repeats):
+                eng = _TimedEngine(
+                    pair=PAIR_A,
+                    trace=trace,
+                    ci_trace=ci,
+                    shard_id=0,
+                    n_shards=4,
+                    own_names=buckets[0],
+                    transport=_CachedBarrier(prep._merged),
+                    config=sim_config,
+                    foreign_fast_path=fast,
+                )
+                shard0[fast] = eng.run_shard(EcoLifeScheduler(config))
+                best = min(best, eng.foreign_cpu_s - eng.inner_engine_s)
+            nets[fast] = best
+        foreign_identical = identical(shard0[True], shard0[False])
+        assert foreign_identical == 1.0, (
+            "foreign fast path diverged from the per-event replay"
+        )
+        speedup = nets[False] / nets[True]
+        cores = os.cpu_count() or 1
+        if not quick and cores >= 4:
+            assert speedup >= 3.0, (
+                f"foreign fast path {speedup:.2f}x below the 3x acceptance "
+                f"bar on a {cores}-core host"
+            )
+
+        # Worker RSS: mmap vs fully materialized Python trace.
+        if rss_duration_hours == duration_hours:
+            rss_npz, rss_rows = npz_path, n_rows
+        else:
+            rss_csv = tdir / "rss.csv"
+            rss_npz = tdir / "rss.npz"
+            rss_rows = write_azure_sample_csv(
+                rss_csv,
+                n_functions=n_functions,
+                duration_hours=rss_duration_hours,
+                seed=11,
+                median_interarrival_s=median_iat_s,
+                exec_floor_s=exec_floor_s,
+            )
+            compile_azure_csv(rss_csv, rss_npz)
+        worker = tdir / "rss_worker.py"
+        worker.write_text(_RSS_WORKER)
+
+        def peak_rss_kb(mode: str) -> int:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    str(worker),
+                    mode,
+                    str(rss_npz),
+                    str(kmax_minutes),
+                    str(pool_gb),
+                ],
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            return int(proc.stdout.split()[0])
+
+        rss_mmap_kb = peak_rss_kb("mmap")
+        rss_inmem_kb = peak_rss_kb("inmem")
+        rss_ok = 1.0 if rss_mmap_kb < rss_inmem_kb else 0.0
+        if not quick:
+            assert rss_ok == 1.0, (
+                f"mmap worker RSS {rss_mmap_kb} KB not below in-memory "
+                f"trace RSS {rss_inmem_kb} KB"
+            )
+
+    return {
+        "n_rows": n_rows,
+        "n_functions": len(trace.names),
+        "compile_s": compile_s,
+        "compile_rows_per_s": n_rows / compile_s,
+        "identity": identity,
+        "foreign": {
+            "n_foreign": n_foreign,
+            "fast_net_s": nets[True],
+            "perevent_net_s": nets[False],
+            "fast_ev_per_s": n_foreign / nets[True],
+            "perevent_ev_per_s": n_foreign / nets[False],
+            "speedup": speedup,
+            "identical": foreign_identical,
+        },
+        "rss": {
+            "n_rows": rss_rows,
+            "mmap_kb": rss_mmap_kb,
+            "inmem_kb": rss_inmem_kb,
+            "ok": rss_ok,
+        },
+        "cpu_count": cores,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Entry point.
 # ---------------------------------------------------------------------------
 
@@ -582,6 +930,16 @@ def main(argv=None) -> int:
             shard_counts=(2, 4),
             repeats=1,
         )
+        trace_kw = dict(
+            n_functions=400,
+            duration_hours=0.25,
+            median_iat_s=100.0,
+            exec_floor_s=10.0,
+            kmax_minutes=5.0,
+            pool_gb=1.0,
+            rss_duration_hours=0.25,
+            repeats=1,
+        )
     else:
         step_kw = dict(n_swarms=50, decisions=100, iterations=8, repeats=3)
         fused_kw = dict(n_swarms=256, decisions=30, iterations=8, repeats=3)
@@ -600,12 +958,27 @@ def main(argv=None) -> int:
             shard_counts=(2, 4),
             repeats=1,
         )
+        # The ISSUE 10 acceptance scenario: the dense exec-floored
+        # Azure-day sample where the foreign fast path must clear 3x
+        # over per-event replay on a >=4-core host, plus a longer RSS
+        # sample so the mmap-vs-materialized gap dwarfs allocator noise.
+        trace_kw = dict(
+            n_functions=400,
+            duration_hours=0.5,
+            median_iat_s=100.0,
+            exec_floor_s=10.0,
+            kmax_minutes=5.0,
+            pool_gb=1.0,
+            rss_duration_hours=2.0,
+            repeats=3,
+        )
 
     step = bench_step_throughput(**step_kw)
     fused = bench_fused_step(**fused_kw)
     replay = bench_replay(**replay_kw)
     continuous = bench_continuous(**cont_kw)
     shard = bench_shard(quick=args.quick, **shard_kw)
+    trace = bench_trace(quick=args.quick, **trace_kw)
     payload = {
         "bench": "swarm",
         "quick": args.quick,
@@ -616,6 +989,7 @@ def main(argv=None) -> int:
         "replay": replay,
         "continuous": continuous,
         "shard": shard,
+        "trace": trace,
     }
 
     out = pathlib.Path(args.out)
@@ -637,6 +1011,17 @@ def main(argv=None) -> int:
     shard_out.write_text(
         json.dumps(
             {"bench": "shard", "quick": args.quick, **shard},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    # And the trace-file section: the `trace` regression suite gates its
+    # identity/RSS flags against benchmarks/baselines/BENCH_trace.json.
+    trace_out = out.parent / "BENCH_trace.json"
+    trace_out.write_text(
+        json.dumps(
+            {"bench": "trace", "quick": args.quick, **trace},
             indent=2,
             sort_keys=True,
         )
@@ -683,7 +1068,17 @@ def main(argv=None) -> int:
             f"vs sequential {shard['sequential_wall_s']:.2f}s "
             "-- bit-identical"
         )
-    print(f"archived -> {out} (+ {cont_out}, {shard_out})")
+    tf = trace["foreign"]
+    print(
+        f"trace files ({trace['n_rows']} rows, {trace['n_functions']} funcs): "
+        f"compile {trace['compile_rows_per_s']:.0f} rows/s; "
+        f"foreign replay per-event {tf['perevent_ev_per_s']:.0f} ev/s, "
+        f"fast {tf['fast_ev_per_s']:.0f} ev/s -> {tf['speedup']:.2f}x "
+        "(bit-identical, merged 2/4-shard == one-process); "
+        f"worker RSS mmap {trace['rss']['mmap_kb']} KB "
+        f"vs in-memory {trace['rss']['inmem_kb']} KB"
+    )
+    print(f"archived -> {out} (+ {cont_out}, {shard_out}, {trace_out})")
     return 0
 
 

@@ -19,6 +19,9 @@ gated is per **suite** (``--suite``, default ``swarm``):
 - ``shard``      -- the sharded-replay bit-identity flags (2/4 shards,
   thread and process transports) from ``bench_swarm.py``'s shard
   section; speedups are info-only at CI scale.
+- ``trace``      -- the trace-file flags from ``bench_swarm.py``'s trace
+  section: merged-shard and foreign-fast-path bit-identity plus the
+  mmap-worker RSS check; throughputs are info-only at CI scale.
 
 A metric regresses when it drops more than ``--threshold`` below the
 baseline value (higher is better for ``gated`` metrics); suites may
@@ -159,6 +162,33 @@ SUITES: dict[str, dict] = {
             "curve[2].process_speedup",
             "curve[4].thread_speedup",
             "curve[4].process_speedup",
+        ),
+        "threshold": 0.25,
+    },
+    "trace": {
+        # Trace-file section from bench_swarm.py: gated metrics are the
+        # 0/1 flags -- merged 2/4-shard mmap replay identical to the
+        # one-process engine, foreign fast path identical to per-event
+        # replay, and the mmap worker's peak RSS below the fully
+        # materialized Python trace. Compile and foreign-replay
+        # throughputs stay info-only (absolute numbers on shared
+        # runners); the >=3x fast-path acceptance assert lives inside
+        # the bench, applied on full runs on >=4-core hosts.
+        "gated": (
+            "identity.shards2",
+            "identity.shards4",
+            "foreign.identical",
+            "rss.ok",
+        ),
+        "info": (
+            "n_rows",
+            "cpu_count",
+            "compile_rows_per_s",
+            "foreign.fast_ev_per_s",
+            "foreign.perevent_ev_per_s",
+            "foreign.speedup",
+            "rss.mmap_kb",
+            "rss.inmem_kb",
         ),
         "threshold": 0.25,
     },

@@ -8,6 +8,9 @@ Examples::
     ecolife sweep --regions CAL TEN --seeds 1 2 --workers 4
     ecolife sweep --regions CAL TEN --executor tcp://0.0.0.0:7044
     ecolife work tcp://sweep-host:7044
+    ecolife trace compile azure.csv azure.npz
+    ecolife trace info azure.npz
+    ecolife simulate --scheduler ecolife --trace azure.npz --shards 4
     ecolife catalog
 """
 
@@ -83,14 +86,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.scheduler not in factories:
         print(f"unknown scheduler {args.scheduler!r}; options: {sorted(factories)}")
         return 2
-    scenario = default_scenario(
-        n_functions=args.functions,
-        hours=args.hours,
-        seed=args.seed,
-        region=args.region,
-        pair=args.pair,
-        pool_gb=args.pool_gb,
-    )
+    if args.trace:
+        from repro.experiments import trace_scenario
+
+        try:
+            scenario = trace_scenario(
+                args.trace,
+                seed=args.seed,
+                region=args.region,
+                pair=args.pair,
+                pool_gb=args.pool_gb,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"bad trace file {args.trace!r}: {exc}")
+            return 2
+    else:
+        scenario = default_scenario(
+            n_functions=args.functions,
+            hours=args.hours,
+            seed=args.seed,
+            region=args.region,
+            pair=args.pair,
+            pool_gb=args.pool_gb,
+        )
     if args.shards > 1:
         return _simulate_sharded(args, scenario, factories, config)
     result = run_scheduler(factories[args.scheduler], scenario)
@@ -117,20 +135,31 @@ def _simulate_sharded(args, scenario, factories, config) -> int:
         from repro.experiments import run_scheduler
 
         result = run_scheduler(
-            factories[args.scheduler], scenario, shards=args.shards
+            factories[args.scheduler], scenario, shards=args.shards,
+            foreign_fast_path=args.foreign_fast_path,
         )
     elif transport == "process" or transport.startswith("tcp://"):
         from repro.distributed import ShardJob, run_sharded_tcp
         from repro.distributed.protocol import parse_address
 
+        # With a compiled trace file, workers get the *path* and
+        # memory-map the columns themselves instead of receiving a
+        # pickled in-memory copy in the hello payload.
+        import os
+
+        trace_path = (
+            os.path.abspath(args.trace) if getattr(args, "trace", None) else None
+        )
         job = ShardJob(
             scheduler=args.scheduler,
             pair=scenario.pair,
-            trace=scenario.trace,
+            trace=None if trace_path else scenario.trace,
             ci_trace=scenario.ci_trace,
             n_shards=args.shards,
             config=config,
             sim_config=scenario.sim_config,
+            trace_path=trace_path,
+            foreign_fast_path=args.foreign_fast_path,
         )
         if transport == "process":
             result = run_sharded_tcp(job)
@@ -455,6 +484,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``ecolife trace compile|info|sample``: the streaming trace toolchain."""
+    from repro.workloads import tracefile
+
+    if args.trace_command == "compile":
+        try:
+            info = tracefile.compile_azure_csv(
+                args.csv,
+                args.out,
+                chunk_rows=args.chunk_rows,
+                compress=args.compress,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"compile failed: {exc}")
+            return 2
+        print(
+            f"compiled {info['n_rows']} rows -> {info['path']} "
+            f"({info['n_functions']} functions, "
+            f"{info['n_invocations']} invocations, "
+            f"{info['duration_s'] / 3600.0:.2f} h, "
+            f"{info['size_bytes'] / 1e6:.1f} MB, "
+            f"mmap={'yes' if info['mmap_able'] else 'no'})"
+        )
+        return 0
+    if args.trace_command == "info":
+        try:
+            info = tracefile.trace_info(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.file!r}: {exc}")
+            return 2
+        for key in (
+            "path",
+            "format_version",
+            "size_bytes",
+            "mmap_able",
+            "n_functions",
+            "n_invocations",
+            "duration_s",
+        ):
+            print(f"{key:>14}: {info[key]}")
+        return 0
+    # sample: write a synthetic Azure-format CSV for smoke tests/demos.
+    n_rows = tracefile.write_azure_sample_csv(
+        args.out,
+        n_functions=args.functions,
+        duration_hours=args.hours,
+        seed=args.seed,
+    )
+    print(f"wrote {n_rows} rows to {args.out}")
+    return 0
+
+
 def _cmd_validate(_args: argparse.Namespace) -> int:
     from repro import validation
 
@@ -539,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
         "time (self-tuning batching width; bit-identical results)",
     )
     sim_p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="replay a compiled columnar trace file (.npz from `ecolife "
+        "trace compile`) instead of generating a synthetic trace; "
+        "--functions/--hours are ignored",
+    )
+    sim_p.add_argument(
         "--shards", type=int, default=1,
         help="partition the replay by function across this many shards "
         "(bit-identical at any count; see docs/sharding.md)",
@@ -548,6 +635,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard execution: 'thread' (in-process), 'process' (local "
         "worker processes), or 'tcp://host:port' to bind a coordinator "
         "and wait for `ecolife work ADDR --shard` workers",
+    )
+    sim_p.add_argument(
+        "--no-foreign-fast-path", dest="foreign_fast_path",
+        action="store_false",
+        help="force per-event foreign replay on shards (A/B identity "
+        "knob; bit-identical either way, just slower)",
     )
 
     sweep_p = sub.add_parser(
@@ -681,6 +774,39 @@ def build_parser() -> argparse.ArgumentParser:
         "services by stable function-name hash (see docs/sharding.md)",
     )
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="compile/inspect columnar trace files (see docs/workloads.md)",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    compile_p = trace_sub.add_parser(
+        "compile",
+        help="compile an Azure-format CSV (app,func,end_timestamp,duration) "
+        "into a columnar .npz trace, streaming in bounded chunks",
+    )
+    compile_p.add_argument("csv", help="input CSV path")
+    compile_p.add_argument("out", help="output .npz trace path")
+    compile_p.add_argument(
+        "--chunk-rows", type=int, default=100_000,
+        help="CSV rows parsed per chunk (bounds compiler memory)",
+    )
+    compile_p.add_argument(
+        "--compress", action="store_true",
+        help="zip-deflate the columns (smaller file, but workers must "
+        "load it into RAM instead of memory-mapping)",
+    )
+    info_p = trace_sub.add_parser("info", help="print a trace file's header")
+    info_p.add_argument("file", help=".npz trace path")
+    sample_p = trace_sub.add_parser(
+        "sample",
+        help="write a synthetic Azure-format sample CSV (compiler demo "
+        "input; deterministic per seed)",
+    )
+    sample_p.add_argument("out", help="output CSV path")
+    sample_p.add_argument("--functions", type=int, default=128)
+    sample_p.add_argument("--hours", type=float, default=24.0)
+    sample_p.add_argument("--seed", type=int, default=2024)
+
     sub.add_parser("catalog", help="print the Table I hardware catalog")
     sub.add_parser(
         "validate", help="re-check the DESIGN.md calibration targets"
@@ -698,6 +824,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "work": _cmd_work,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
         "catalog": _cmd_catalog,
         "validate": _cmd_validate,
     }

@@ -19,7 +19,9 @@ Named variants of the paper are exposed as small factory helpers:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, cast
+
+import numpy.typing as npt
 
 from repro.core.adjustment import WarmPoolAdjuster
 from repro.core.arrival import ArrivalRegistry
@@ -38,6 +40,7 @@ from repro.simulator.scheduler import (
     PoolCandidate,
     SchedulerEnv,
 )
+from repro.workloads.functions import FunctionProfile
 
 
 class EcoLifeScheduler(BaseScheduler):
@@ -72,6 +75,11 @@ class EcoLifeScheduler(BaseScheduler):
         # Placement is a pure function of (warm locations, CI at t), so
         # foreign arrivals replay exactly; see place_foreign.
         self.supports_sharding = True
+        # A cold foreign placement's only side effect is the estimator
+        # observation (the EPDM choice is pure and its return value is
+        # unused when nothing is warm), so inert runs may be absorbed in
+        # bulk; see observe_foreign_run.
+        self.foreign_batch_safe = True
         # Components are created at bind() time (they need the env).
         self.arrivals: ArrivalRegistry | None = None
         self.kdm: KeepAliveDecisionMaker | None = None
@@ -136,6 +144,24 @@ class EcoLifeScheduler(BaseScheduler):
         # No kdm.on_arrival: the owning shard keeps the only swarm.
         self.arrivals.observe(req.func.name, req.t)
         return self.epdm.choose(req.func, req.t, req.warm_locations)
+
+    def observe_foreign_run(
+        self, groups: Sequence[tuple[FunctionProfile, npt.ArrayLike]]
+    ) -> None:
+        # The bulk form of place_foreign for an inert run: nothing is
+        # warm (so the pure EPDM choice is dead code) and no kdm state
+        # exists for foreign functions, leaving exactly the estimator
+        # observations -- applied batched, bit-identical to per-event.
+        # Most groups are singletons (a hash-partitioned run rarely
+        # repeats a function), so dispatch straight to the estimator.
+        seqs = cast("Sequence[tuple[FunctionProfile, Sequence[float]]]", groups)
+        get = self.arrivals.get
+        for func, times in seqs:
+            est = get(func.name)
+            if len(times) == 1:
+                est.observe(float(times[0]))
+            else:
+                est.observe_many(times)
 
     def keepalive(self, req: KeepAliveRequest) -> KeepAliveDecision:
         return self.kdm.decide(req.func, req.t_end)

@@ -66,16 +66,37 @@ class ShardJob:
     sweep fabric's ``RunnerJob``), so workers rebuild it through
     :func:`repro.experiments.runner.make_scheduler` and out-of-tree
     schedulers join via the same plugin-import mechanism.
+
+    The trace travels one of two ways: inline (``trace``, pickled over
+    the wire like everything else) or by reference (``trace_path``, a
+    columnar ``.npz`` written by :meth:`InvocationTrace.save` on storage
+    every worker can read). The path form keeps the hello payload small
+    and lets each worker *memory-map* the columns instead of
+    materialising its own Python copy -- the Azure-day-scale mode.
     """
 
     scheduler: str
     pair: HardwarePair
-    trace: InvocationTrace
+    trace: InvocationTrace | None
     ci_trace: CarbonIntensityTrace
     n_shards: int
     config: EcoLifeConfig | None = None
     sim_config: SimulationConfig | None = None
     by: str = "hash"
+    trace_path: str | None = None
+    foreign_fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.trace is None) == (self.trace_path is None):
+            raise ValueError(
+                "ShardJob needs exactly one of trace or trace_path"
+            )
+
+    def resolve_trace(self) -> InvocationTrace:
+        """The replay trace -- mmap-opened when shipped by path."""
+        if self.trace is not None:
+            return self.trace
+        return InvocationTrace.open(self.trace_path, mmap=True)
 
 
 class ShardCoordinator:
@@ -314,17 +335,19 @@ async def shard_worker_loop(
         shard_id = int(ack["shard"])
         interval = float(ack["heartbeat_interval_s"])
         job: ShardJob = unpack(ack["data"])
-        buckets = job.trace.partition_names(job.n_shards, by=job.by)
+        trace = job.resolve_trace()
+        buckets = trace.partition_names(job.n_shards, by=job.by)
         loop = asyncio.get_running_loop()
         engine = ShardEngine(
             pair=job.pair,
-            trace=job.trace,
+            trace=trace,
             ci_trace=job.ci_trace,
             shard_id=shard_id,
             n_shards=job.n_shards,
             own_names=buckets[shard_id],
             transport=_WireBarrier(loop, reader, writer),
             config=job.sim_config,
+            foreign_fast_path=job.foreign_fast_path,
         )
         scheduler = make_scheduler(job.scheduler, job.config)
         run = asyncio.ensure_future(asyncio.to_thread(engine.run_shard, scheduler))

@@ -14,6 +14,7 @@ from repro.experiments.common import (
     quick_scenario,
     run_scheduler,
     run_suite,
+    trace_scenario,
     workload_scenario,
 )
 from repro.experiments.registry import (
@@ -89,6 +90,7 @@ __all__ = [
     "Scenario",
     "default_scenario",
     "workload_scenario",
+    "trace_scenario",
     "quick_scenario",
     "run_scheduler",
     "run_suite",

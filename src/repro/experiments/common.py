@@ -110,6 +110,49 @@ def workload_scenario(
     )
 
 
+def trace_scenario(
+    trace_path: str,
+    seed: int = 7,
+    region: str = "CAL",
+    pair: str = "A",
+    pool_gb: float = 32.0,
+    kmax_minutes: float = 30.0,
+    start_hour: float = 8.0,
+    mmap: bool = True,
+    label: str | None = None,
+) -> Scenario:
+    """A scenario replaying a compiled columnar trace file.
+
+    The invocation trace is memory-mapped from the ``.npz`` written by
+    :meth:`InvocationTrace.save` (or ``ecolife trace compile``); the
+    synthetic region carbon-intensity trace is sized to cover the
+    replay's full span plus an hour of keep-alive tail, exactly like
+    :func:`workload_scenario` does for generated traces.
+    """
+    trace = InvocationTrace.open(trace_path, mmap=mmap)
+    ci = region_trace_for(
+        region,
+        trace.duration_s + units.SECONDS_PER_HOUR,
+        seed=seed,
+        start_hour=start_hour,
+    )
+    cfg = SimulationConfig(
+        pool_capacity_old_gb=pool_gb,
+        pool_capacity_new_gb=pool_gb,
+        kmax_minutes=kmax_minutes,
+    )
+    import os
+
+    return Scenario(
+        pair=get_pair(pair),
+        trace=trace,
+        ci_trace=ci,
+        sim_config=cfg,
+        label=label
+        or f"file[{os.path.basename(trace_path)}]-s{seed}-{region}-pair{pair}",
+    )
+
+
 def default_scenario(
     n_functions: int = 60,
     hours: float = 6.0,
@@ -148,6 +191,7 @@ def run_scheduler(
     scheduler: BaseScheduler | SchedulerFactory,
     scenario: Scenario,
     shards: int = 1,
+    foreign_fast_path: bool = True,
 ) -> SimulationResult:
     """Run one scheduler over a scenario (fresh engine each call).
 
@@ -157,6 +201,8 @@ def run_scheduler(
     :class:`~repro.simulator.shard.ThreadShardRunner` -- bit-identical
     to ``shards=1`` (the scheduler must declare ``supports_sharding``,
     so a factory is required: each shard gets its own instance).
+    ``foreign_fast_path=False`` forces per-event foreign replay (an A/B
+    identity knob; bit-identical either way).
     """
     if shards > 1:
         if not callable(scheduler):
@@ -170,7 +216,9 @@ def run_scheduler(
         cfg = scenario.sim_config
         if getattr(probe, "wants_uncapped_memory", False):
             cfg = cfg.uncapped()
-        result = ThreadShardRunner(shards).run(
+        result = ThreadShardRunner(
+            shards, foreign_fast_path=foreign_fast_path
+        ).run(
             pair=scenario.pair,
             trace=scenario.trace,
             ci_trace=scenario.ci_trace,

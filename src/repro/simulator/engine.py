@@ -687,6 +687,17 @@ class ShardStep:
         if self._adaptive:
             self._min_service = min(self._min_service, req.t_end - t)
 
+    @property
+    def flush_at(self) -> float:
+        """Earliest staged completion time (``inf`` with nothing staged).
+
+        The sharded foreign fast path reads this to split a bulk run of
+        foreign arrivals at the first instant where the per-event path
+        would have flushed the staged group (see
+        ``ShardEngine._replay_foreign_run``).
+        """
+        return self._flush_at
+
     def sync(self, t: float) -> None:
         """Flush if the world is about to advance to ``t`` without a feed.
 

@@ -276,6 +276,17 @@ class BaseScheduler(abc.ABC):
     #: :meth:`place_foreign`); it gates the function-sharded replay in
     #: ``repro.simulator.shard``.
     supports_sharding: bool = False
+    #: Schedulers for which a *run* of consecutive foreign arrivals may
+    #: be replayed in one :meth:`observe_foreign_run` call instead of
+    #: per-event :meth:`place_foreign` calls set this True. The contract
+    #: (checked by ecolint ECO006; argued in ``docs/sharding.md``): when
+    #: every arrival in the run is a cold foreign placement -- no warm
+    #: pool holds any of the run's functions and no simulator event fires
+    #: before the run's last instant -- the scheduler's state after
+    #: :meth:`observe_foreign_run` must be bit-identical to the state
+    #: after the equivalent sequence of :meth:`place_foreign` calls
+    #: (whose placement return values are then provably unused).
+    foreign_batch_safe: bool = False
 
     def __init__(self) -> None:
         self.env: SchedulerEnv | None = None
@@ -311,6 +322,25 @@ class BaseScheduler(abc.ABC):
         raise NotImplementedError(
             f"{self.name}: sharded replay requires place_foreign "
             "(set supports_sharding = True only with an implementation)"
+        )
+
+    def observe_foreign_run(
+        self, groups: Sequence[tuple[FunctionProfile, npt.ArrayLike]]
+    ) -> None:
+        """Absorb a bulk run of provably inert foreign arrivals.
+
+        ``groups`` holds, per function appearing in the run, its sorted
+        arrival instants (a float64 array or list). Called by the sharded replay
+        fast path instead of per-event :meth:`place_foreign` when the
+        run is inert (see :attr:`foreign_batch_safe` for the exact
+        conditions); implementations must update whatever arrival-driven
+        state :meth:`place_foreign` updates -- and nothing else -- so
+        the replay stays bit-identical with the fast path on or off.
+        Only called when :attr:`foreign_batch_safe` is set.
+        """
+        raise NotImplementedError(
+            f"{self.name}: the foreign fast path requires observe_foreign_run "
+            "(set foreign_batch_safe = True only with an implementation)"
         )
 
     def keepalive_batch(

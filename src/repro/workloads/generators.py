@@ -582,3 +582,49 @@ class ChurnGenerator:
             events, functions=[s.profile for s in specs]
         )
         return churned, out_specs
+
+
+@register
+@dataclass(frozen=True)
+class FileGenerator:
+    """Replays a compiled columnar trace file (``ecolife trace compile``).
+
+    The odd one out: arrivals come from disk, not a synthesizer, so
+    ``n_functions``/``duration_s``/``seed`` are ignored -- the file *is*
+    the workload. Registering it as a family lets real traces ride the
+    sweep grid (``--workloads file:path=azure_day.npz``) with caching and
+    distribution unchanged; cache identity comes from the spec label,
+    which embeds the path.
+    """
+
+    name: ClassVar[str] = "file"
+
+    path: str = ""
+    #: Memory-map the columns (uncompressed files only) instead of
+    #: loading them; each worker then shares the page cache.
+    mmap: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError(
+                "the file workload needs a path parameter "
+                "(e.g. file:path=azure_day.npz)"
+            )
+
+    def generate(
+        self, n_functions: int, duration_s: float, seed: int
+    ) -> tuple[InvocationTrace, list[GeneratedFunctionSpec]]:
+        trace = InvocationTrace.open(self.path, mmap=self.mmap)
+        counts = trace.invocation_counts()
+        duration = trace.duration_s
+        specs = [
+            GeneratedFunctionSpec(
+                profile=trace.functions[name],
+                base_profile=trace.functions[name].name,
+                mean_interarrival_s=(
+                    duration / counts[name] if counts[name] else float("inf")
+                ),
+            )
+            for name in trace.names
+        ]
+        return trace, specs

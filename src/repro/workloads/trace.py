@@ -6,18 +6,35 @@ provides the per-function *lookahead index* (``next_arrival``) that the
 oracle schedulers use -- the paper's Oracle/CO2-Opt/Service-Time-Opt brute
 force "every possible scheduling option for each function invocation",
 which requires knowing when each function is invoked next.
+
+Storage is columnar: the hot representation is a pair of parallel arrays
+(``times_s: float64``, ``func_ids: int32``) plus an intern table
+``names`` mapping ids back to function names. ``func_names`` and
+iteration remain as lazy views so generator labels, cache keys, and
+subset semantics are unchanged from the list-of-names era. The columns
+are what make Azure-day-scale replays (millions of invocations) fit in
+commodity memory and stream from disk (:meth:`save` / :meth:`open`).
 """
 
 from __future__ import annotations
 
-import bisect
 import zlib
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.workloads.functions import FunctionProfile
+
+if TYPE_CHECKING:
+    import pathlib
+
+
+@lru_cache(maxsize=None)
+def _crc32(name: str) -> int:
+    """CRC32 of the UTF-8 name, memoized per unique function name."""
+    return zlib.crc32(name.encode("utf-8"))
 
 
 def shard_of(name: str, n_shards: int) -> int:
@@ -30,7 +47,23 @@ def shard_of(name: str, n_shards: int) -> int:
     """
     if n_shards <= 0:
         raise ValueError("n_shards must be positive")
-    return zlib.crc32(name.encode("utf-8")) % n_shards
+    return _crc32(name) % n_shards
+
+
+def shard_ids(names: Sequence[str], n_shards: int) -> np.ndarray:
+    """Vectorized :func:`shard_of` over a name table.
+
+    Returns an ``int32`` array with ``shard_of(names[i], n_shards)`` at
+    position ``i``. Routing a trace is then one table lookup
+    (``shard_ids(trace.names, n)[trace.func_ids]``) -- O(unique
+    functions) hashing instead of per-event CRC32.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    crcs = np.fromiter(
+        (_crc32(n) for n in names), dtype=np.int64, count=len(names)
+    )
+    return (crcs % n_shards).astype(np.int32)
 
 
 @dataclass(frozen=True)
@@ -42,50 +75,105 @@ class Invocation:
     func: FunctionProfile
 
 
-@dataclass
 class InvocationTrace:
     """A sorted stream of invocations with per-function views.
 
     Build with :meth:`from_events`; direct construction expects
-    already-sorted data.
+    already-sorted data, as either a per-event name list
+    (``func_names=``, the legacy interface) or interned id columns
+    (``func_ids=``, an int32 index into ``list(functions)``).
     """
 
-    functions: dict[str, FunctionProfile]
-    times_s: np.ndarray
-    func_names: list[str]
-    #: Lazily-built per-function time index; rebuilding on first access
-    #: keeps constructions that never look it up (e.g. ``subset`` chains
-    #: over generated traces) O(n) instead of O(n + functions).
-    _per_func_times: dict[str, list[float]] | None = field(
-        default=None, repr=False, compare=False
-    )
+    #: The intern table: ``names[func_ids[i]]`` is event *i*'s function.
+    #: Always identical to ``list(self.functions)``.
+    names: list[str]
 
-    def __post_init__(self) -> None:
-        t = np.asarray(self.times_s, dtype=float)
-        if t.ndim != 1 or t.size != len(self.func_names):
+    def __init__(
+        self,
+        functions: dict[str, FunctionProfile],
+        times_s: np.ndarray,
+        func_names: Sequence[str] | None = None,
+        *,
+        func_ids: np.ndarray | None = None,
+    ) -> None:
+        if (func_names is None) == (func_ids is None):
+            raise ValueError("provide exactly one of func_names / func_ids")
+        self.functions = dict(functions)
+        self.names = list(self.functions)
+        t = np.asarray(times_s, dtype=float)
+        n_events = len(func_names) if func_ids is None else np.asarray(func_ids).size
+        if t.ndim != 1 or t.size != n_events:
             raise ValueError("times_s and func_names must have equal length")
         if t.size and np.any(np.diff(t) < 0.0):
             raise ValueError("times_s must be sorted (non-decreasing)")
-        missing = {n for n in self.func_names} - set(self.functions)
-        if missing:
-            raise ValueError(f"trace references unknown functions: {sorted(missing)}")
-        object.__setattr__(self, "times_s", t)
-        self._per_func_times = None
+        if func_ids is None:
+            assert func_names is not None
+            index = {name: i for i, name in enumerate(self.names)}
+            missing = set(func_names) - set(index)
+            if missing:
+                raise ValueError(
+                    f"trace references unknown functions: {sorted(missing)}"
+                )
+            ids = np.fromiter(
+                (index[n] for n in func_names),
+                dtype=np.int32,
+                count=len(func_names),
+            )
+        else:
+            ids = np.asarray(func_ids, dtype=np.int32)
+            if ids.ndim != 1:
+                raise ValueError("func_ids must be one-dimensional")
+            if ids.size and (
+                int(ids.min()) < 0 or int(ids.max()) >= len(self.names)
+            ):
+                raise ValueError(
+                    "func_ids reference ids outside the intern table"
+                )
+        self.times_s = t
+        self.func_ids = ids
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        self._func_names: list[str] | None = None
+        #: Lazily-built per-function time index; building on first access
+        #: keeps constructions that never look it up (e.g. ``subset``
+        #: chains over generated traces) O(n) instead of O(n + functions).
+        self._per_func_times: dict[str, np.ndarray] | None = None
+        self._shard_tables: dict[int, np.ndarray] = {}
+
+    # -- back-compat views ----------------------------------------------------
 
     @property
-    def _per_func(self) -> dict[str, list[float]]:
-        """The per-function index, built on first use.
+    def func_names(self) -> list[str]:
+        """Per-event function names, materialized lazily from the columns."""
+        if self._func_names is None:
+            names = self.names
+            self._func_names = [names[i] for i in self.func_ids.tolist()]
+        return self._func_names
+
+    @property
+    def _per_func(self) -> dict[str, np.ndarray]:
+        """The per-function index, built on first use via one argsort.
 
         Every function of the trace gets an entry -- functions with zero
         invocations (produced e.g. by low-rate generators or churn
-        windows) map to an empty list, so lookups stay consistent across
-        ``subset`` round trips.
+        windows) map to an empty array, so lookups stay consistent
+        across ``subset`` round trips.
         """
         if self._per_func_times is None:
-            per: dict[str, list[float]] = {name: [] for name in self.functions}
-            for ts, name in zip(self.times_s, self.func_names):
-                per[name].append(float(ts))
-            self._per_func_times = per
+            order = np.argsort(self.func_ids, kind="stable")
+            sorted_ids = self.func_ids[order]
+            sorted_times = self.times_s[order]
+            # Arrivals are time-sorted and the argsort is stable, so each
+            # function's slice keeps its original arrival order.
+            sorted_times.flags.writeable = False
+            bounds = np.searchsorted(
+                sorted_ids, np.arange(len(self.names) + 1, dtype=np.int32)
+            )
+            self._per_func_times = {
+                name: sorted_times[bounds[i] : bounds[i + 1]]
+                for i, name in enumerate(self.names)
+            }
         return self._per_func_times
 
     # -- constructors -------------------------------------------------------
@@ -105,10 +193,75 @@ class InvocationTrace:
             existing = funcs.setdefault(f.name, f)
             if existing is not f and existing != f:
                 raise ValueError(f"conflicting profiles for function {f.name!r}")
+        index = {name: i for i, name in enumerate(funcs)}
         return cls(
             functions=funcs,
             times_s=np.array([t for t, _ in ev], dtype=float),
-            func_names=[f.name for _, f in ev],
+            func_ids=np.fromiter(
+                (index[f.name] for _, f in ev), dtype=np.int32, count=len(ev)
+            ),
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: "str | pathlib.Path", *, compress: bool = False) -> None:
+        """Write the columnar on-disk format (see ``workloads/tracefile.py``).
+
+        Uncompressed by default so :meth:`open` can memory-map the event
+        columns; ``compress=True`` trades the mmap fast path for a
+        smaller archival file.
+        """
+        from repro.workloads.tracefile import save_trace
+
+        save_trace(self, path, compress=compress)
+
+    @classmethod
+    def open(
+        cls, path: "str | pathlib.Path", *, mmap: bool = True
+    ) -> "InvocationTrace":
+        """Reopen a saved trace, memory-mapping the event columns.
+
+        With ``mmap=True`` (and an uncompressed file) the ``times_s`` /
+        ``func_ids`` columns are OS page-cache backed: a shard worker's
+        resident set stays far below a fully materialized Python trace.
+        """
+        from repro.workloads.tracefile import open_trace
+
+        return open_trace(path, mmap=mmap)
+
+    def __getstate__(self) -> dict:
+        # Materialize any memory-mapped columns and drop caches: a
+        # pickled trace (e.g. a ShardJob on the TCP fabric) must be
+        # self-contained and as small as the columns themselves.
+        return {
+            "functions": self.functions,
+            "times_s": np.asarray(self.times_s),
+            "func_ids": np.asarray(self.func_ids),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.functions = state["functions"]
+        self.names = list(self.functions)
+        self.times_s = state["times_s"]
+        self.func_ids = state["func_ids"]
+        self._reset_caches()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InvocationTrace):
+            return NotImplemented
+        return (
+            self.functions == other.functions
+            and self.names == other.names
+            and np.array_equal(self.times_s, other.times_s)
+            and np.array_equal(self.func_ids, other.func_ids)
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the dataclass era
+
+    def __repr__(self) -> str:
+        return (
+            f"InvocationTrace(functions={len(self.functions)}, "
+            f"events={len(self)}, duration_s={self.duration_s:g})"
         )
 
     # -- basic queries --------------------------------------------------------
@@ -117,8 +270,11 @@ class InvocationTrace:
         return int(self.times_s.size)
 
     def __iter__(self) -> Iterator[Invocation]:
-        for i, (t, name) in enumerate(zip(self.times_s, self.func_names)):
-            yield Invocation(index=i, t=float(t), func=self.functions[name])
+        profiles = [self.functions[n] for n in self.names]
+        for i, (t, fid) in enumerate(
+            zip(self.times_s.tolist(), self.func_ids.tolist())
+        ):
+            yield Invocation(index=i, t=t, func=profiles[fid])
 
     @property
     def duration_s(self) -> float:
@@ -127,13 +283,14 @@ class InvocationTrace:
 
     def invocation_counts(self) -> dict[str, int]:
         """Number of invocations per function (zero-invocation ones included)."""
-        return {name: len(ts) for name, ts in self._per_func.items()}
+        counts = np.bincount(self.func_ids, minlength=len(self.names))
+        return dict(zip(self.names, (int(c) for c in counts)))
 
     def times_of(self, name: str) -> np.ndarray:
         """All invocation times of one function (empty if it never arrives)."""
         if name not in self.functions:
             raise KeyError(f"unknown function {name!r}")
-        return np.asarray(self._per_func[name], dtype=float)
+        return self._per_func[name]
 
     def interarrival_s(self, name: str) -> np.ndarray:
         """Observed inter-arrival times of one function (may be empty)."""
@@ -144,10 +301,10 @@ class InvocationTrace:
     def next_arrival(self, name: str, after_t: float) -> float | None:
         """First invocation of ``name`` strictly after ``after_t`` (or None)."""
         ts = self._per_func.get(name)
-        if not ts:
+        if ts is None or not ts.size:
             return None
-        i = bisect.bisect_right(ts, after_t)
-        return ts[i] if i < len(ts) else None
+        i = int(np.searchsorted(ts, after_t, side="right"))
+        return float(ts[i]) if i < ts.size else None
 
     # -- aggregate statistics (used by DPSO's dF perception and reports) ------
 
@@ -162,16 +319,46 @@ class InvocationTrace:
     def subset(self, names: Iterable[str]) -> "InvocationTrace":
         """Restrict the trace to a set of functions (keeps ordering)."""
         keep = set(names)
-        mask = [n in keep for n in self.func_names]
+        functions = {n: f for n, f in self.functions.items() if n in keep}
+        keep_table = np.fromiter(
+            (n in keep for n in self.names), dtype=bool, count=len(self.names)
+        )
+        mask = keep_table[self.func_ids]
+        new_index = {n: i for i, n in enumerate(functions)}
+        remap = np.fromiter(
+            (new_index.get(n, -1) for n in self.names),
+            dtype=np.int32,
+            count=len(self.names),
+        )
         return InvocationTrace(
-            functions={n: f for n, f in self.functions.items() if n in keep},
-            times_s=self.times_s[np.array(mask, dtype=bool)]
-            if len(self)
-            else self.times_s,
-            func_names=[n for n in self.func_names if n in keep],
+            functions=functions,
+            times_s=self.times_s[mask],
+            func_ids=remap[self.func_ids[mask]],
         )
 
     # -- sharding --------------------------------------------------------------
+
+    def shard_table(self, n_shards: int) -> np.ndarray:
+        """``shard_of`` over the intern table (cached per shard count)."""
+        table = self._shard_tables.get(n_shards)
+        if table is None:
+            table = shard_ids(self.names, n_shards)
+            table.flags.writeable = False
+            self._shard_tables[n_shards] = table
+        return table
+
+    def event_mask(self, names: Iterable[str]) -> np.ndarray:
+        """Boolean per-event mask: True where the event's function is in
+        ``names``. One O(unique) table build + one O(n) gather."""
+        keep = set(names)
+        table = np.fromiter(
+            (n in keep for n in self.names), dtype=bool, count=len(self.names)
+        )
+        return table[self.func_ids]
+
+    def own_mask(self, shard_id: int, n_shards: int) -> np.ndarray:
+        """Per-event ownership mask under hash sharding (:func:`shard_of`)."""
+        return (self.shard_table(n_shards) == shard_id)[self.func_ids]
 
     def partition_names(self, n_shards: int, by: str = "hash") -> list[set[str]]:
         """Assign every function to exactly one of ``n_shards`` buckets.
@@ -189,8 +376,9 @@ class InvocationTrace:
             raise ValueError("n_shards must be positive")
         buckets: list[set[str]] = [set() for _ in range(n_shards)]
         if by == "hash":
-            for name in self.functions:
-                buckets[shard_of(name, n_shards)].add(name)
+            table = self.shard_table(n_shards)
+            for name, sid in zip(self.names, table.tolist()):
+                buckets[sid].add(name)
         elif by == "load":
             counts = self.invocation_counts()
             loads = [0] * n_shards

@@ -148,3 +148,75 @@ class TestCommands:
         assert main(argv) == 0  # second run served from the cache
         out = capsys.readouterr().out
         assert "2 hits, 0 misses" in out
+
+
+class TestTraceCommands:
+    """``ecolife trace sample|compile|info`` + ``simulate --trace``."""
+
+    def _compiled(self, tmp_path, capsys):
+        csv_path = tmp_path / "sample.csv"
+        npz_path = tmp_path / "sample.npz"
+        assert main([
+            "trace", "sample", str(csv_path),
+            "--functions", "12", "--hours", "0.5", "--seed", "3",
+        ]) == 0
+        assert "rows" in capsys.readouterr().out
+        assert main(["trace", "compile", str(csv_path), str(npz_path)]) == 0
+        assert "compiled" in capsys.readouterr().out
+        return npz_path
+
+    def test_sample_compile_info(self, capsys, tmp_path):
+        npz_path = self._compiled(tmp_path, capsys)
+        assert main(["trace", "info", str(npz_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format_version: 1" in out
+        assert "mmap_able: True" in out
+
+    def test_info_on_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "info", str(tmp_path / "nope.npz")]) == 2
+
+    def test_compile_rejects_bad_csv(self, capsys, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y\n1,2\n")
+        assert main([
+            "trace", "compile", str(bad), str(tmp_path / "t.npz")
+        ]) == 2
+        assert "compile failed" in capsys.readouterr().out
+
+    def test_simulate_from_trace_file(self, capsys, tmp_path):
+        npz_path = self._compiled(tmp_path, capsys)
+        assert main([
+            "simulate", "--trace", str(npz_path), "--scheduler", "new-only",
+        ]) == 0
+        assert "total carbon" in capsys.readouterr().out
+
+    def test_simulate_bad_trace_file(self, capsys, tmp_path):
+        assert main([
+            "simulate", "--trace", str(tmp_path / "nope.npz"),
+        ]) == 2
+        assert "bad trace file" in capsys.readouterr().out
+
+    def test_simulate_sharded_from_trace_file_identical(self, capsys, tmp_path):
+        npz_path = self._compiled(tmp_path, capsys)
+        argv = ["simulate", "--trace", str(npz_path), "--seed", "5"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        strip = lambda s: [  # noqa: E731
+            ln for ln in s.splitlines()
+            if "decision overhead" not in ln and not ln.startswith("shard")
+        ]
+        assert strip(plain) == strip(sharded)
+
+    def test_sweep_file_workload(self, capsys, tmp_path):
+        npz_path = self._compiled(tmp_path, capsys)
+        assert main([
+            "sweep",
+            "--workloads", f"file:path={npz_path}",
+            "--schedulers", "new-only",
+            "--functions", "1", "--hours", "0.1",
+            "--seeds", "3",
+            "--workers", "1",
+        ]) == 0
+        assert "file[path=" in capsys.readouterr().out

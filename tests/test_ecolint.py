@@ -191,6 +191,22 @@ class TestEco006:
         )
         assert "ECO006" in codes(lint_source(src, HOT))
 
+    def test_foreign_batch_safe_without_hook_flagged(self):
+        src = _SCHED_PRELUDE + (
+            "class S(BaseScheduler):\n"
+            "    foreign_batch_safe = True\n"
+        )
+        assert "ECO006" in codes(lint_source(src, HOT))
+
+    def test_foreign_batch_safe_with_hook_clean(self):
+        src = _SCHED_PRELUDE + (
+            "class S(BaseScheduler):\n"
+            "    foreign_batch_safe = True\n"
+            "    def observe_foreign_run(self, groups):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, HOT) == []
+
     def test_conforming_subclass_clean(self):
         src = _SCHED_PRELUDE + (
             "class S(BaseScheduler):\n"

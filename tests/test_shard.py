@@ -231,6 +231,143 @@ class TestProcessSharding:
         assert_identical(merged, baseline)
 
 
+class TestForeignFastPath:
+    """ISSUE 10 layer 2: vectorized foreign replay, bit-identical.
+
+    The churned trace + tight pools + counter RNG + retirement scenario
+    puts warm hits of foreign functions *inside* bulk-candidate runs, so
+    the prefix-splitting (bulk to the first warm/heap boundary, per-event
+    the boundary, continue) is exercised, not just the all-cold case.
+    """
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_forced_on_off_bit_identical(self, tmp_path, n_shards):
+        trace = churn_trace()
+        ci = region_trace_for("CAL", 7200.0, seed=11)
+        baseline = sequential(trace, ci, hard_config(tmp_path / "seq"))
+        results = {}
+        for fast in (True, False):
+            results[fast] = ThreadShardRunner(
+                n_shards, foreign_fast_path=fast
+            ).run(
+                pair=PAIR_A,
+                trace=trace,
+                ci_trace=ci,
+                scheduler_factory=lambda: EcoLifeScheduler(
+                    hard_config(tmp_path / f"fp{fast}")
+                ),
+                config=SIM_CONFIG,
+            )
+        assert_identical(results[True], baseline)
+        assert_identical(results[False], baseline)
+
+    def test_fast_path_actually_bulk_absorbs(self, tmp_path, monkeypatch):
+        absorbed = []
+        orig = ShardEngine._absorb_foreign_chunk
+
+        def spy(self, scheduler, times, ids, funcs, start, stop, *a, **kw):
+            absorbed.append(stop - start)
+            return orig(
+                self, scheduler, times, ids, funcs, start, stop, *a, **kw
+            )
+
+        monkeypatch.setattr(ShardEngine, "_absorb_foreign_chunk", spy)
+        trace = churn_trace()
+        ci = region_trace_for("CAL", 7200.0, seed=11)
+        ThreadShardRunner(4).run(
+            pair=PAIR_A,
+            trace=trace,
+            ci_trace=ci,
+            scheduler_factory=lambda: EcoLifeScheduler(
+                hard_config(tmp_path / "spy")
+            ),
+            config=SIM_CONFIG,
+        )
+        assert sum(absorbed) > 0
+
+    def test_unsafe_scheduler_takes_per_event_path(self, tmp_path, monkeypatch):
+        # foreign_batch_safe=False must keep the engine off
+        # observe_foreign_run entirely (whose Base default raises).
+        def boom(self, scheduler, times, ids, funcs, start, stop, *a, **kw):
+            raise AssertionError("bulk path reached for unsafe scheduler")
+
+        monkeypatch.setattr(ShardEngine, "_absorb_foreign_chunk", boom)
+
+        def unsafe_factory():
+            s = EcoLifeScheduler(hard_config(tmp_path / "unsafe"))
+            s.foreign_batch_safe = False
+            return s
+
+        trace = churn_trace(n_funcs=10, horizon_s=1200.0)
+        ci = region_trace_for("CAL", 2400.0, seed=11)
+        baseline = sequential(trace, ci, hard_config(tmp_path / "seq"))
+        result = ThreadShardRunner(2).run(
+            pair=PAIR_A,
+            trace=trace,
+            ci_trace=ci,
+            scheduler_factory=unsafe_factory,
+            config=SIM_CONFIG,
+        )
+        assert_identical(result, baseline)
+
+
+class TestTraceFileSharding:
+    def test_shard_job_by_path_bit_identical(self, tmp_path):
+        trace = churn_trace(n_funcs=16, horizon_s=2400.0)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        ci = region_trace_for("CAL", 3600.0, seed=11)
+        baseline = sequential(trace, ci, hard_config(tmp_path / "seq"))
+        job = ShardJob(
+            scheduler="ecolife",
+            pair=PAIR_A,
+            trace=None,
+            ci_trace=ci,
+            n_shards=2,
+            config=hard_config(tmp_path / "bypath"),
+            sim_config=SIM_CONFIG,
+            trace_path=str(path),
+        )
+        merged = run_sharded_tcp(job)
+        assert_identical(merged, baseline)
+
+    def test_shard_job_requires_exactly_one_trace_source(self, tmp_path):
+        trace = churn_trace(n_funcs=4, horizon_s=300.0)
+        ci = region_trace_for("CAL", 600.0, seed=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardJob(
+                scheduler="ecolife",
+                pair=PAIR_A,
+                trace=None,
+                ci_trace=ci,
+                n_shards=2,
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardJob(
+                scheduler="ecolife",
+                pair=PAIR_A,
+                trace=trace,
+                ci_trace=ci,
+                n_shards=2,
+                trace_path="also.npz",
+            )
+
+    def test_resolve_trace_opens_mmap(self, tmp_path):
+        trace = churn_trace(n_funcs=6, horizon_s=600.0)
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        ci = region_trace_for("CAL", 1200.0, seed=1)
+        job = ShardJob(
+            scheduler="ecolife",
+            pair=PAIR_A,
+            trace=None,
+            ci_trace=ci,
+            n_shards=2,
+            trace_path=str(path),
+        )
+        assert job.resolve_trace() == trace
+
+
 class TestShardStatePlan:
     def test_plan_covers_init_state(self):
         """Every piece of per-shard state is declared in the ownership

@@ -16,10 +16,16 @@ from repro.workloads.generators import (
 
 DURATION_S = 2.0 * 3600.0
 
+#: The synthesizer families: everything except ``file``, which replays
+#: a compiled trace from disk (seed and sizes are ignored by design, so
+#: the shared synthesizer contracts below don't apply; it gets its own
+#: coverage in test_workloads_tracefile.py).
+SYNTH_FAMILIES = tuple(sorted(set(GENERATORS) - {"file"}))
+
 #: Strategy over (family, n_functions, duration_s, seed) for the shared
 #: property tests. Small sizes keep hypothesis rounds fast.
 family_runs = st.tuples(
-    st.sampled_from(sorted(GENERATORS)),
+    st.sampled_from(SYNTH_FAMILIES),
     st.integers(min_value=1, max_value=10),
     st.floats(min_value=600.0, max_value=4.0 * 3600.0),
     st.integers(min_value=0, max_value=2**31 - 1),
@@ -40,11 +46,15 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown parameter"):
             make_generator(WorkloadSpec.make("poisson", warp_factor=9))
 
-    def test_all_names_instantiate_and_generate(self):
-        for name in generator_names():
+    def test_all_synth_names_instantiate_and_generate(self):
+        for name in SYNTH_FAMILIES:
             trace, specs = make_generator(name).generate(4, 1800.0, seed=1)
             assert len(specs) == 4
             assert set(trace.functions) == {s.profile.name for s in specs}
+
+    def test_file_family_requires_path(self):
+        with pytest.raises(ValueError, match="path"):
+            make_generator("file")
 
     def test_azure_family_identical_to_legacy_synthesizer(self):
         legacy, _ = generate_azure_trace(
@@ -141,7 +151,7 @@ class TestGeneratorProperties:
         # Not a strict guarantee family-by-family for tiny traces, but at
         # workload scale two seeds colliding exactly would indicate a
         # seeding bug.
-        for family in generator_names():
+        for family in SYNTH_FAMILIES:
             a, _ = make_generator(family).generate(20, DURATION_S, seed=1)
             b, _ = make_generator(family).generate(20, DURATION_S, seed=2)
             assert not (

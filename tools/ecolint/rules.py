@@ -498,6 +498,7 @@ class Eco004SetIteration(Rule):
 _PROTOCOL_HOOKS = {
     "supports_keepalive_batch": "keepalive_batch",
     "wants_expiry_events": "on_container_expired",
+    "foreign_batch_safe": "observe_foreign_run",
 }
 
 
@@ -510,12 +511,14 @@ class Eco006SchedulerProtocol(Rule):
     name = "scheduler-protocol"
     description = (
         "BaseScheduler subclasses that declare a capability flag "
-        "(supports_keepalive_batch, wants_expiry_events) must implement the "
-        "matching hook (keepalive_batch, on_container_expired), and a "
-        "non-zero decision_quantum_s requires supports_keepalive_batch: a "
-        "declared-but-unimplemented capability silently falls back to the "
-        "sequential default, which is exactly the drift this gate exists to "
-        "catch."
+        "(supports_keepalive_batch, wants_expiry_events, "
+        "foreign_batch_safe) must implement the matching hook "
+        "(keepalive_batch, on_container_expired, observe_foreign_run), "
+        "and a non-zero decision_quantum_s requires "
+        "supports_keepalive_batch: a declared-but-unimplemented "
+        "capability silently falls back to the sequential default -- or, "
+        "for foreign_batch_safe, would crash the shard fast path -- "
+        "which is exactly the drift this gate exists to catch."
     )
 
     def check(self, tree: ast.AST, relpath: str) -> list[Violation]:
